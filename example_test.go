@@ -1,0 +1,57 @@
+package zipper_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"zipper"
+	"zipper/internal/analysis"
+	"zipper/internal/floatbuf"
+)
+
+// Example couples a producer that emits two blocks per step with a variance
+// analysis, the minimal form of the paper's synthetic workflow.
+func Example() {
+	dir, err := os.MkdirTemp("", "zipper-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	job, err := zipper.NewJob(zipper.Config{Producers: 1, Consumers: 1, SpoolDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := job.Producer(0)
+		for step := 0; step < 3; step++ {
+			for blk := 0; blk < 2; blk++ {
+				vals := []float64{float64(step), float64(blk), 1}
+				p.Write(step, int64(blk)*24, floatbuf.Encode(vals))
+			}
+		}
+		p.Close()
+	}()
+
+	v := analysis.NewVariance()
+	n := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		v.Analyze(floatbuf.Decode(blk.Data))
+		n++
+	}
+	wg.Wait()
+	job.Wait()
+
+	fmt.Printf("blocks=%d samples=%d\n", n, v.Count())
+	// Output: blocks=6 samples=18
+}

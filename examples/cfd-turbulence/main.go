@@ -1,0 +1,93 @@
+// CFD + turbulence analysis: the paper's flagship workflow (§3, §6.3.1) at
+// laptop scale. Several lattice-Boltzmann channel-flow simulations (one per
+// producer, each owning a slab of the channel) stream their velocity fields
+// through the Zipper runtime to consumers that accumulate the n-th moments
+// E(u^k) of the streamwise velocity — the statistics that characterize
+// turbulent fluctuation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"zipper"
+	"zipper/internal/analysis"
+	"zipper/internal/apps/lbm"
+	"zipper/internal/floatbuf"
+)
+
+const (
+	producers = 2
+	consumers = 1
+	steps     = 60
+	outEvery  = 5 // analyze every 5th time step
+	moments   = 4
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "zipper-cfd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	job, err := zipper.NewJob(zipper.Config{
+		Producers: producers,
+		Consumers: consumers,
+		SpoolDir:  dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim, err := lbm.New(lbm.Params{
+				NX: 16, NY: 16, NZ: 32,
+				Tau:   0.8,
+				Force: 1e-5,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := job.Producer(i)
+			for s := 0; s < steps; s++ {
+				sim.Step()
+				if (s+1)%outEvery == 0 {
+					p.Write(s, 0, floatbuf.Encode(sim.VelocityField()))
+				}
+			}
+			p.Close()
+		}()
+	}
+
+	mom := analysis.NewNthMoment(moments)
+	blocks := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		mom.Analyze(floatbuf.Decode(blk.Data))
+		blocks++
+	}
+	wg.Wait()
+	job.Wait()
+	if err := job.Consumer(0).Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CFD workflow: %d producers × %d steps, %d field blocks analyzed\n",
+		producers, steps, blocks)
+	for k := 1; k <= moments; k++ {
+		fmt.Printf("  E(u^%d) = %+.6e\n", k, mom.Moment(k))
+	}
+	fmt.Println("positive odd moments confirm net flow along +x; the full set")
+	fmt.Println("characterizes the velocity PDF of the developing channel flow.")
+}

@@ -1,0 +1,76 @@
+// Concurrent dual-channel transfer demo (§4.3, §6.2): a fast producer feeds
+// a deliberately slow consumer, once with the work-stealing writer thread
+// enabled and once in message-passing-only mode. With stealing enabled, the
+// writer detects the high-water mark and routes overflow blocks through real
+// spool files, cutting the producer's stall time — Algorithm 1 in action.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"zipper"
+)
+
+const (
+	blocks     = 120
+	blockBytes = 64 << 10
+	consumerMs = 3 // artificial analysis cost per block
+)
+
+func run(disableSteal bool) (wall time.Duration, stats zipper.ProducerStats) {
+	dir, err := os.MkdirTemp("", "zipper-concurrent")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	job, err := zipper.NewJob(zipper.Config{
+		Producers: 1, Consumers: 1,
+		SpoolDir:     dir,
+		BufferBlocks: 6, HighWater: 3,
+		Window:       1,
+		DisableSteal: disableSteal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p := job.Producer(0)
+		payload := make([]byte, blockBytes)
+		for s := 0; s < blocks; s++ {
+			p.Write(s, 0, payload)
+		}
+		p.Close()
+	}()
+	for {
+		if _, ok := job.Consumer(0).Read(); !ok {
+			break
+		}
+		time.Sleep(consumerMs * time.Millisecond) // slow analysis
+	}
+	<-done
+	job.Wait()
+	return time.Since(start), job.Producer(0).Stats()
+}
+
+func main() {
+	mpWall, mpStats := run(true)
+	ccWall, ccStats := run(false)
+
+	fmt.Println("message-passing-only (writer thread off):")
+	fmt.Printf("  wall %v, producer stalled %.3fs, stolen %d\n",
+		mpWall.Round(time.Millisecond), mpStats.WriteStall, mpStats.BlocksStolen)
+	fmt.Println("concurrent message+file transfer (Algorithm 1):")
+	fmt.Printf("  wall %v, producer stalled %.3fs, stolen %d of %d blocks\n",
+		ccWall.Round(time.Millisecond), ccStats.WriteStall, ccStats.BlocksStolen, blocks)
+	if ccStats.BlocksStolen > 0 && ccStats.WriteStall < mpStats.WriteStall {
+		fmt.Println("=> the file-system path absorbed the overflow and reduced the stall,")
+		fmt.Println("   matching Figure 14's O(n) result.")
+	}
+}

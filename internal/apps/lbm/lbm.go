@@ -1,0 +1,216 @@
+// Package lbm implements a D3Q19 lattice-Boltzmann method for 3-D channel
+// flow, the CFD simulation the paper couples with turbulence analysis
+// (§3, §6.3.1). Each time step runs the three kernels the paper's traces
+// show: collision (CL), streaming (ST), and update (UD).
+//
+// The flow is a body-force-driven channel: periodic in x and z, half-way
+// bounce-back walls at the y boundaries. Quantities are in lattice units.
+package lbm
+
+import (
+	"fmt"
+	"math"
+)
+
+// q is the number of discrete velocities in D3Q19.
+const q = 19
+
+// D3Q19 velocity set: rest, 6 faces, 12 edges.
+var (
+	ex = [q]int{0, 1, -1, 0, 0, 0, 0, 1, -1, 1, -1, 1, -1, 1, -1, 0, 0, 0, 0}
+	ey = [q]int{0, 0, 0, 1, -1, 0, 0, 1, -1, -1, 1, 0, 0, 0, 0, 1, -1, 1, -1}
+	ez = [q]int{0, 0, 0, 0, 0, 1, -1, 0, 0, 0, 0, 1, -1, -1, 1, 1, -1, -1, 1}
+	wt = [q]float64{
+		1.0 / 3,
+		1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18,
+		1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36,
+		1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36,
+	}
+	// opposite[i] is the direction opposite to i, for bounce-back.
+	opposite = [q]int{0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17}
+)
+
+// Params configures a simulation.
+type Params struct {
+	NX, NY, NZ int     // grid size; NY is the wall-normal direction
+	Tau        float64 // BGK relaxation time (> 0.5 for stability)
+	Force      float64 // body force density along +x driving the channel
+}
+
+// Sim is one process's lattice block.
+type Sim struct {
+	p     Params
+	n     int
+	f     []float64 // distributions, f[dir*n + cell]
+	ftmp  []float64
+	rho   []float64
+	ux    []float64
+	uy    []float64
+	uz    []float64
+	steps int
+}
+
+// New builds a simulation initialized to uniform unit density at rest.
+func New(p Params) (*Sim, error) {
+	if p.NX < 2 || p.NY < 4 || p.NZ < 2 {
+		return nil, fmt.Errorf("lbm: grid %dx%dx%d too small (need ≥2x4x2)", p.NX, p.NY, p.NZ)
+	}
+	if p.Tau <= 0.5 {
+		return nil, fmt.Errorf("lbm: tau %v must exceed 0.5", p.Tau)
+	}
+	n := p.NX * p.NY * p.NZ
+	s := &Sim{
+		p: p, n: n,
+		f:    make([]float64, q*n),
+		ftmp: make([]float64, q*n),
+		rho:  make([]float64, n),
+		ux:   make([]float64, n),
+		uy:   make([]float64, n),
+		uz:   make([]float64, n),
+	}
+	for c := 0; c < n; c++ {
+		s.rho[c] = 1
+		for i := 0; i < q; i++ {
+			s.f[i*n+c] = wt[i]
+		}
+	}
+	return s, nil
+}
+
+// Params returns the simulation parameters.
+func (s *Sim) Params() Params { return s.p }
+
+// Steps reports how many time steps have run.
+func (s *Sim) Steps() int { return s.steps }
+
+// Cells reports the number of lattice cells.
+func (s *Sim) Cells() int { return s.n }
+
+func (s *Sim) idx(x, y, z int) int { return (z*s.p.NY+y)*s.p.NX + x }
+
+// Step advances the simulation one time step: collision, streaming, update.
+func (s *Sim) Step() {
+	s.Collision()
+	s.Streaming()
+	s.Update()
+	s.steps++
+}
+
+// Collision applies the BGK operator with a Guo-style forcing shift: the
+// equilibrium velocity is offset by tau·F/rho so a constant body force
+// drives the flow.
+func (s *Sim) Collision() {
+	n := s.n
+	invTau := 1 / s.p.Tau
+	for c := 0; c < n; c++ {
+		rho := s.rho[c]
+		ux := s.ux[c] + s.p.Tau*s.p.Force/rho
+		uy := s.uy[c]
+		uz := s.uz[c]
+		usq := ux*ux + uy*uy + uz*uz
+		for i := 0; i < q; i++ {
+			eu := float64(ex[i])*ux + float64(ey[i])*uy + float64(ez[i])*uz
+			feq := wt[i] * rho * (1 + 3*eu + 4.5*eu*eu - 1.5*usq)
+			s.f[i*n+c] -= invTau * (s.f[i*n+c] - feq)
+		}
+	}
+}
+
+// Streaming propagates distributions to neighbor cells, with periodic wrap
+// in x and z and half-way bounce-back at the y walls. In the distributed
+// workflow this is the phase that performs the halo MPI_Sendrecv exchanges.
+func (s *Sim) Streaming() {
+	nx, ny, nz, n := s.p.NX, s.p.NY, s.p.NZ, s.n
+	for i := 0; i < q; i++ {
+		fi := s.f[i*n : (i+1)*n]
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					src := (z*ny+y)*nx + x
+					yy := y + ey[i]
+					if yy < 0 || yy >= ny {
+						// Bounce back off the wall into the opposite
+						// direction at the same cell.
+						s.ftmp[opposite[i]*n+src] = fi[src]
+						continue
+					}
+					xx := (x + ex[i] + nx) % nx
+					zz := (z + ez[i] + nz) % nz
+					s.ftmp[i*n+(zz*ny+yy)*nx+xx] = fi[src]
+				}
+			}
+		}
+	}
+	s.f, s.ftmp = s.ftmp, s.f
+}
+
+// Update recomputes the macroscopic density and velocity fields.
+func (s *Sim) Update() {
+	n := s.n
+	for c := 0; c < n; c++ {
+		var rho, jx, jy, jz float64
+		for i := 0; i < q; i++ {
+			fi := s.f[i*n+c]
+			rho += fi
+			jx += fi * float64(ex[i])
+			jy += fi * float64(ey[i])
+			jz += fi * float64(ez[i])
+		}
+		s.rho[c] = rho
+		s.ux[c] = jx / rho
+		s.uy[c] = jy / rho
+		s.uz[c] = jz / rho
+	}
+}
+
+// Mass returns the total lattice mass (conserved by collision+streaming).
+func (s *Sim) Mass() float64 {
+	var m float64
+	for _, r := range s.rho {
+		m += r
+	}
+	return m
+}
+
+// Velocity returns the velocity vector at a cell.
+func (s *Sim) Velocity(x, y, z int) (float64, float64, float64) {
+	c := s.idx(x, y, z)
+	return s.ux[c], s.uy[c], s.uz[c]
+}
+
+// Density returns the density at a cell.
+func (s *Sim) Density(x, y, z int) float64 { return s.rho[s.idx(x, y, z)] }
+
+// VelocityField returns a copy of the streamwise (x) velocity of every cell —
+// the field the n-th moment turbulence analysis consumes.
+func (s *Sim) VelocityField() []float64 {
+	out := make([]float64, s.n)
+	copy(out, s.ux)
+	return out
+}
+
+// SpeedField returns the velocity magnitude of every cell.
+func (s *Sim) SpeedField() []float64 {
+	out := make([]float64, s.n)
+	for c := range out {
+		out[c] = math.Sqrt(s.ux[c]*s.ux[c] + s.uy[c]*s.uy[c] + s.uz[c]*s.uz[c])
+	}
+	return out
+}
+
+// Profile returns the streamwise velocity averaged over x,z for each y — the
+// channel profile, parabolic for laminar Poiseuille flow.
+func (s *Sim) Profile() []float64 {
+	nx, ny, nz := s.p.NX, s.p.NY, s.p.NZ
+	out := make([]float64, ny)
+	for y := 0; y < ny; y++ {
+		var sum float64
+		for z := 0; z < nz; z++ {
+			for x := 0; x < nx; x++ {
+				sum += s.ux[s.idx(x, y, z)]
+			}
+		}
+		out[y] = sum / float64(nx*nz)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package lbm
+
+import (
+	"math"
+	"testing"
+)
+
+func mustNew(t testing.TB, p Params) *Sim {
+	t.Helper()
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	if _, err := New(Params{NX: 1, NY: 4, NZ: 4, Tau: 0.8}); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	if _, err := New(Params{NX: 4, NY: 4, NZ: 4, Tau: 0.5}); err == nil {
+		t.Error("tau=0.5 accepted")
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	s := mustNew(t, Params{NX: 8, NY: 8, NZ: 8, Tau: 0.8, Force: 1e-5})
+	m0 := s.Mass()
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	if rel := math.Abs(s.Mass()-m0) / m0; rel > 1e-10 {
+		t.Fatalf("mass drifted by %.3e after 50 steps", rel)
+	}
+	if s.Steps() != 50 {
+		t.Fatalf("Steps = %d", s.Steps())
+	}
+}
+
+func TestRestStateStaysAtRest(t *testing.T) {
+	s := mustNew(t, Params{NX: 6, NY: 6, NZ: 6, Tau: 0.9})
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	for _, v := range s.VelocityField() {
+		if math.Abs(v) > 1e-14 {
+			t.Fatalf("rest state developed velocity %v", v)
+		}
+	}
+}
+
+func TestChannelFlowDevelopsPoiseuilleShape(t *testing.T) {
+	s := mustNew(t, Params{NX: 4, NY: 16, NZ: 4, Tau: 0.9, Force: 1e-5})
+	for i := 0; i < 400; i++ {
+		s.Step()
+	}
+	prof := s.Profile()
+	mid := prof[len(prof)/2]
+	if mid <= 0 {
+		t.Fatalf("no flow developed: mid velocity %v", mid)
+	}
+	// Walls slower than center.
+	if prof[0] >= mid || prof[len(prof)-1] >= mid {
+		t.Fatalf("profile not channel-like: %v", prof)
+	}
+	// Symmetry about the mid-plane (within numerical tolerance).
+	for y := 0; y < len(prof)/2; y++ {
+		a, b := prof[y], prof[len(prof)-1-y]
+		if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(mid)) {
+			t.Fatalf("asymmetric profile at y=%d: %v vs %v", y, a, b)
+		}
+	}
+	// Monotone increase from wall to center (the two central rows of an
+	// even-sized grid share the maximum, so stop before the midpoint pair).
+	for y := 1; y < len(prof)/2; y++ {
+		if prof[y] < prof[y-1] {
+			t.Fatalf("profile not monotone toward center: %v", prof)
+		}
+	}
+}
+
+func TestStability(t *testing.T) {
+	s := mustNew(t, Params{NX: 8, NY: 8, NZ: 8, Tau: 0.6, Force: 5e-6})
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	for _, v := range s.SpeedField() {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v > 0.3 {
+			t.Fatalf("unstable: speed %v", v)
+		}
+	}
+}
+
+func TestVelocityFieldIsCopy(t *testing.T) {
+	s := mustNew(t, Params{NX: 4, NY: 4, NZ: 4, Tau: 0.8, Force: 1e-5})
+	s.Step()
+	v := s.VelocityField()
+	v[0] = 999
+	if got := s.VelocityField()[0]; got == 999 {
+		t.Fatal("VelocityField aliases internal state")
+	}
+}
+
+func TestDensityPositive(t *testing.T) {
+	s := mustNew(t, Params{NX: 8, NY: 8, NZ: 8, Tau: 0.7, Force: 1e-5})
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				if d := s.Density(x, y, z); d <= 0 || math.IsNaN(d) {
+					t.Fatalf("bad density %v at %d,%d,%d", d, x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkStep16(b *testing.B) {
+	s := mustNew(b, Params{NX: 16, NY: 16, NZ: 16, Tau: 0.8, Force: 1e-5})
+	b.SetBytes(int64(s.Cells() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,292 @@
+// Package ljmd implements a miniature LAMMPS-style molecular dynamics
+// simulation of Lennard-Jones atoms: FCC lattice initialization, cell-list
+// neighbor search, truncated LJ 6-12 potential, velocity-Verlet integration,
+// and velocity-rescaling temperature control. It reproduces the paper's
+// "3D Lennard-Jones atoms melt" workload (Table 3, §6.3.2): a low-energy
+// solid driven to a high-temperature liquid, whose per-step positions feed
+// the mean-squared-displacement analysis.
+//
+// All quantities are in LJ reduced units (sigma = epsilon = mass = 1).
+package ljmd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Params configures a simulation.
+type Params struct {
+	Cells   int     // FCC unit cells per dimension; N = 4·Cells³ atoms
+	Density float64 // reduced number density (LAMMPS melt uses 0.8442)
+	T0      float64 // initial temperature
+	Dt      float64 // time step (melt benchmark uses 0.005)
+	RCut    float64 // potential cutoff (melt benchmark uses 2.5)
+	Seed    int64   // velocity initialization seed
+}
+
+// Sim is one molecular-dynamics system.
+type Sim struct {
+	p     Params
+	n     int
+	box   float64
+	pos   []float64 // 3n, wrapped into the box
+	vel   []float64
+	force []float64
+	// unwrapped positions for MSD-style diagnostics
+	unwrapped []float64
+	// cell list scratch
+	nCell   int // cells per dimension
+	cellLen float64
+	head    []int
+	next    []int
+	steps   int
+	epot    float64
+}
+
+// New builds and initializes a system on an FCC lattice with
+// Maxwell-distributed velocities at T0 and zero net momentum.
+func New(p Params) (*Sim, error) {
+	if p.Cells < 2 {
+		return nil, fmt.Errorf("ljmd: need ≥2 cells per dimension, got %d", p.Cells)
+	}
+	if p.Density <= 0 || p.Dt <= 0 || p.RCut <= 0 {
+		return nil, fmt.Errorf("ljmd: density, dt, rcut must be positive")
+	}
+	n := 4 * p.Cells * p.Cells * p.Cells
+	box := float64(p.Cells) * math.Cbrt(4/p.Density)
+	if box < 2*p.RCut {
+		return nil, fmt.Errorf("ljmd: box %.3f too small for rcut %.3f", box, p.RCut)
+	}
+	s := &Sim{
+		p: p, n: n, box: box,
+		pos:       make([]float64, 3*n),
+		vel:       make([]float64, 3*n),
+		force:     make([]float64, 3*n),
+		unwrapped: make([]float64, 3*n),
+		next:      make([]int, n),
+	}
+	s.nCell = int(box / p.RCut)
+	if s.nCell < 3 {
+		s.nCell = 3
+	}
+	s.cellLen = box / float64(s.nCell)
+	s.head = make([]int, s.nCell*s.nCell*s.nCell)
+
+	// FCC lattice: 4 basis atoms per unit cell.
+	a := box / float64(p.Cells)
+	basis := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	i := 0
+	for cx := 0; cx < p.Cells; cx++ {
+		for cy := 0; cy < p.Cells; cy++ {
+			for cz := 0; cz < p.Cells; cz++ {
+				for _, b := range basis {
+					s.pos[3*i] = (float64(cx) + b[0]) * a
+					s.pos[3*i+1] = (float64(cy) + b[1]) * a
+					s.pos[3*i+2] = (float64(cz) + b[2]) * a
+					i++
+				}
+			}
+		}
+	}
+	copy(s.unwrapped, s.pos)
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	var px, py, pz float64
+	for i := 0; i < n; i++ {
+		s.vel[3*i] = rng.NormFloat64()
+		s.vel[3*i+1] = rng.NormFloat64()
+		s.vel[3*i+2] = rng.NormFloat64()
+		px += s.vel[3*i]
+		py += s.vel[3*i+1]
+		pz += s.vel[3*i+2]
+	}
+	for i := 0; i < n; i++ {
+		s.vel[3*i] -= px / float64(n)
+		s.vel[3*i+1] -= py / float64(n)
+		s.vel[3*i+2] -= pz / float64(n)
+	}
+	s.Rescale(p.T0)
+	s.computeForces()
+	return s, nil
+}
+
+// N reports the number of atoms.
+func (s *Sim) N() int { return s.n }
+
+// Box reports the periodic box edge length.
+func (s *Sim) Box() float64 { return s.box }
+
+// Steps reports completed time steps.
+func (s *Sim) Steps() int { return s.steps }
+
+// Temperature returns the instantaneous kinetic temperature.
+func (s *Sim) Temperature() float64 {
+	return 2 * s.KineticEnergy() / (3 * float64(s.n))
+}
+
+// KineticEnergy returns the total kinetic energy.
+func (s *Sim) KineticEnergy() float64 {
+	var ke float64
+	for _, v := range s.vel {
+		ke += v * v
+	}
+	return ke / 2
+}
+
+// PotentialEnergy returns the total truncated-LJ potential energy from the
+// most recent force evaluation.
+func (s *Sim) PotentialEnergy() float64 { return s.epot }
+
+// TotalEnergy returns kinetic + potential energy.
+func (s *Sim) TotalEnergy() float64 { return s.KineticEnergy() + s.epot }
+
+// Momentum returns the net momentum vector (conserved, ≈0).
+func (s *Sim) Momentum() (float64, float64, float64) {
+	var px, py, pz float64
+	for i := 0; i < s.n; i++ {
+		px += s.vel[3*i]
+		py += s.vel[3*i+1]
+		pz += s.vel[3*i+2]
+	}
+	return px, py, pz
+}
+
+// Rescale sets the instantaneous temperature to T by velocity scaling.
+func (s *Sim) Rescale(T float64) {
+	cur := s.Temperature()
+	if cur == 0 {
+		return
+	}
+	f := math.Sqrt(T / cur)
+	for i := range s.vel {
+		s.vel[i] *= f
+	}
+}
+
+// Positions returns a copy of the unwrapped atom positions (3N), suitable
+// for mean-squared-displacement analysis.
+func (s *Sim) Positions() []float64 {
+	out := make([]float64, 3*s.n)
+	copy(out, s.unwrapped)
+	return out
+}
+
+// Step advances one velocity-Verlet time step.
+func (s *Sim) Step() {
+	dt := s.p.Dt
+	half := dt / 2
+	for i := range s.pos {
+		s.vel[i] += half * s.force[i]
+		d := dt * s.vel[i]
+		s.pos[i] += d
+		s.unwrapped[i] += d
+	}
+	// Wrap into the periodic box.
+	for i := range s.pos {
+		if s.pos[i] < 0 {
+			s.pos[i] += s.box
+		} else if s.pos[i] >= s.box {
+			s.pos[i] -= s.box
+		}
+	}
+	s.computeForces()
+	for i := range s.vel {
+		s.vel[i] += half * s.force[i]
+	}
+	s.steps++
+}
+
+func (s *Sim) cellOf(i int) int {
+	cx := int(s.pos[3*i] / s.cellLen)
+	cy := int(s.pos[3*i+1] / s.cellLen)
+	cz := int(s.pos[3*i+2] / s.cellLen)
+	nc := s.nCell
+	if cx >= nc {
+		cx = nc - 1
+	}
+	if cy >= nc {
+		cy = nc - 1
+	}
+	if cz >= nc {
+		cz = nc - 1
+	}
+	return (cz*nc+cy)*nc + cx
+}
+
+// computeForces rebuilds the cell list and evaluates the truncated LJ 6-12
+// forces with minimum-image convention.
+func (s *Sim) computeForces() {
+	for i := range s.force {
+		s.force[i] = 0
+	}
+	for i := range s.head {
+		s.head[i] = -1
+	}
+	for i := 0; i < s.n; i++ {
+		c := s.cellOf(i)
+		s.next[i] = s.head[c]
+		s.head[c] = i
+	}
+	rc2 := s.p.RCut * s.p.RCut
+	// Energy shift so the potential is continuous at the cutoff.
+	ir6 := 1 / (rc2 * rc2 * rc2)
+	shift := 4 * (ir6*ir6 - ir6)
+	var epot float64
+	nc := s.nCell
+	half := s.box / 2
+	for cz := 0; cz < nc; cz++ {
+		for cy := 0; cy < nc; cy++ {
+			for cx := 0; cx < nc; cx++ {
+				c := (cz*nc+cy)*nc + cx
+				for i := s.head[c]; i >= 0; i = s.next[i] {
+					for dz := -1; dz <= 1; dz++ {
+						for dy := -1; dy <= 1; dy++ {
+							for dx := -1; dx <= 1; dx++ {
+								oc := ((cz+dz+nc)%nc*nc+(cy+dy+nc)%nc)*nc + (cx+dx+nc)%nc
+								for j := s.head[oc]; j >= 0; j = s.next[j] {
+									if j <= i {
+										continue
+									}
+									rx := s.pos[3*i] - s.pos[3*j]
+									ry := s.pos[3*i+1] - s.pos[3*j+1]
+									rz := s.pos[3*i+2] - s.pos[3*j+2]
+									if rx > half {
+										rx -= s.box
+									} else if rx < -half {
+										rx += s.box
+									}
+									if ry > half {
+										ry -= s.box
+									} else if ry < -half {
+										ry += s.box
+									}
+									if rz > half {
+										rz -= s.box
+									} else if rz < -half {
+										rz += s.box
+									}
+									r2 := rx*rx + ry*ry + rz*rz
+									if r2 >= rc2 || r2 == 0 {
+										continue
+									}
+									inv2 := 1 / r2
+									inv6 := inv2 * inv2 * inv2
+									ff := 24 * inv2 * inv6 * (2*inv6 - 1)
+									s.force[3*i] += ff * rx
+									s.force[3*i+1] += ff * ry
+									s.force[3*i+2] += ff * rz
+									s.force[3*j] -= ff * rx
+									s.force[3*j+1] -= ff * ry
+									s.force[3*j+2] -= ff * rz
+									epot += 4*inv6*(inv6-1) - shift
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	s.epot = epot
+}

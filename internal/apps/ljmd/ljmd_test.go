@@ -1,0 +1,154 @@
+package ljmd
+
+import (
+	"math"
+	"testing"
+)
+
+func meltParams() Params {
+	return Params{Cells: 3, Density: 0.8442, T0: 1.44, Dt: 0.005, RCut: 2.5, Seed: 1}
+}
+
+func mustNew(t testing.TB, p Params) *Sim {
+	t.Helper()
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	for _, p := range []Params{
+		{Cells: 1, Density: 0.8, T0: 1, Dt: 0.005, RCut: 2.5},
+		{Cells: 4, Density: -1, T0: 1, Dt: 0.005, RCut: 2.5},
+		{Cells: 2, Density: 0.05, T0: 1, Dt: 0.005, RCut: 20}, // box < 2·rcut
+	} {
+		if _, err := New(p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestInitialization(t *testing.T) {
+	s := mustNew(t, meltParams())
+	if s.N() != 4*3*3*3 {
+		t.Fatalf("N = %d, want 108", s.N())
+	}
+	if temp := s.Temperature(); math.Abs(temp-1.44) > 1e-9 {
+		t.Fatalf("T0 = %v, want 1.44", temp)
+	}
+	px, py, pz := s.Momentum()
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-9 {
+		t.Fatalf("net momentum (%v,%v,%v), want 0", px, py, pz)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	s := mustNew(t, meltParams())
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	px, py, pz := s.Momentum()
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-7 {
+		t.Fatalf("momentum drifted to (%v,%v,%v)", px, py, pz)
+	}
+}
+
+func TestEnergyConservationNVE(t *testing.T) {
+	p := meltParams()
+	p.Dt = 0.002 // small step for tight conservation
+	s := mustNew(t, p)
+	// Let initial lattice artifacts relax before measuring.
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	e0 := s.TotalEnergy()
+	for i := 0; i < 300; i++ {
+		s.Step()
+	}
+	drift := math.Abs(s.TotalEnergy()-e0) / math.Abs(e0)
+	if drift > 5e-3 {
+		t.Fatalf("energy drift %.2e over 300 steps", drift)
+	}
+}
+
+func TestMeltIncreasesDisplacement(t *testing.T) {
+	s := mustNew(t, meltParams())
+	ref := s.Positions()
+	for i := 0; i < 500; i++ {
+		s.Step()
+	}
+	cur := s.Positions()
+	var msd float64
+	for i := range cur {
+		d := cur[i] - ref[i]
+		msd += d * d
+	}
+	msd /= float64(s.N())
+	if msd < 0.05 {
+		t.Fatalf("MSD after melt start = %v, want noticeable motion", msd)
+	}
+	if math.IsNaN(msd) || math.IsInf(msd, 0) {
+		t.Fatalf("MSD = %v", msd)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	s := mustNew(t, meltParams())
+	s.Rescale(3)
+	if temp := s.Temperature(); math.Abs(temp-3) > 1e-9 {
+		t.Fatalf("after rescale T = %v, want 3", temp)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func() float64 {
+		s := mustNew(t, meltParams())
+		for i := 0; i < 20; i++ {
+			s.Step()
+		}
+		return s.TotalEnergy()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPositionsAreCopy(t *testing.T) {
+	s := mustNew(t, meltParams())
+	p := s.Positions()
+	p[0] = 1e9
+	if s.Positions()[0] == 1e9 {
+		t.Fatal("Positions aliases internal state")
+	}
+}
+
+func TestSolidColderThanMelt(t *testing.T) {
+	// At very low T the lattice stays ordered: MSD stays small.
+	p := meltParams()
+	p.T0 = 0.01
+	s := mustNew(t, p)
+	ref := s.Positions()
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	cur := s.Positions()
+	var msd float64
+	for i := range cur {
+		d := cur[i] - ref[i]
+		msd += d * d
+	}
+	msd /= float64(s.N())
+	if msd > 0.1 {
+		t.Fatalf("cold solid diffused too much: MSD=%v", msd)
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	s := mustNew(b, meltParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,111 @@
+// Package synthetic provides the three data-producing kernels the paper uses
+// to stress the workflow runtime at controlled computational intensities
+// (Table 3): T(n)=O(n) linear algorithms, T(n)=O(n log n)
+// divide-and-conquer, and T(n)=O(n^{3/2}) matrix-style computations. Each
+// kernel really computes over its buffer so the real-mode examples burn
+// genuine CPU with the paper's asymptotic profile.
+package synthetic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Complexity identifies a kernel.
+type Complexity int
+
+const (
+	// Linear is the T(n)=O(n) kernel.
+	Linear Complexity = iota
+	// NLogN is the T(n)=O(n log n) kernel.
+	NLogN
+	// N32 is the T(n)=O(n^{3/2}) kernel.
+	N32
+)
+
+// String returns the paper's notation for the complexity class.
+func (c Complexity) String() string {
+	switch c {
+	case Linear:
+		return "O(n)"
+	case NLogN:
+		return "O(nlogn)"
+	case N32:
+		return "O(n^3/2)"
+	}
+	return fmt.Sprintf("Complexity(%d)", int(c))
+}
+
+// Ops returns the abstract operation count for producing n elements, used by
+// the simulation cost models to scale kernel time with block size.
+func (c Complexity) Ops(n int) float64 {
+	fn := float64(n)
+	switch c {
+	case Linear:
+		return fn
+	case NLogN:
+		if n < 2 {
+			return fn
+		}
+		return fn * math.Log2(fn)
+	case N32:
+		return fn * math.Sqrt(fn)
+	}
+	panic("synthetic: unknown complexity")
+}
+
+// Generator produces successive data blocks of a fixed element count with
+// the configured computational complexity.
+type Generator struct {
+	c    Complexity
+	n    int
+	rng  *rand.Rand
+	work []float64
+}
+
+// NewGenerator returns a generator of n-element blocks.
+func NewGenerator(c Complexity, n int, seed int64) *Generator {
+	if n <= 0 {
+		panic("synthetic: block element count must be positive")
+	}
+	return &Generator{c: c, n: n, rng: rand.New(rand.NewSource(seed)), work: make([]float64, n)}
+}
+
+// Next computes one block. The returned slice is freshly allocated.
+func (g *Generator) Next() []float64 {
+	for i := range g.work {
+		g.work[i] = g.rng.Float64()
+	}
+	switch g.c {
+	case Linear:
+		acc := 0.0
+		for i := range g.work {
+			acc = acc*0.5 + g.work[i]
+			g.work[i] += acc * 1e-9
+		}
+	case NLogN:
+		sort.Float64s(g.work)
+	case N32:
+		// Interpret the buffer as an m×m matrix (m=√n) and do one
+		// matrix-matrix style pass: n^{3/2} multiply-adds.
+		m := int(math.Sqrt(float64(g.n)))
+		if m < 1 {
+			m = 1
+		}
+		a := g.work[:m*m]
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				var s float64
+				for k := 0; k < m; k++ {
+					s += a[i*m+k] * a[k*m+j]
+				}
+				a[i*m+j] = math.Mod(s, 1)
+			}
+		}
+	}
+	out := make([]float64, g.n)
+	copy(out, g.work)
+	return out
+}

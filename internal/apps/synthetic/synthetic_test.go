@@ -1,0 +1,87 @@
+package synthetic
+
+import (
+	"testing"
+)
+
+func TestComplexityString(t *testing.T) {
+	cases := map[Complexity]string{Linear: "O(n)", NLogN: "O(nlogn)", N32: "O(n^3/2)"}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestOpsOrdering(t *testing.T) {
+	const n = 1 << 16
+	lin, nlog, n32 := Linear.Ops(n), NLogN.Ops(n), N32.Ops(n)
+	if !(lin < nlog && nlog < n32) {
+		t.Fatalf("ops not ordered: %v %v %v", lin, nlog, n32)
+	}
+	// Asymptotic ratios: doubling n should grow O(n^{3/2}) by ~2.83.
+	r := N32.Ops(2*n) / N32.Ops(n)
+	if r < 2.7 || r > 2.95 {
+		t.Fatalf("O(n^3/2) scaling ratio = %v, want ≈2.83", r)
+	}
+}
+
+func TestGeneratorProducesBlocks(t *testing.T) {
+	for _, c := range []Complexity{Linear, NLogN, N32} {
+		g := NewGenerator(c, 1024, 7)
+		b1, b2 := g.Next(), g.Next()
+		if len(b1) != 1024 || len(b2) != 1024 {
+			t.Fatalf("%v: block sizes %d, %d", c, len(b1), len(b2))
+		}
+		same := true
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%v: successive blocks identical", c)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(NLogN, 512, 42).Next()
+	b := NewGenerator(NLogN, 512, 42).Next()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different blocks")
+		}
+	}
+}
+
+func TestNLogNBlockSorted(t *testing.T) {
+	b := NewGenerator(NLogN, 4096, 3).Next()
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatal("O(n log n) kernel output not sorted")
+		}
+	}
+}
+
+func BenchmarkLinear64K(b *testing.B) {
+	g := NewGenerator(Linear, 64<<10/8, 1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkNLogN64K(b *testing.B) {
+	g := NewGenerator(NLogN, 64<<10/8, 1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkN32_64K(b *testing.B) {
+	g := NewGenerator(N32, 64<<10/8, 1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

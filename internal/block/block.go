@@ -1,0 +1,45 @@
+// Package block defines the fine-grain data block that flows through the
+// Zipper runtime. Per the paper (§4.2), a block carries all the information
+// the analysis application needs to process it independently: the time step
+// index, the producing process id, and its position in the global input
+// domain. Blocks are the unit of pipelining, transfer, work-stealing, and
+// analysis.
+package block
+
+import "fmt"
+
+// ID uniquely identifies a block within a workflow run.
+type ID struct {
+	Rank int // producing process id
+	Step int // simulation time step index
+	Seq  int // block sequence number within (rank, step)
+}
+
+// String formats the ID for file names and diagnostics.
+func (id ID) String() string { return fmt.Sprintf("b%d_s%d_q%d", id.Rank, id.Step, id.Seq) }
+
+// Block is one fine-grain unit of simulation output.
+type Block struct {
+	ID ID
+	// Offset is the block's position in the producer's step output, so the
+	// consumer can place it in the global input domain.
+	Offset int64
+	// Bytes is the logical payload size. In simulation mode Data is nil and
+	// Bytes carries the size; in real mode Bytes == int64(len(Data)).
+	Bytes int64
+	// Data is the payload (nil in simulation mode).
+	Data []byte
+	// OnDisk marks blocks that already reside on the parallel file system,
+	// so the Preserve-mode output thread need not store them again.
+	OnDisk bool
+}
+
+// New returns a real-mode block wrapping data.
+func New(id ID, offset int64, data []byte) *Block {
+	return &Block{ID: id, Offset: offset, Bytes: int64(len(data)), Data: data}
+}
+
+// NewSized returns a simulation-mode block carrying only a size.
+func NewSized(id ID, offset, bytes int64) *Block {
+	return &Block{ID: id, Offset: offset, Bytes: bytes}
+}

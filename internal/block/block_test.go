@@ -1,0 +1,39 @@
+package block
+
+import "testing"
+
+func TestIDString(t *testing.T) {
+	id := ID{Rank: 7, Step: 42, Seq: 3}
+	if got := id.String(); got != "b7_s42_q3" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNew(t *testing.T) {
+	b := New(ID{Rank: 1}, 128, []byte{9, 8, 7})
+	if b.Bytes != 3 || b.Offset != 128 || b.OnDisk {
+		t.Fatalf("New = %+v", b)
+	}
+}
+
+func TestNewSized(t *testing.T) {
+	b := NewSized(ID{Step: 2}, 64, 1<<20)
+	if b.Bytes != 1<<20 || b.Data != nil || b.Offset != 64 {
+		t.Fatalf("NewSized = %+v", b)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for r := 0; r < 3; r++ {
+		for s := 0; s < 3; s++ {
+			for q := 0; q < 3; q++ {
+				k := ID{Rank: r, Step: s, Seq: q}.String()
+				if seen[k] {
+					t.Fatalf("duplicate ID string %q", k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}

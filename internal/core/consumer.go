@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+
+	"zipper/internal/block"
+	"zipper/internal/rt"
+)
+
+// entry is one block resident in the consumer buffer with its lifecycle
+// flags. A block is freed only when analyzed and, in Preserve mode, stored.
+type entry struct {
+	b        *block.Block
+	analyzed bool
+	stored   bool
+}
+
+// Consumer is one analysis process's runtime module. The analysis
+// application calls Read repeatedly; ok=false reports that every producer
+// finished and all their blocks were delivered and analyzed.
+type Consumer struct {
+	env rt.Env
+	cfg Config
+	id  int
+	in  rt.Inbox
+	fs  rt.BlockStore
+
+	lk        rt.Lock
+	avail     rt.Cond // a block became available for analysis or state change
+	space     rt.Cond // buffer space freed
+	diskWork  rt.Cond // a disk ID arrived or receiver exited
+	storeWork rt.Cond // an unstored block arrived or upstream exited
+	done      rt.Cond // a runtime thread exited
+
+	entries      []*entry
+	pendingDisk  []pendingRead
+	finsExpected int
+	finsGot      int
+	recvDone     bool
+	readerDone   bool
+	outputDone   bool
+	err          error
+	stats        ConsumerStats
+}
+
+// pendingRead is a spilled block awaiting the reader thread.
+type pendingRead struct {
+	id    block.ID
+	bytes int64
+}
+
+// NewConsumer builds the runtime module for one consumer endpoint that will
+// see `producers` upstream ranks, and starts its receiver, reader, and (in
+// Preserve mode) output threads.
+func NewConsumer(env rt.Env, cfg Config, id int, producers int, in rt.Inbox, fs rt.BlockStore) *Consumer {
+	cfg = cfg.withDefaults()
+	if producers < 1 {
+		panic("core: consumer needs at least one producer")
+	}
+	c := &Consumer{env: env, cfg: cfg, id: id, in: in, fs: fs, finsExpected: producers}
+	c.lk = env.NewLock(fmt.Sprintf("zcons.%d", id))
+	c.avail = c.lk.NewCond(fmt.Sprintf("zcons.%d.avail", id))
+	c.space = c.lk.NewCond(fmt.Sprintf("zcons.%d.space", id))
+	c.diskWork = c.lk.NewCond(fmt.Sprintf("zcons.%d.diskWork", id))
+	c.storeWork = c.lk.NewCond(fmt.Sprintf("zcons.%d.storeWork", id))
+	c.done = c.lk.NewCond(fmt.Sprintf("zcons.%d.done", id))
+	env.Go(fmt.Sprintf("zcons.%d.receiver", id), c.receiverThread)
+	env.Go(fmt.Sprintf("zcons.%d.reader", id), c.readerThread)
+	if cfg.Mode == Preserve {
+		env.Go(fmt.Sprintf("zcons.%d.output", id), c.outputThread)
+	} else {
+		c.outputDone = true
+	}
+	return c
+}
+
+// ID returns the consumer endpoint id.
+func (c *Consumer) ID() int { return c.id }
+
+func (c *Consumer) traceName(thread string) string {
+	return fmt.Sprintf("zcons.%d.%s", c.id, thread)
+}
+
+// Read blocks until a data block is available and returns it, marking it
+// analyzed. ok=false means the stream is complete (or failed; check Err).
+// Blocks are delivered in arrival order, which may interleave steps and
+// producers — each block carries its identity, so the analysis can place it.
+func (c *Consumer) Read(x rt.Ctx) (*block.Block, bool) {
+	c.lk.Lock(x)
+	stallStart := x.Now()
+	for {
+		for _, e := range c.entries {
+			if !e.analyzed {
+				e.analyzed = true
+				b := e.b
+				c.stats.BlocksAnalyzed++
+				if stall := x.Now() - stallStart; stall > 0 {
+					c.stats.ReadStall += stall
+					if c.cfg.Recorder != nil {
+						c.cfg.Recorder.Add(c.traceName("app"), "stall", stallStart, x.Now())
+					}
+				}
+				c.reapLocked()
+				c.lk.Unlock(x)
+				return b, true
+			}
+		}
+		if c.drainedLocked() || c.err != nil {
+			if stall := x.Now() - stallStart; stall > 0 {
+				c.stats.ReadStall += stall
+			}
+			c.lk.Unlock(x)
+			return nil, false
+		}
+		c.avail.Wait(x)
+	}
+}
+
+// drainedLocked reports whether no more analyzable blocks can appear.
+func (c *Consumer) drainedLocked() bool {
+	if !c.recvDone || !c.readerDone {
+		return false
+	}
+	for _, e := range c.entries {
+		if !e.analyzed {
+			return false
+		}
+	}
+	return true
+}
+
+// reapLocked frees entries that completed their lifecycle.
+func (c *Consumer) reapLocked() {
+	kept := c.entries[:0]
+	freed := false
+	for _, e := range c.entries {
+		if e.analyzed && (e.stored || c.cfg.Mode == NoPreserve) {
+			freed = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.entries = kept
+	if freed {
+		c.space.Broadcast()
+	}
+}
+
+// insertLocked waits for buffer space and appends a new entry.
+func (c *Consumer) insertLocked(x rt.Ctx, b *block.Block) {
+	for len(c.entries) >= c.cfg.ConsumerBufferBlocks {
+		c.space.Wait(x)
+	}
+	e := &entry{b: b, stored: b.OnDisk || c.cfg.Mode == NoPreserve}
+	c.entries = append(c.entries, e)
+	c.avail.Signal()
+	if !e.stored {
+		c.storeWork.Signal()
+	}
+}
+
+// Err reports a runtime failure (for example, an unreadable spilled block).
+func (c *Consumer) Err(x rt.Ctx) error {
+	c.lk.Lock(x)
+	defer c.lk.Unlock(x)
+	return c.err
+}
+
+// Wait blocks until the receiver, reader, and output threads have exited.
+func (c *Consumer) Wait(x rt.Ctx) {
+	c.lk.Lock(x)
+	for !(c.recvDone && c.readerDone && c.outputDone) {
+		c.done.Wait(x)
+	}
+	c.lk.Unlock(x)
+}
+
+// Stats returns a snapshot of the module's counters. Call after Wait for
+// final values.
+func (c *Consumer) Stats(x rt.Ctx) ConsumerStats {
+	c.lk.Lock(x)
+	s := c.stats
+	c.lk.Unlock(x)
+	return s
+}
+
+// FinalStats returns the counters without locking. It is safe only once the
+// platform has fully stopped (for example, after the simulation engine's Run
+// returned).
+func (c *Consumer) FinalStats() ConsumerStats { return c.stats }
+
+// receiverThread splits mixed messages into buffer entries and disk work
+// until every upstream producer has sent Fin.
+func (c *Consumer) receiverThread(x rt.Ctx) {
+	for {
+		start := x.Now()
+		m, ok := c.in.Recv(x)
+		busy := x.Now() - start
+		c.lk.Lock(x)
+		c.stats.RecvBusy += busy
+		if !ok {
+			break // inbox closed under us: treat as end of stream
+		}
+		if c.cfg.Recorder != nil && m.Block != nil {
+			c.cfg.Recorder.Add(c.traceName("receiver"), "recv", start, start+busy)
+		}
+		for _, ref := range m.Disk {
+			c.pendingDisk = append(c.pendingDisk, pendingRead{id: ref.ID, bytes: ref.Bytes})
+		}
+		if len(m.Disk) > 0 {
+			c.diskWork.Broadcast()
+		}
+		if m.Block != nil {
+			c.stats.BlocksReceived++
+			c.insertLocked(x, m.Block)
+		}
+		if m.Fin {
+			c.finsGot++
+			if c.finsGot == c.finsExpected {
+				break
+			}
+		}
+		c.lk.Unlock(x)
+	}
+	c.recvDone = true
+	c.diskWork.Broadcast()
+	c.storeWork.Broadcast()
+	c.avail.Broadcast()
+	c.done.Broadcast()
+	c.lk.Unlock(x)
+}
+
+// readerThread fetches spilled blocks from the file system path and inserts
+// them into the consumer buffer; in NoPreserve mode it reclaims the spill
+// file afterwards.
+func (c *Consumer) readerThread(x rt.Ctx) {
+	c.lk.Lock(x)
+	for {
+		for len(c.pendingDisk) == 0 && !c.recvDone {
+			c.diskWork.Wait(x)
+		}
+		if len(c.pendingDisk) == 0 && c.recvDone {
+			break
+		}
+		pr := c.pendingDisk[0]
+		c.pendingDisk = c.pendingDisk[1:]
+		c.lk.Unlock(x)
+
+		start := x.Now()
+		b, err := c.fs.ReadBlock(x, pr.id, pr.bytes)
+		busy := x.Now() - start
+		if err == nil && c.cfg.Mode == NoPreserve {
+			// Reclaim the temporary spill file; losing the remove is not
+			// fatal, so the error is ignored by design.
+			_ = c.fs.RemoveBlock(x, pr.id)
+		}
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder.Add(c.traceName("reader"), "disk-read", start, start+busy)
+		}
+
+		c.lk.Lock(x)
+		c.stats.DiskBusy += busy
+		if err != nil {
+			c.err = fmt.Errorf("core: reading spilled block %v: %w", pr.id, err)
+			break
+		}
+		c.stats.BlocksRead++
+		c.insertLocked(x, b)
+	}
+	c.readerDone = true
+	c.avail.Broadcast()
+	c.storeWork.Broadcast()
+	c.done.Broadcast()
+	c.lk.Unlock(x)
+}
+
+// outputThread (Preserve mode) persists blocks that are not yet on disk.
+func (c *Consumer) outputThread(x rt.Ctx) {
+	c.lk.Lock(x)
+	for {
+		var target *entry
+		for _, e := range c.entries {
+			if !e.stored {
+				target = e
+				break
+			}
+		}
+		if target == nil {
+			if c.recvDone && c.readerDone {
+				break
+			}
+			c.storeWork.Wait(x)
+			continue
+		}
+		c.lk.Unlock(x)
+
+		start := x.Now()
+		err := c.fs.WriteBlock(x, target.b)
+		busy := x.Now() - start
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder.Add(c.traceName("output"), "store", start, start+busy)
+		}
+
+		c.lk.Lock(x)
+		c.stats.StoreBusy += busy
+		if err != nil {
+			c.err = fmt.Errorf("core: preserving block %v: %w", target.b.ID, err)
+			break
+		}
+		target.stored = true
+		c.stats.BlocksStored++
+		c.reapLocked()
+	}
+	c.outputDone = true
+	c.space.Broadcast()
+	c.done.Broadcast()
+	c.lk.Unlock(x)
+}

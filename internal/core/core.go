@@ -1,0 +1,115 @@
+// Package core implements the Zipper runtime system (paper §4): a fully
+// asynchronous, fine-grain, pipelining layer that sits below a simulation
+// (producer) application and an analysis (consumer) application and above
+// the network and parallel file system.
+//
+// Producer runtime module (§4.2, Figure 8): a bounded producer buffer, a
+// sender thread that drains blocks to the consumer over the low-latency
+// network as "mixed messages" (data block + IDs of blocks spilled to disk),
+// and a writer thread running the adaptive work-stealing algorithm
+// (Algorithm 1): when the buffer rises above a high-water threshold, the
+// writer steals the oldest block and routes it through the parallel file
+// system — the concurrent dual-channel transfer optimization (§4.3).
+//
+// Consumer runtime module (§4.2, Figure 9): a receiver thread that splits
+// mixed messages into data blocks and on-disk IDs, a reader thread that
+// fetches spilled blocks from the file system, an output thread (Preserve
+// mode only) that persists blocks that are not yet on disk, and a bounded
+// consumer buffer from which the analysis application reads blocks as they
+// become available. A block is freed only once it has been analyzed and —
+// in Preserve mode — stored.
+//
+// The runtime is written against the rt platform interfaces and runs
+// unchanged on the real machine (realenv) and inside the discrete-event
+// simulator (simenv).
+package core
+
+import (
+	"time"
+
+	"zipper/internal/trace"
+)
+
+// Mode selects whether computed results are kept on the file system.
+type Mode int
+
+const (
+	// NoPreserve discards results after analysis (fast experiments).
+	NoPreserve Mode = iota
+	// Preserve keeps every block on the parallel file system for future
+	// analysis, validation, and verification.
+	Preserve
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	if m == Preserve {
+		return "Preserve"
+	}
+	return "No Preserve"
+}
+
+// Config tunes one side (producer or consumer) of the runtime.
+type Config struct {
+	// BufferBlocks is the producer buffer capacity in blocks (the paper's
+	// num_slots circular FIFO). Zero selects 8.
+	BufferBlocks int
+	// HighWater is the stealing threshold in blocks: the writer thread
+	// steals while more than this many blocks are queued. Zero selects
+	// 3/4 of BufferBlocks. It must be < BufferBlocks to be reachable.
+	HighWater int
+	// ConsumerBufferBlocks is the consumer buffer capacity. Zero selects 16.
+	ConsumerBufferBlocks int
+	// Mode selects Preserve or NoPreserve.
+	Mode Mode
+	// DisableSteal turns the writer thread off, yielding the
+	// message-passing-only baseline of §6.2.
+	DisableSteal bool
+	// Recorder, when non-nil, receives thread activity spans for trace
+	// analysis (Figures 4–6, 17, 19 style views).
+	Recorder *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferBlocks <= 0 {
+		c.BufferBlocks = 8
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = c.BufferBlocks * 3 / 4
+	}
+	if c.HighWater >= c.BufferBlocks {
+		c.HighWater = c.BufferBlocks - 1
+	}
+	if c.HighWater < 1 {
+		c.HighWater = 1
+	}
+	if c.ConsumerBufferBlocks <= 0 {
+		c.ConsumerBufferBlocks = 16
+	}
+	return c
+}
+
+// ProducerStats summarizes one producer runtime module's activity.
+type ProducerStats struct {
+	BlocksWritten int64         // blocks the application handed to Write
+	BlocksSent    int64         // blocks that left via the network path
+	BlocksStolen  int64         // blocks the writer thread routed via the file system
+	Messages      int64         // mixed messages sent (including the Fin)
+	WriteStall    time.Duration // time Write blocked on a full buffer
+	SendBusy      time.Duration // sender thread time spent in Send
+	StealBusy     time.Duration // writer thread time spent spilling
+	Finished      time.Duration // when both threads had exited
+}
+
+// ConsumerStats summarizes one consumer runtime module's activity.
+type ConsumerStats struct {
+	BlocksReceived int64         // blocks that arrived via the network path
+	BlocksRead     int64         // blocks fetched from the file system path
+	BlocksAnalyzed int64         // blocks handed to the analysis application
+	BlocksStored   int64         // blocks persisted by the output thread
+	ReadStall      time.Duration // time Read blocked waiting for data
+	RecvBusy       time.Duration // receiver thread time in Recv
+	DiskBusy       time.Duration // reader thread time in ReadBlock
+	StoreBusy      time.Duration // output thread time in WriteBlock
+	Finished       time.Duration // when all threads had exited
+}

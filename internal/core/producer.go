@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"zipper/internal/block"
+	"zipper/internal/rt"
+)
+
+// Producer is one simulation process's runtime module. The application
+// thread calls Write for each fine-grain block and Close when done; the
+// module's sender and writer threads move the data asynchronously.
+type Producer struct {
+	env  rt.Env
+	cfg  Config
+	rank int
+	to   int // consumer endpoint this producer feeds
+	tr   rt.Transport
+	fs   rt.BlockStore
+
+	lk       rt.Lock
+	notEmpty rt.Cond // buffer or disk-ID list gained content, or state change
+	notFull  rt.Cond // buffer lost a block
+	aboveHW  rt.Cond // buffer rose above the high-water mark
+	done     rt.Cond // a runtime thread exited
+
+	buf        []*block.Block
+	diskIDs    []rt.DiskRef // spilled but not yet announced to the consumer
+	seq        int          // next block sequence number
+	closed     bool
+	senderDone bool
+	writerDone bool
+	stats      ProducerStats
+}
+
+// NewProducer builds the runtime module for one producer rank feeding
+// consumer endpoint `to`, and starts its sender and writer threads.
+func NewProducer(env rt.Env, cfg Config, rank, to int, tr rt.Transport, fs rt.BlockStore) *Producer {
+	cfg = cfg.withDefaults()
+	p := &Producer{env: env, cfg: cfg, rank: rank, to: to, tr: tr, fs: fs}
+	p.lk = env.NewLock(fmt.Sprintf("zprod.%d", rank))
+	p.notEmpty = p.lk.NewCond(fmt.Sprintf("zprod.%d.notEmpty", rank))
+	p.notFull = p.lk.NewCond(fmt.Sprintf("zprod.%d.notFull", rank))
+	p.aboveHW = p.lk.NewCond(fmt.Sprintf("zprod.%d.aboveHW", rank))
+	p.done = p.lk.NewCond(fmt.Sprintf("zprod.%d.done", rank))
+	env.Go(fmt.Sprintf("zprod.%d.sender", rank), p.senderThread)
+	if cfg.DisableSteal {
+		p.writerDone = true
+	} else {
+		env.Go(fmt.Sprintf("zprod.%d.writer", rank), p.writerThread)
+	}
+	return p
+}
+
+// Rank returns the producer's rank.
+func (p *Producer) Rank() int { return p.rank }
+
+func (p *Producer) traceName(thread string) string {
+	return fmt.Sprintf("zprod.%d.%s", p.rank, thread)
+}
+
+// Write hands one block of simulation output to the runtime. data may be nil
+// in simulation mode, with bytes carrying the logical size; in real mode
+// pass the payload and bytes == int64(len(data)). Write blocks only while
+// the producer buffer is full — with stealing enabled the writer thread
+// relieves that condition through the file-system path.
+func (p *Producer) Write(c rt.Ctx, step int, offset int64, data []byte, bytes int64) {
+	if data != nil && int64(len(data)) != bytes {
+		panic(fmt.Sprintf("core: Write bytes %d != len(data) %d", bytes, len(data)))
+	}
+	p.env.CopyDelay(c, bytes)
+	p.lk.Lock(c)
+	if p.closed {
+		p.lk.Unlock(c)
+		panic("core: Write after Close")
+	}
+	b := &block.Block{
+		ID:     block.ID{Rank: p.rank, Step: step, Seq: p.seq},
+		Offset: offset,
+		Bytes:  bytes,
+		Data:   data,
+	}
+	p.seq++
+	stallStart := c.Now()
+	for len(p.buf) >= p.cfg.BufferBlocks {
+		p.notFull.Wait(c)
+	}
+	if stall := c.Now() - stallStart; stall > 0 {
+		p.stats.WriteStall += stall
+		if p.cfg.Recorder != nil {
+			p.cfg.Recorder.Add(p.traceName("app"), "stall", stallStart, c.Now())
+		}
+	}
+	p.buf = append(p.buf, b)
+	p.stats.BlocksWritten++
+	p.notEmpty.Signal()
+	if len(p.buf) > p.cfg.HighWater {
+		p.aboveHW.Signal()
+	}
+	p.lk.Unlock(c)
+}
+
+// Close tells the runtime no more blocks are coming. The sender thread
+// drains the buffer and announces end-of-stream to the consumer; Close does
+// not wait for that — use Wait.
+func (p *Producer) Close(c rt.Ctx) {
+	p.lk.Lock(c)
+	p.closed = true
+	p.notEmpty.Broadcast()
+	p.aboveHW.Broadcast()
+	p.lk.Unlock(c)
+}
+
+// Wait blocks until the sender and writer threads have exited (all data
+// handed to the network or the file system and the Fin message sent).
+func (p *Producer) Wait(c rt.Ctx) {
+	p.lk.Lock(c)
+	for !(p.senderDone && p.writerDone) {
+		p.done.Wait(c)
+	}
+	p.lk.Unlock(c)
+}
+
+// Stats returns a snapshot of the module's counters. Call after Wait for
+// final values.
+func (p *Producer) Stats(c rt.Ctx) ProducerStats {
+	p.lk.Lock(c)
+	s := p.stats
+	p.lk.Unlock(c)
+	return s
+}
+
+// FinalStats returns the counters without locking. It is safe only once the
+// platform has fully stopped (for example, after the simulation engine's Run
+// returned).
+func (p *Producer) FinalStats() ProducerStats { return p.stats }
+
+// senderThread drains the producer buffer to the network, piggybacking the
+// IDs of spilled blocks, and finally emits the Fin message.
+func (p *Producer) senderThread(c rt.Ctx) {
+	for {
+		p.lk.Lock(c)
+		for len(p.buf) == 0 && len(p.diskIDs) == 0 && !(p.closed && p.writerDone) {
+			p.notEmpty.Wait(c)
+		}
+		if len(p.buf) == 0 && len(p.diskIDs) == 0 && p.closed && p.writerDone {
+			p.lk.Unlock(c)
+			break
+		}
+		var b *block.Block
+		if len(p.buf) > 0 {
+			b = p.buf[0]
+			p.buf = p.buf[1:]
+			p.notFull.Signal()
+		}
+		ids := p.diskIDs
+		p.diskIDs = nil
+		p.lk.Unlock(c)
+
+		start := c.Now()
+		p.tr.Send(c, p.to, rt.Message{From: p.rank, Block: b, Disk: ids})
+		busy := c.Now() - start
+
+		p.lk.Lock(c)
+		p.stats.SendBusy += busy
+		p.stats.Messages++
+		if b != nil {
+			p.stats.BlocksSent++
+		}
+		p.lk.Unlock(c)
+		if p.cfg.Recorder != nil {
+			p.cfg.Recorder.Add(p.traceName("sender"), "send", start, start+busy)
+		}
+	}
+	// Fin carries any last spilled IDs implicitly not needed: loop ensures
+	// diskIDs is empty before exit.
+	start := c.Now()
+	p.tr.Send(c, p.to, rt.Message{From: p.rank, Fin: true})
+	p.lk.Lock(c)
+	p.stats.Messages++
+	p.stats.SendBusy += c.Now() - start
+	p.senderDone = true
+	p.stats.Finished = c.Now()
+	p.done.Broadcast()
+	p.lk.Unlock(c)
+}
+
+// writerThread is Algorithm 1: steal the oldest block whenever the buffer is
+// above the high-water threshold and route it through the parallel file
+// system. If a spill fails, the block is returned to the buffer and stealing
+// is disabled so no data is lost.
+func (p *Producer) writerThread(c rt.Ctx) {
+	for {
+		p.lk.Lock(c)
+		for len(p.buf) <= p.cfg.HighWater && !p.closed {
+			p.aboveHW.Wait(c)
+		}
+		if p.closed {
+			p.writerDone = true
+			p.stats.Finished = c.Now()
+			p.notEmpty.Broadcast()
+			p.done.Broadcast()
+			p.lk.Unlock(c)
+			return
+		}
+		b := p.buf[0]
+		p.buf = p.buf[1:]
+		p.notFull.Signal()
+		p.lk.Unlock(c)
+
+		start := c.Now()
+		err := p.fs.WriteBlock(c, b)
+		busy := c.Now() - start
+
+		p.lk.Lock(c)
+		p.stats.StealBusy += busy
+		if err != nil {
+			// Put the block back at the front: order within the network path
+			// is not load-bearing, but data must not be lost.
+			p.buf = append([]*block.Block{b}, p.buf...)
+			p.stats.BlocksWritten += 0 // no change; kept for symmetry
+			p.writerDone = true
+			p.notEmpty.Broadcast()
+			p.done.Broadcast()
+			p.lk.Unlock(c)
+			return
+		}
+		p.stats.BlocksStolen++
+		p.diskIDs = append(p.diskIDs, rt.DiskRef{ID: b.ID, Bytes: b.Bytes})
+		p.notEmpty.Signal() // the ID list alone is worth announcing
+		p.lk.Unlock(c)
+		if p.cfg.Recorder != nil {
+			p.cfg.Recorder.Add(p.traceName("writer"), "steal", start, start+busy)
+		}
+	}
+}

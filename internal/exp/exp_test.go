@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"zipper/internal/apps/synthetic"
+	"zipper/internal/core"
+)
+
+// fig2At returns the row map for quick lookups.
+func fig2At(t *testing.T, steps, scale int) map[string]Fig2Row {
+	t.Helper()
+	rows := RunFig2(steps, scale)
+	m := map[string]Fig2Row{}
+	for _, r := range rows {
+		m[r.Method] = r
+	}
+	return m
+}
+
+func TestFig2Shape(t *testing.T) {
+	rows := fig2At(t, 12, 16) // 16 producers, 8 consumers, 12 steps
+	for name, r := range rows {
+		if !r.OK {
+			t.Fatalf("%s failed: %s", name, r.Fail)
+		}
+	}
+	sim := rows["Simulation-only"].E2E
+	ana := rows["Analysis-only"].E2E
+	// Every coupled workflow is bounded below by both standalone apps.
+	for _, name := range []string{"MPI-IO", "ADIOS/DataSpaces", "ADIOS/DIMES",
+		"DataSpaces", "DIMES", "Flexpath", "Decaf", "Zipper"} {
+		if rows[name].E2E < sim || rows[name].E2E < ana {
+			t.Errorf("%s (%v) below standalone bounds (sim %v, ana %v)",
+				name, rows[name].E2E, sim, ana)
+		}
+	}
+	// Paper ordering (Figure 2): MPI-IO is slower than the whole in-memory
+	// fast group (the paper notes its *fastest* case can be comparable to
+	// the in-memory methods, so we don't require it to top the ADIOS
+	// flavours); native flavours beat their ADIOS flavours; Decaf is the
+	// fastest baseline; Zipper beats Decaf.
+	for _, fast := range []string{"Decaf", "Flexpath", "DIMES"} {
+		if rows["MPI-IO"].E2E < rows[fast].E2E {
+			t.Errorf("MPI-IO (%v) faster than %s (%v)", rows["MPI-IO"].E2E, fast, rows[fast].E2E)
+		}
+	}
+	if rows["ADIOS/DIMES"].E2E <= rows["DataSpaces"].E2E {
+		t.Errorf("ADIOS/DIMES (%v) not above native DataSpaces (%v) as in Figure 2",
+			rows["ADIOS/DIMES"].E2E, rows["DataSpaces"].E2E)
+	}
+	if rows["DIMES"].E2E <= rows["Flexpath"].E2E {
+		t.Errorf("native DIMES (%v) not above Flexpath (%v) as in Figure 2",
+			rows["DIMES"].E2E, rows["Flexpath"].E2E)
+	}
+	if rows["DataSpaces"].E2E >= rows["ADIOS/DataSpaces"].E2E {
+		t.Errorf("native DataSpaces (%v) not faster than ADIOS flavour (%v)",
+			rows["DataSpaces"].E2E, rows["ADIOS/DataSpaces"].E2E)
+	}
+	if rows["DIMES"].E2E >= rows["ADIOS/DIMES"].E2E {
+		t.Errorf("native DIMES (%v) not faster than ADIOS flavour (%v)",
+			rows["DIMES"].E2E, rows["ADIOS/DIMES"].E2E)
+	}
+	for _, base := range []string{"MPI-IO", "ADIOS/DataSpaces", "ADIOS/DIMES", "DataSpaces", "DIMES"} {
+		if rows["Decaf"].E2E >= rows[base].E2E {
+			t.Errorf("Decaf (%v) not faster than %s (%v)", rows["Decaf"].E2E, base, rows[base].E2E)
+		}
+	}
+	if rows["Zipper"].E2E >= rows["Decaf"].E2E {
+		t.Errorf("Zipper (%v) not faster than Decaf (%v)", rows["Zipper"].E2E, rows["Decaf"].E2E)
+	}
+	out := FormatFig2(RunFig2(6, 32))
+	if !strings.Contains(out, "Figure 2") {
+		t.Error("FormatFig2 malformed")
+	}
+}
+
+func TestBreakdownShape(t *testing.T) {
+	rows := RunBreakdown(core.NoPreserve, 14)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Figure 12's headline: the end-to-end time is always close to the
+		// maximum stage time (the performance model).
+		maxStage := r.Simulation
+		for _, d := range []time.Duration{r.Transfer, r.Analysis} {
+			if d > maxStage {
+				maxStage = d
+			}
+		}
+		if float64(r.E2E) < float64(maxStage) {
+			t.Errorf("%s/%dMB: e2e %v below max stage %v", r.App, r.BlockBytes>>20, r.E2E, maxStage)
+		}
+		if float64(r.E2E) > 1.6*float64(maxStage) {
+			t.Errorf("%s/%dMB: e2e %v far above max stage %v (pipeline not overlapping)",
+				r.App, r.BlockBytes>>20, r.E2E, maxStage)
+		}
+	}
+	// Dominant stage switches from transfer to simulation as complexity
+	// rises (Figure 12's trend).
+	var on, n32 BreakdownRow
+	for _, r := range rows {
+		if r.BlockBytes == 1<<20 {
+			switch r.App {
+			case "O(n)":
+				on = r
+			case "O(n^3/2)":
+				n32 = r
+			}
+		}
+	}
+	if on.Transfer <= on.Simulation {
+		t.Errorf("O(n) should be transfer-bound: sim %v transfer %v", on.Simulation, on.Transfer)
+	}
+	if n32.Simulation <= n32.Transfer {
+		t.Errorf("O(n^3/2) should be simulation-bound: sim %v transfer %v", n32.Simulation, n32.Transfer)
+	}
+}
+
+func TestPreserveStoreDominates(t *testing.T) {
+	rows := RunBreakdown(core.Preserve, 14)
+	for _, r := range rows {
+		if r.App == "O(n^3/2)" {
+			continue // compute-bound even in Preserve mode at small scale
+		}
+		if r.Store == 0 {
+			t.Errorf("%s/%dMB: preserve mode stored nothing", r.App, r.BlockBytes>>20)
+		}
+	}
+	// Figure 13: storing all data makes the file-system stage the largest
+	// contributor for the cheap kernels.
+	var on BreakdownRow
+	for _, r := range rows {
+		if r.App == "O(n)" && r.BlockBytes == 1<<20 {
+			on = r
+		}
+	}
+	if on.Store <= on.Simulation {
+		t.Errorf("O(n) preserve: store %v not above sim %v", on.Store, on.Simulation)
+	}
+}
+
+func TestConcurrentSweepShape(t *testing.T) {
+	// O(n): generation far outruns the network, so the writer steals and
+	// both stall time and XmitWait drop (Figures 14a/15a).
+	rows := RunConcurrentSweep(synthetic.Linear, []int{84, 168}, 10)
+	for _, r := range rows {
+		if r.Concurrent.Stolen == 0 {
+			t.Errorf("O(n) at %d cores: concurrent variant never stole", r.Cores)
+		}
+		if r.MP.Stolen != 0 {
+			t.Errorf("MP-only variant stole %d blocks", r.MP.Stolen)
+		}
+		// Figure 14a: the simulation application's wall-clock time drops
+		// when the writer thread reroutes blocks through the file system.
+		if r.Concurrent.Wall >= r.MP.Wall {
+			t.Errorf("O(n) at %d cores: concurrent producer wall clock %v not below MP %v",
+				r.Cores, r.Concurrent.Wall, r.MP.Wall)
+		}
+		if r.Concurrent.XmitWait >= r.MP.XmitWait {
+			t.Errorf("O(n) at %d cores: concurrent XmitWait %d not below MP %d",
+				r.Cores, r.Concurrent.XmitWait, r.MP.XmitWait)
+		}
+	}
+	// O(n^{3/2}): the buffer stays near-empty, stealing never activates, and
+	// the concurrent method falls back to message passing (Figures 14c/15c).
+	rows = RunConcurrentSweep(synthetic.N32, []int{84}, 4)
+	r := rows[0]
+	if r.Concurrent.Stolen != 0 {
+		t.Errorf("O(n^3/2): stole %d blocks despite slow generation", r.Concurrent.Stolen)
+	}
+	if r.Concurrent.Wall != r.MP.Wall {
+		t.Errorf("O(n^3/2): concurrent wall %v != MP wall %v (should fall back exactly)",
+			r.Concurrent.Wall, r.MP.Wall)
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	rows := RunScaling("cfd", []int{204, 408}, 8)
+	for _, r := range rows {
+		zip := r.Methods["Zipper"]
+		sim := r.Methods["Simulation-only"]
+		dec := r.Methods["Decaf"]
+		if !zip.OK || !sim.OK || !dec.OK {
+			t.Fatalf("runs failed at %d cores: %+v", r.Cores, r.Methods)
+		}
+		// Figure 16: Zipper ≈ simulation-only; Decaf slower than Zipper.
+		if float64(zip.E2E) > 1.4*float64(sim.E2E) {
+			t.Errorf("%d cores: Zipper %v not near sim-only %v", r.Cores, zip.E2E, sim.E2E)
+		}
+		if dec.E2E <= zip.E2E {
+			t.Errorf("%d cores: Decaf %v not slower than Zipper %v", r.Cores, dec.E2E, zip.E2E)
+		}
+		if mp := r.Methods["MPI-IO"]; mp.OK && mp.E2E <= zip.E2E {
+			t.Errorf("%d cores: MPI-IO %v not slower than Zipper %v", r.Cores, mp.E2E, zip.E2E)
+		}
+	}
+}
+
+func TestScalingCrashesAtPaperThresholds(t *testing.T) {
+	rows := RunScaling("cfd", []int{6528}, 1)
+	r := rows[0]
+	if r.Methods["Decaf"].OK {
+		t.Error("Decaf did not crash at 6528 cores (int overflow)")
+	}
+	if r.Methods["Flexpath"].OK {
+		t.Error("Flexpath did not crash at 6528 cores (segfault)")
+	}
+	if !r.Methods["Zipper"].OK || !r.Methods["Simulation-only"].OK {
+		t.Error("Zipper / sim-only should survive 6528 cores")
+	}
+}
+
+func TestStepComparisonZipperAhead(t *testing.T) {
+	cmp := RunStepComparison("cfd", 204, 10, 1300*time.Millisecond)
+	if cmp.ZipperSteps <= cmp.DecafSteps {
+		t.Fatalf("Zipper %.2f steps not ahead of Decaf %.2f in the snapshot",
+			cmp.ZipperSteps, cmp.DecafSteps)
+	}
+	if !strings.Contains(cmp.ZipperGantt, "legend") || !strings.Contains(cmp.DecafGantt, "legend") {
+		t.Fatal("gantt rendering incomplete")
+	}
+}
+
+func TestTraceFigures(t *testing.T) {
+	f4 := RunFig4()
+	if !strings.Contains(f4.Gantt, "legend") || f4.Detail == "" {
+		t.Fatalf("Fig4 malformed: %+v", f4)
+	}
+	f5 := RunFig5()
+	if !strings.Contains(f5.Detail, "MPI_Sendrecv") {
+		t.Fatalf("Fig5 malformed: %s", f5.Detail)
+	}
+	f6 := RunFig6()
+	if !strings.Contains(f6.Detail, "PUT") {
+		t.Fatalf("Fig6 malformed: %s", f6.Detail)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	rows := RunModelValidation(14)
+	for _, r := range rows {
+		ratio := float64(r.Measured) / float64(r.Predicted)
+		if ratio < 0.65 || ratio > 1.8 {
+			t.Errorf("%s: measured/predicted = %.2f (predicted %v, measured %v)",
+				r.App, ratio, r.Predicted, r.Measured)
+		}
+	}
+	if out := FormatModel(rows); !strings.Contains(out, "T_t2s") {
+		t.Error("FormatModel malformed")
+	}
+}
+
+func TestTables(t *testing.T) {
+	if !strings.Contains(Table1(), "400 GB") {
+		t.Errorf("Table1 total data wrong:\n%s", Table1())
+	}
+	if !strings.Contains(Table2(), "Flexpath") || !strings.Contains(Table3(), "LAMMPS") {
+		t.Error("tables malformed")
+	}
+	if len(Specs()) != 3 {
+		t.Error("Specs registry incomplete")
+	}
+}
+
+func TestScaleHelper(t *testing.T) {
+	s := Scale(CFDBridges(0), 16)
+	if s.P != 16 || s.Q != 8 {
+		t.Fatalf("scaled to P=%d Q=%d", s.P, s.Q)
+	}
+	tiny := Scale(CFDBridges(0), 1000)
+	if tiny.P < 2 || tiny.Q < 1 || tiny.Q > tiny.P {
+		t.Fatalf("degenerate scale: %+v", tiny)
+	}
+}
+
+func TestFig3Overlap(t *testing.T) {
+	f := RunFig3()
+	if !strings.Contains(f.Gantt, "legend") || !strings.Contains(f.Detail, "overlap") {
+		t.Fatalf("Fig3 malformed: %+v", f.Detail)
+	}
+}

@@ -1,0 +1,490 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"zipper/internal/apps/synthetic"
+	"zipper/internal/core"
+	"zipper/internal/model"
+	"zipper/internal/trace"
+	"zipper/internal/transport"
+	"zipper/internal/workflow"
+)
+
+// Scale divides an experiment's rank counts by k for laptop-speed runs. The
+// per-rank workload is unchanged (weak scaling), so stage ratios and method
+// ordering are preserved; only absolute aggregate bandwidth shifts.
+func Scale(spec workflow.Spec, k int) workflow.Spec {
+	if k <= 1 {
+		return spec
+	}
+	spec.P /= k
+	if spec.P < 2 {
+		spec.P = 2
+	}
+	spec.Q /= k
+	if spec.Q < 1 {
+		spec.Q = 1
+	}
+	if spec.P < spec.Q {
+		spec.Q = spec.P
+	}
+	if spec.StagingNodes > 1 {
+		spec.StagingNodes = (spec.StagingNodes + k - 1) / k
+	}
+	// Shrink the file system with the compute so the PFS:network balance —
+	// and hence the method ordering — is scale-invariant.
+	if spec.Machine.OSTs > 2 {
+		spec.Machine.OSTs /= k
+		if spec.Machine.OSTs < 2 {
+			spec.Machine.OSTs = 2
+		}
+	}
+	return spec
+}
+
+// Fig2Row is one bar of Figure 2.
+type Fig2Row struct {
+	Method string
+	E2E    time.Duration
+	OK     bool
+	Fail   string
+}
+
+// baselines returns fresh instances of the seven coupling methods in the
+// paper's Figure 2 order.
+func baselines(totalCores int) []transport.Method {
+	fp := transport.NewFlexpath()
+	fp.TotalCores = totalCores
+	return []transport.Method{
+		transport.NewDataSpaces(true),
+		transport.NewDIMES(true),
+		transport.NewMPIIO(),
+		fp,
+		transport.NewDecaf(),
+		transport.NewDataSpaces(false),
+		transport.NewDIMES(false),
+	}
+}
+
+// RunFig2 reproduces Figure 2: the CFD workflow's end-to-end time under the
+// seven I/O transport libraries, plus the simulation-only and analysis-only
+// bars. scaleDiv shrinks the rank counts for quick runs (1 = paper scale).
+func RunFig2(steps, scaleDiv int) []Fig2Row {
+	spec := Scale(CFDBridges(steps), scaleDiv)
+	var rows []Fig2Row
+	for _, m := range baselines(spec.P + spec.Q) {
+		res := workflow.RunBaseline(spec, m)
+		rows = append(rows, Fig2Row{Method: res.Method, E2E: res.E2E, OK: res.OK, Fail: res.Fail})
+	}
+	sim := workflow.RunSimOnly(spec)
+	ana := workflow.RunAnalysisOnly(spec)
+	zip := workflow.RunZipper(spec)
+	rows = append(rows,
+		Fig2Row{Method: "Zipper", E2E: zip.E2E, OK: zip.OK, Fail: zip.Fail},
+		Fig2Row{Method: sim.Method, E2E: sim.E2E, OK: sim.OK},
+		Fig2Row{Method: ana.Method, E2E: ana.E2E, OK: ana.OK},
+	)
+	return rows
+}
+
+// FormatFig2 renders the rows as the paper-style bar listing.
+func FormatFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: CFD workflow end-to-end time by I/O transport method\n")
+	for _, r := range rows {
+		if !r.OK {
+			fmt.Fprintf(&b, "  %-18s FAILED: %s\n", r.Method, r.Fail)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-18s %8.1fs\n", r.Method, r.E2E.Seconds())
+	}
+	return b.String()
+}
+
+// TraceFigure holds a trace-based figure: the Gantt snapshot plus headline
+// aggregates.
+type TraceFigure struct {
+	Title  string
+	Gantt  string
+	Detail string
+}
+
+// RunFig3 reproduces Figure 3: a workflow implementation overlapping
+// simulation and analysis time steps, rendered from a real (simulated-
+// platform) Zipper run — simulation and analysis rows advance concurrently.
+func RunFig3() TraceFigure {
+	spec := traceSpec(8)
+	res := workflow.RunZipper(spec)
+	g := res.Rec.Gantt(trace.GanttOptions{
+		Width: 96,
+		Procs: []string{"sim.0", "sim.1", "ana.0"},
+		Symbols: map[string]rune{
+			"compute": 'C', "MPI_Sendrecv": 'm', "analyze": 'A',
+			"stall": '#', "step": ' ',
+		},
+	})
+	det := fmt.Sprintf("simulation busy %.2fs and analysis busy %.2fs overlap within e2e %.2fs",
+		res.Stages.Simulation.Seconds(), res.Stages.Analysis.Seconds(), res.E2E.Seconds())
+	return TraceFigure{Title: "Figure 3: overlapping simulation and analysis steps", Gantt: g, Detail: det}
+}
+
+// traceSpec shrinks the CFD workflow for trace readability.
+func traceSpec(steps int) workflow.Spec {
+	spec := Scale(CFDBridges(steps), 32) // 8 producers, 4 consumers
+	spec.Trace = true
+	return spec
+}
+
+// RunFig4 reproduces Figure 4: a native DIMES trace with its lock_on_write
+// periods and application stall when the analysis is slower.
+func RunFig4() TraceFigure {
+	spec := traceSpec(8)
+	// Make analysis a little slower than simulation so the circular-slot
+	// stall appears, as in the paper's configuration.
+	spec.Workload.AnalyzePerByte = 18 * time.Nanosecond
+	res := workflow.RunBaseline(spec, transport.NewDIMES(false))
+	win := res.Rec.Window(res.E2E/3, res.E2E/3+2*res.E2E/8)
+	g := win.Gantt(trace.GanttOptions{
+		Width: 96,
+		Procs: []string{"sim.0", "sim.1", "ana.0"},
+		Symbols: map[string]rune{
+			"CL": 'C', "ST": 'S', "UD": 'U', "MPI_Sendrecv": 'm',
+			"lock_on_write": 'L', "PUT": 'P', "stall": '#', "GET": 'G',
+			"lock_on_read": 'l', "analyze": 'A', "step": ' ',
+		},
+	})
+	det := fmt.Sprintf("total lock_on_write %.2fs, stall %.2fs over %d producers; e2e %.2fs",
+		res.Rec.Total("sim.", "lock_on_write").Seconds(),
+		res.Rec.Total("sim.", "stall").Seconds(), spec.P, res.E2E.Seconds())
+	return TraceFigure{Title: "Figure 4: native DIMES trace (snapshot)", Gantt: g, Detail: det}
+}
+
+// RunFig5 reproduces Figure 5: MPI_Sendrecv time inflation once Flexpath
+// data staging shares the fabric with the LBM streaming phase.
+func RunFig5() TraceFigure {
+	spec := traceSpec(8)
+	only := workflow.RunSimOnly(spec)
+	with := workflow.RunBaseline(spec, transport.NewFlexpath())
+	soloSR := only.Rec.Total("sim.", "MPI_Sendrecv")
+	wfSR := with.Rec.Total("sim.", "MPI_Sendrecv")
+	g := with.Rec.Window(0, with.E2E/2).Gantt(trace.GanttOptions{
+		Width: 96,
+		Procs: []string{"sim.0", "sim.1"},
+		Symbols: map[string]rune{
+			"CL": 'C', "ST": 'S', "UD": 'U', "MPI_Sendrecv": 'm',
+			"PUT": 'P', "stall": '#', "step": ' ',
+		},
+	})
+	det := fmt.Sprintf("MPI_Sendrecv total: CFD-only %.3fs vs Flexpath workflow %.3fs (%.2fx)",
+		soloSR.Seconds(), wfSR.Seconds(), float64(wfSR)/float64(soloSR+1))
+	return TraceFigure{Title: "Figure 5: CFD-only vs Flexpath workflow", Gantt: g, Detail: det}
+}
+
+// RunFig6 reproduces Figure 6: the Decaf PUT's collective MPI_Waitall stall
+// and the inflated MPI_Sendrecv.
+func RunFig6() TraceFigure {
+	spec := traceSpec(8)
+	only := workflow.RunSimOnly(spec)
+	with := workflow.RunBaseline(spec, transport.NewDecaf())
+	soloSR := only.Rec.Total("sim.", "MPI_Sendrecv")
+	wfSR := with.Rec.Total("sim.", "MPI_Sendrecv")
+	g := with.Rec.Window(0, with.E2E/2).Gantt(trace.GanttOptions{
+		Width: 96,
+		Procs: []string{"sim.0", "sim.1", "ana.0"},
+		Symbols: map[string]rune{
+			"CL": 'C', "ST": 'S', "UD": 'U', "MPI_Sendrecv": 'm',
+			"serialize": 'z', "PUT": 'W', "analyze": 'A', "GET": 'G', "step": ' ',
+		},
+	})
+	det := fmt.Sprintf("PUT (MPI_Waitall) total %.3fs across producers; MPI_Sendrecv %.3fs vs CFD-only %.3fs",
+		with.Rec.Total("sim.", "PUT").Seconds(), wfSR.Seconds(), soloSR.Seconds())
+	return TraceFigure{Title: "Figure 6: CFD-only vs Decaf workflow", Gantt: g, Detail: det}
+}
+
+// BreakdownRow is one column group of Figures 12/13.
+type BreakdownRow struct {
+	App        string
+	BlockBytes int64
+	Simulation time.Duration
+	Transfer   time.Duration
+	Store      time.Duration
+	Analysis   time.Duration
+	E2E        time.Duration
+}
+
+// RunBreakdown reproduces Figure 12 (NoPreserve) or Figure 13 (Preserve):
+// the Zipper stage breakdown for the three synthetic applications at 1 MB
+// and 8 MB block sizes. producers scales the run (paper: 1568).
+func RunBreakdown(mode core.Mode, producers int) []BreakdownRow {
+	var rows []BreakdownRow
+	for _, blockBytes := range []int64{1 << 20, 8 << 20} {
+		for _, c := range []synthetic.Complexity{synthetic.Linear, synthetic.NLogN, synthetic.N32} {
+			spec := Synthetic(c, blockBytes, producers)
+			spec.Zipper.Mode = mode
+			res := workflow.RunZipper(spec)
+			rows = append(rows, BreakdownRow{
+				App:        c.String(),
+				BlockBytes: blockBytes,
+				Simulation: res.Stages.Simulation,
+				Transfer:   res.Stages.Transfer,
+				Store:      res.Stages.Store,
+				Analysis:   res.Stages.Analysis,
+				E2E:        res.E2E,
+			})
+		}
+	}
+	return rows
+}
+
+// FormatBreakdown renders Figure 12/13 rows.
+func FormatBreakdown(title string, rows []BreakdownRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "  %-10s %-6s %10s %10s %10s %10s %10s\n",
+		"app", "block", "sim", "transfer", "store", "analysis", "e2e")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %-6s %9.1fs %9.1fs %9.1fs %9.1fs %9.1fs\n",
+			r.App, fmt.Sprintf("%dMB", r.BlockBytes>>20),
+			r.Simulation.Seconds(), r.Transfer.Seconds(), r.Store.Seconds(),
+			r.Analysis.Seconds(), r.E2E.Seconds())
+	}
+	return b.String()
+}
+
+// SweepRow is one core count of Figures 14/15, with the message-passing-only
+// and concurrent-optimization variants side by side.
+type SweepRow struct {
+	Cores int
+	// Per-variant: producer compute busy, producer stall, sender busy,
+	// XmitWait over producer nodes, blocks stolen.
+	MP, Concurrent SweepCell
+}
+
+// SweepCell is one stacked column of Figure 14.
+type SweepCell struct {
+	Simulation time.Duration
+	Stall      time.Duration
+	Transfer   time.Duration
+	// Wall is the simulation application's wall-clock time (Figure 14's
+	// y-axis): when the producer side finished handing off its data.
+	Wall     time.Duration
+	E2E      time.Duration
+	XmitWait int64
+	Stolen   int64
+}
+
+// Fig14Cores are the paper's §6.2 weak-scaling points.
+var Fig14Cores = []int{84, 168, 336, 588, 1176, 2352}
+
+// RunConcurrentSweep reproduces Figures 14 and 15 for one synthetic
+// complexity class: each core count is run with the message-passing-only
+// method and with the concurrent message&file transfer optimization.
+func RunConcurrentSweep(c synthetic.Complexity, cores []int, steps int) []SweepRow {
+	var rows []SweepRow
+	for _, n := range cores {
+		producers := n * 2 / 3
+		spec := Synthetic(c, 1<<20, producers)
+		if steps > 0 {
+			// Shorter bursts keep large sweeps fast; ratios are preserved.
+			spec.Workload.Steps = steps
+		}
+		// §6.2 couples the kernels with the cheap one-pass standard-variance
+		// reduction, so the producer side — generation rate vs network drain
+		// rate — is what the experiment stresses.
+		spec.Workload.AnalyzePerByte = time.Nanosecond
+		run := func(disable bool) SweepCell {
+			s := spec
+			s.Zipper.BufferBlocks = 16
+			s.Zipper.HighWater = 12
+			s.Zipper.DisableSteal = disable
+			res := workflow.RunZipper(s)
+			return SweepCell{
+				Simulation: res.Stages.Simulation,
+				Stall:      res.ProducerStall,
+				Transfer:   res.Stages.Transfer,
+				Wall:       res.ProducerWallClock,
+				E2E:        res.E2E,
+				XmitWait:   res.XmitWaitProducers,
+				Stolen:     res.BlocksStolen,
+			}
+		}
+		rows = append(rows, SweepRow{Cores: n, MP: run(true), Concurrent: run(false)})
+	}
+	return rows
+}
+
+// FormatSweep renders Figure 14 (time stacks) and Figure 15 (XmitWait).
+func FormatSweep(c synthetic.Complexity, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 14/15 (%s): message-passing-only vs concurrent transfer\n", c)
+	fmt.Fprintf(&b, "  %-6s | %10s %8s %8s %12s | %10s %8s %8s %12s %7s\n",
+		"cores", "MP sim", "stall", "xfer", "XmitWait", "Conc sim", "stall", "xfer", "XmitWait", "stolen")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6d | %9.1fs %7.1fs %7.1fs %12d | %9.1fs %7.1fs %7.1fs %12d %7d\n",
+			r.Cores,
+			r.MP.Simulation.Seconds(), r.MP.Stall.Seconds(), r.MP.Transfer.Seconds(), r.MP.XmitWait,
+			r.Concurrent.Simulation.Seconds(), r.Concurrent.Stall.Seconds(),
+			r.Concurrent.Transfer.Seconds(), r.Concurrent.XmitWait, r.Concurrent.Stolen)
+	}
+	return b.String()
+}
+
+// ScalingRow is one core count of Figures 16/18.
+type ScalingRow struct {
+	Cores   int
+	Methods map[string]ScalingCell
+}
+
+// ScalingCell is one point of a scaling series.
+type ScalingCell struct {
+	E2E  time.Duration
+	OK   bool
+	Fail string
+}
+
+// RunScaling reproduces Figure 16 (app = "cfd") or Figure 18
+// (app = "lammps"): weak-scaling end-to-end time for MPI-IO, Flexpath,
+// Decaf, Zipper, and the simulation-only lower bound.
+func RunScaling(app string, cores []int, steps int) []ScalingRow {
+	var rows []ScalingRow
+	for _, n := range cores {
+		var spec workflow.Spec
+		switch app {
+		case "lammps":
+			spec = LAMMPSStampede2(n, steps)
+		default:
+			spec = CFDStampede2(n, steps)
+		}
+		row := ScalingRow{Cores: n, Methods: map[string]ScalingCell{}}
+		fp := transport.NewFlexpath()
+		fp.TotalCores = n
+		for _, m := range []transport.Method{transport.NewMPIIO(), fp, transport.NewDecaf()} {
+			res := workflow.RunBaseline(spec, m)
+			row.Methods[res.Method] = ScalingCell{E2E: res.E2E, OK: res.OK, Fail: res.Fail}
+		}
+		zip := workflow.RunZipper(spec)
+		row.Methods["Zipper"] = ScalingCell{E2E: zip.E2E, OK: zip.OK, Fail: zip.Fail}
+		sim := workflow.RunSimOnly(spec)
+		row.Methods["Simulation-only"] = ScalingCell{E2E: sim.E2E, OK: sim.OK}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatScaling renders Figure 16/18 rows.
+func FormatScaling(title string, rows []ScalingRow) string {
+	methods := []string{"MPI-IO", "Flexpath", "Decaf", "Zipper", "Simulation-only"}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "  %-7s", "cores")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %15s", m)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-7d", r.Cores)
+		for _, m := range methods {
+			c := r.Methods[m]
+			if !c.OK {
+				fmt.Fprintf(&b, " %15s", "CRASH")
+				continue
+			}
+			fmt.Fprintf(&b, " %14.1fs", c.E2E.Seconds())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// StepComparison is the Figure 17/19 result: steps completed by Zipper and
+// Decaf within the same snapshot window.
+type StepComparison struct {
+	Title       string
+	Window      time.Duration
+	ZipperSteps float64
+	DecafSteps  float64
+	ZipperGantt string
+	DecafGantt  string
+}
+
+// RunStepComparison reproduces Figure 17 (cfd, 204 cores) or Figure 19
+// (lammps, 13,056 cores — pass a smaller core count for quick runs).
+func RunStepComparison(app string, cores, steps int, window time.Duration) StepComparison {
+	var spec workflow.Spec
+	switch app {
+	case "lammps":
+		spec = LAMMPSStampede2(cores, steps)
+	default:
+		spec = CFDStampede2(cores, steps)
+	}
+	spec.Trace = true
+	zip := workflow.RunZipper(spec)
+	dec := workflow.RunBaseline(spec, transport.NewDecaf())
+	if window <= 0 {
+		window = zip.E2E / 4
+	}
+	from := zip.E2E / 4
+	symbols := map[string]rune{
+		"CL": 'C', "ST": 'S', "UD": 'U', "MPI_Sendrecv": 'm',
+		"serialize": 'z', "PUT": 'W', "stall": '#', "step": ' ', "compute": 'c',
+	}
+	zg := zip.Rec.Window(from, from+window).Gantt(trace.GanttOptions{Width: 96, Procs: []string{"sim.0"}, Symbols: symbols})
+	dg := dec.Rec.Window(from, from+window).Gantt(trace.GanttOptions{Width: 96, Procs: []string{"sim.0"}, Symbols: symbols})
+	return StepComparison{
+		Title:       fmt.Sprintf("Zipper vs Decaf (%s, %d cores, %v snapshot)", app, cores, window),
+		Window:      window,
+		ZipperSteps: zip.Rec.StepsIn("sim.", "step", from, from+window),
+		DecafSteps:  dec.Rec.StepsIn("sim.", "step", from, from+window),
+		ZipperGantt: zg,
+		DecafGantt:  dg,
+	}
+}
+
+// ModelRow compares the analytical model against a measured Zipper run.
+type ModelRow struct {
+	App       string
+	Predicted time.Duration
+	Measured  time.Duration
+	Stage     string
+}
+
+// RunModelValidation reproduces §6.1's model check: predicted
+// max(Tcomp, Ttransfer, Tanalysis) vs the measured end-to-end time for the
+// three synthetic applications.
+func RunModelValidation(producers int) []ModelRow {
+	var rows []ModelRow
+	for _, c := range []synthetic.Complexity{synthetic.Linear, synthetic.NLogN, synthetic.N32} {
+		spec := Synthetic(c, 1<<20, producers)
+		res := workflow.RunZipper(spec)
+		w := spec.Workload
+		nbPerRank := int64(w.Steps) * (w.BytesPerStep / w.BlockBytes)
+		m := model.Model{
+			P: spec.P, Q: spec.Q, NB: nbPerRank * int64(spec.P),
+			Tc: time.Duration(float64(w.StepTime) / float64(w.BytesPerStep/w.BlockBytes)),
+			Tm: time.Duration(float64(res.Stages.Transfer) / float64(nbPerRank)),
+			Ta: time.Duration(w.BlockBytes) * w.AnalyzePerByte,
+		}
+		rows = append(rows, ModelRow{
+			App:       c.String(),
+			Predicted: m.TT2S(),
+			Measured:  res.E2E,
+			Stage:     m.Bottleneck(),
+		})
+	}
+	return rows
+}
+
+// FormatModel renders the model validation rows.
+func FormatModel(rows []ModelRow) string {
+	var b strings.Builder
+	b.WriteString("Performance model validation (§4.4/§6.1): T_t2s = max(Tcomp, Ttransfer, Tanalysis)\n")
+	for _, r := range rows {
+		ratio := float64(r.Measured) / float64(r.Predicted)
+		fmt.Fprintf(&b, "  %-10s predicted %8.1fs (%s-bound)  measured %8.1fs  ratio %.2f\n",
+			r.App, r.Predicted.Seconds(), r.Stage, r.Measured.Seconds(), ratio)
+	}
+	return b.String()
+}

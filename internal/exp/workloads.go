@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"time"
+
+	"zipper/internal/apps/synthetic"
+	"zipper/internal/workflow"
+)
+
+// Calibration anchors, each tied to a number the paper itself reports.
+const (
+	// cfdBridgesStepTime: "simulation time" bar of Figure 2 is 39.2 s for
+	// 100 steps, so one step of the 64×64×256-per-process LBM costs 392 ms.
+	cfdBridgesStepTime = 392 * time.Millisecond
+	// cfdBytesPerStep: Table 1 moves 400 GB over 100 steps across 256
+	// processes — 16 MB per process per step ("16 MB per time step per
+	// process", §3).
+	cfdBytesPerStep = 16 << 20
+	// cfdAnalyzePerByte: the analysis bar of Figure 2 is 48.4 s for 100
+	// steps on 128 consumers, each analyzing two producers' 16 MB — 484 ms
+	// per 32 MB ≈ 14.4 ns per byte of n-th moment computation (n=4).
+	cfdAnalyzePerByte = 14 * time.Nanosecond
+	// cfdHaloBytes: one 64×256 face of 5 outbound D3Q19 distributions in
+	// float64 ≈ 640 KB per neighbor per step.
+	cfdHaloBytes = 64 * 256 * 5 * 8
+	// cfdStampede2StepTime: the Figure 17 trace shows Zipper running 3 CFD
+	// steps in 1.3 s on 204 cores with Zipper ≈ simulation-only, so a KNL
+	// step costs ≈ 420 ms.
+	cfdStampede2StepTime = 420 * time.Millisecond
+	// lammpsStepTime: the Figure 19 trace shows ≈4.4 LAMMPS steps per 9.1 s
+	// at 13,056 cores with Zipper ≈ simulation-only — ≈2.0 s per step.
+	lammpsStepTime = 2 * time.Second
+	// lammpsBytesPerStep: "each LAMMPS process generates approximately 20MB
+	// of data in each time step" (§6.3.2).
+	lammpsBytesPerStep = 20 << 20
+	// lammpsBlockBytes: "Zipper divides the contiguous 20MB data into many
+	// small blocks of size 1.2MB" (§6.3.2).
+	lammpsBlockBytes = 1_258_291 // 1.2 MiB
+	// synBytesPerRank: §6.1 transfers 3,136 GB from 1,568 producers — 2 GB
+	// per producer rank.
+	synBytesPerRank = 2 << 30
+	// synSteps: the synthetic producers emit their 2 GB as 40 bursts.
+	synSteps = 40
+	// synAnalyzePerByte: the Figure 12 analysis bars sit at 22–29 s for a
+	// 2-producer share of 4 GB — ≈6 ns per byte of variance reduction.
+	synAnalyzePerByte = 6 * time.Nanosecond
+	// synOnRate: §6.2 gives the O(n) kernel's data generation rate as
+	// 56 GB/s per 28-core node — 2 GB/s per process.
+	synOnRate = 2e9
+)
+
+// CFDBridges is the Figure 2 / Table 1 workflow: LBM channel flow coupled
+// with the 4th-moment turbulence analysis on Bridges.
+func CFDBridges(steps int) workflow.Spec {
+	if steps <= 0 {
+		steps = 100
+	}
+	return workflow.Spec{
+		Machine: Bridges(),
+		Workload: workflow.Workload{
+			Name:           "CFD",
+			Steps:          steps,
+			StepTime:       cfdBridgesStepTime,
+			PhaseFrac:      [3]float64{0.45, 0.35, 0.20},
+			HaloBytes:      cfdHaloBytes,
+			BytesPerStep:   cfdBytesPerStep,
+			AnalyzePerByte: cfdAnalyzePerByte,
+			BlockBytes:     2 << 20,
+		},
+		P: 256, Q: 128,
+		ProducerProcsPerNode: 16, // 256 processes on 16 nodes (Table 1)
+		ConsumerProcsPerNode: 16, // 128 processes on 8 nodes (Table 1)
+		StagingNodes:         8,  // 32 server / 64 link processes on 8 nodes
+		Window:               4,
+	}
+}
+
+// Synthetic is the §6.1/§6.2 workload for one complexity class and Zipper
+// block size, at a given producer count (consumers = producers/2, the
+// paper's 1,568:784 ratio).
+func Synthetic(c synthetic.Complexity, blockBytes int64, producers int) workflow.Spec {
+	if producers <= 0 {
+		producers = 1568
+	}
+	perStep := int64(synBytesPerRank / synSteps)
+	// Per-step kernel time follows the complexity class, anchored so the
+	// O(n) class matches the 2 GB/s per-process generation rate.
+	elems := int(perStep / 8)
+	onOps := synthetic.Linear.Ops(elems)
+	scale := (float64(perStep) / synOnRate) / onOps // seconds per O(n) op
+	stepTime := time.Duration(synthetic.Complexity(c).Ops(elems) * scale * float64(time.Second))
+	return workflow.Spec{
+		Machine: Bridges(),
+		Workload: workflow.Workload{
+			Name:           c.String(),
+			Steps:          synSteps,
+			StepTime:       stepTime,
+			PhaseFrac:      [3]float64{1, 0, 0}, // single kernel, no halo
+			HaloBytes:      0,
+			BytesPerStep:   perStep,
+			AnalyzePerByte: synAnalyzePerByte,
+			BlockBytes:     blockBytes,
+		},
+		P: producers, Q: producers / 2,
+		ProducerProcsPerNode: 28,
+		ConsumerProcsPerNode: 28,
+		StagingNodes:         4,
+		Window:               4,
+	}
+}
+
+// CFDStampede2 is the Figure 16/17 weak-scaling workflow: per-process
+// 64×64×256 subgrids, two thirds of the cores simulating and one third
+// analyzing.
+func CFDStampede2(totalCores, steps int) workflow.Spec {
+	if steps <= 0 {
+		steps = 100
+	}
+	p := totalCores * 2 / 3
+	q := totalCores - p
+	return workflow.Spec{
+		Machine: Stampede2(),
+		Workload: workflow.Workload{
+			Name:           "CFD",
+			Steps:          steps,
+			StepTime:       cfdStampede2StepTime,
+			PhaseFrac:      [3]float64{0.45, 0.35, 0.20},
+			HaloBytes:      cfdHaloBytes,
+			BytesPerStep:   cfdBytesPerStep,
+			AnalyzePerByte: 5 * time.Nanosecond, // n-th moment on 2:1 share, below step time
+			BlockBytes:     2 << 20,
+		},
+		P: p, Q: q,
+		ProducerProcsPerNode: 68,
+		ConsumerProcsPerNode: 68,
+		StagingNodes:         8, // fixed staging allocation (Table 1 scheme)
+		Window:               4,
+	}
+}
+
+// LAMMPSStampede2 is the Figure 18/19 weak-scaling workflow: Lennard-Jones
+// melt coupled with MSD analysis.
+func LAMMPSStampede2(totalCores, steps int) workflow.Spec {
+	if steps <= 0 {
+		steps = 100
+	}
+	p := totalCores * 2 / 3
+	q := totalCores - p
+	return workflow.Spec{
+		Machine: Stampede2(),
+		Workload: workflow.Workload{
+			Name:           "LAMMPS",
+			Steps:          steps,
+			StepTime:       lammpsStepTime,
+			PhaseFrac:      [3]float64{0.70, 0.25, 0.05}, // force, comm, integrate
+			HaloBytes:      2 << 20,
+			BytesPerStep:   lammpsBytesPerStep,
+			AnalyzePerByte: 20 * time.Nanosecond, // MSD over a 2:1 share
+			BlockBytes:     lammpsBlockBytes,
+		},
+		P: p, Q: q,
+		ProducerProcsPerNode: 68,
+		ConsumerProcsPerNode: 68,
+		StagingNodes:         8,
+		Window:               4,
+	}
+}
+
+// ScalingCores are the Figure 16/18 weak-scaling points.
+var ScalingCores = []int{204, 408, 816, 1632, 3264, 6528, 13056}

@@ -1,0 +1,307 @@
+// Package fabric models an Omni-Path-like HPC interconnect for the
+// discrete-event simulator: a two-level fat tree in which every compute node
+// has one full-duplex port to a leaf switch and leaf switches connect through
+// a core layer with configurable oversubscription.
+//
+// The model captures the phenomena the paper measures:
+//
+//   - Fan-in congestion: a transfer holds the sender's egress port while it
+//     waits for the receiver's ingress port, so many-to-few traffic patterns
+//     stall senders (head-of-line blocking), exactly the condition the OPA
+//     XmitWait hardware counter reports.
+//   - Interference: all traffic — application messages, staging traffic, and
+//     parallel-file-system I/O — shares the same ports and core capacity,
+//     mirroring Bridges and Stampede2, which do not segregate I/O traffic
+//     (paper §4.3).
+//   - Message granularity: ports arbitrate at MTU-chunk granularity, so a
+//     burst of large messages delays small latency-sensitive messages (the
+//     MPI_Sendrecv inflation of Figures 5, 6, 17, 19), while fine-grain
+//     blocks interleave.
+//
+// Counters: per node, XmitData/XmitPkts/RcvData/RcvPkts in bytes/packets and
+// XmitWait in FLIT-times (64-bit FLITs, paper §6.2.1), accumulated whenever
+// the node has data queued at its egress port but cannot transmit because
+// downstream capacity (core slot or receiver ingress) is unavailable.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"zipper/internal/sim"
+)
+
+// NodeID identifies a node within a Fabric.
+type NodeID int
+
+// Config describes the modelled interconnect.
+type Config struct {
+	// Nodes is the total number of nodes (compute + service).
+	Nodes int
+	// NodesPerLeaf is the number of node ports per leaf switch.
+	NodesPerLeaf int
+	// LinkBandwidth is the per-port bandwidth in bytes/second.
+	LinkBandwidth float64
+	// LinkLatency is the one-hop wire+switch latency.
+	LinkLatency time.Duration
+	// CoreOversubscription is the leaf-to-core taper (2 means half the leaf's
+	// aggregate node bandwidth is available towards the core). Values < 1 are
+	// treated as 1.
+	CoreOversubscription float64
+	// MTU is the arbitration granularity in bytes: transfers are chunked so
+	// that a port is never held longer than MTU/LinkBandwidth at a time.
+	// Zero selects the default of 1 MiB.
+	MTU int64
+	// FlitBytes is the FLIT size used to convert XmitWait durations into
+	// FLIT-time counts. Zero selects the Omni-Path value of 8 bytes.
+	FlitBytes int
+	// CongestionPenalty models the goodput a port loses to credit-loop
+	// stalls and head-of-line blocking when it is driven near saturation
+	// (incast). With recent utilization u of the destination port, each
+	// chunk's wire time is multiplied by
+	//
+	//	1 + CongestionPenalty × min(u/(1.05-u), CongestionCap)
+	//
+	// so lightly loaded ports run at line rate while sustained
+	// oversubscription degrades well below it — the behaviour §6.2.1
+	// measures with the XmitWait counter. Spreading traffic in time
+	// (fine-grain asynchronous blocks) or across destinations (the
+	// dual-channel file-system path) lowers u and recovers the lost
+	// efficiency. Zero disables the effect.
+	CongestionPenalty float64
+	// CongestionCap bounds the utilization pressure term. Zero selects 12.
+	CongestionCap float64
+	// CongestionWindow is the time constant of the exponentially decayed
+	// utilization estimate. Zero selects 25ms.
+	CongestionWindow time.Duration
+}
+
+// Counters mirrors the per-port OPA counters the paper samples with PAPI.
+type Counters struct {
+	XmitData int64 // bytes transmitted
+	XmitPkts int64 // packets (MTU chunks) transmitted
+	RcvData  int64 // bytes received
+	RcvPkts  int64 // packets received
+	XmitWait int64 // FLIT-times the port had data but could not transmit
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.XmitData += other.XmitData
+	c.XmitPkts += other.XmitPkts
+	c.RcvData += other.RcvData
+	c.RcvPkts += other.RcvPkts
+	c.XmitWait += other.XmitWait
+}
+
+type node struct {
+	id      NodeID
+	leaf    int
+	egress  *sim.Mutex
+	ingress *sim.Mutex
+	ctr     Counters
+	// Exponentially decayed recent busy time of the ingress port, for the
+	// congestion model's utilization estimate.
+	loadAt   time.Duration
+	loadBusy time.Duration
+}
+
+// utilization returns the decayed recent utilization of the ingress port in
+// [0, 1] and refreshes the decay to time now.
+func (n *node) utilization(now, window time.Duration) float64 {
+	if now > n.loadAt {
+		decay := math.Exp(-float64(now-n.loadAt) / float64(window))
+		n.loadBusy = time.Duration(float64(n.loadBusy) * decay)
+		n.loadAt = now
+	}
+	u := float64(n.loadBusy) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+type leaf struct {
+	uplink *sim.Semaphore // core-capacity slots at full link rate
+}
+
+// Fabric is the simulated interconnect.
+type Fabric struct {
+	eng    *sim.Engine
+	cfg    Config
+	nodes  []*node
+	leaves []*leaf
+}
+
+// New builds a fabric over the given engine.
+func New(e *sim.Engine, cfg Config) *Fabric {
+	if cfg.Nodes <= 0 {
+		panic("fabric: Nodes must be positive")
+	}
+	if cfg.NodesPerLeaf <= 0 {
+		cfg.NodesPerLeaf = 42 // OPA leaf switch port count (paper §6.2.1)
+	}
+	if cfg.LinkBandwidth <= 0 {
+		panic("fabric: LinkBandwidth must be positive")
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1 << 20
+	}
+	if cfg.FlitBytes <= 0 {
+		cfg.FlitBytes = 8
+	}
+	if cfg.CoreOversubscription < 1 {
+		cfg.CoreOversubscription = 1
+	}
+	f := &Fabric{eng: e, cfg: cfg}
+	nLeaves := (cfg.Nodes + cfg.NodesPerLeaf - 1) / cfg.NodesPerLeaf
+	for l := 0; l < nLeaves; l++ {
+		slots := int(float64(cfg.NodesPerLeaf) / cfg.CoreOversubscription)
+		if slots < 1 {
+			slots = 1
+		}
+		f.leaves = append(f.leaves, &leaf{
+			uplink: sim.NewSemaphore(e, fmt.Sprintf("leaf%d.uplink", l), slots),
+		})
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		f.nodes = append(f.nodes, &node{
+			id:      NodeID(i),
+			leaf:    i / cfg.NodesPerLeaf,
+			egress:  sim.NewMutex(e, fmt.Sprintf("node%d.egress", i)),
+			ingress: sim.NewMutex(e, fmt.Sprintf("node%d.ingress", i)),
+		})
+	}
+	return f
+}
+
+// Config returns the fabric configuration (defaults resolved).
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NumNodes reports the node count.
+func (f *Fabric) NumNodes() int { return len(f.nodes) }
+
+// Leaf reports which leaf switch a node attaches to.
+func (f *Fabric) Leaf(id NodeID) int { return f.nodes[id].leaf }
+
+// NodeCounters returns a snapshot of the per-node counters.
+func (f *Fabric) NodeCounters(id NodeID) Counters { return f.nodes[id].ctr }
+
+// TotalCounters sums counters across a set of nodes (all nodes when ids is
+// empty).
+func (f *Fabric) TotalCounters(ids ...NodeID) Counters {
+	var t Counters
+	if len(ids) == 0 {
+		for _, n := range f.nodes {
+			t.Add(n.ctr)
+		}
+		return t
+	}
+	for _, id := range ids {
+		t.Add(f.nodes[id].ctr)
+	}
+	return t
+}
+
+// ResetCounters zeroes every node's counters.
+func (f *Fabric) ResetCounters() {
+	for _, n := range f.nodes {
+		n.ctr = Counters{}
+	}
+}
+
+// AddXmitWait credits additional transmit-stall time to a node, converted to
+// FLIT-times. Higher layers use it when a sender holds data but cannot
+// transmit for reasons the port model does not see directly (for example,
+// exhausted end-to-end receive-window credits).
+func (f *Fabric) AddXmitWait(id NodeID, stall time.Duration) {
+	if stall > 0 {
+		f.nodes[id].ctr.XmitWait += f.flits(stall)
+	}
+}
+
+// flits converts a stall duration into FLIT-times at link rate.
+func (f *Fabric) flits(d time.Duration) int64 {
+	return int64(d.Seconds() * f.cfg.LinkBandwidth / float64(f.cfg.FlitBytes))
+}
+
+// transmitTime is the wire time for a chunk plus per-hop latency.
+func (f *Fabric) transmitTime(bytes int64, hops int) time.Duration {
+	wire := time.Duration(float64(bytes) / f.cfg.LinkBandwidth * float64(time.Second))
+	return wire + time.Duration(hops)*f.cfg.LinkLatency
+}
+
+// Send performs a blocking transfer of size bytes from node `from` to node
+// `to`, contending for ports and core capacity. It returns the transfer
+// duration. Intra-node sends cost a fixed small shared-memory copy time and
+// do not touch the network.
+func (f *Fabric) Send(p *sim.Proc, from, to NodeID, bytes int64) time.Duration {
+	if bytes < 0 {
+		panic("fabric: negative transfer size")
+	}
+	start := p.Now()
+	if from == to {
+		// Shared-memory copy: generous memory bandwidth, no port contention.
+		p.Delay(time.Duration(float64(bytes) / (8 * f.cfg.LinkBandwidth) * float64(time.Second)))
+		return p.Now() - start
+	}
+	src, dst := f.nodes[from], f.nodes[to]
+	interLeaf := src.leaf != dst.leaf
+	hops := 2
+	if interLeaf {
+		hops = 4
+	}
+	remaining := bytes
+	for remaining > 0 || bytes == 0 {
+		chunk := remaining
+		if chunk > f.cfg.MTU {
+			chunk = f.cfg.MTU
+		}
+		src.egress.Lock(p)
+		waitStart := p.Now()
+		var up *sim.Semaphore
+		if interLeaf {
+			up = f.leaves[src.leaf].uplink
+			up.Acquire(p)
+		}
+		dst.ingress.Lock(p)
+		stall := p.Now() - waitStart
+		if stall > 0 {
+			src.ctr.XmitWait += f.flits(stall)
+		}
+		wire := f.transmitTime(chunk, hops)
+		if f.cfg.CongestionPenalty > 0 {
+			capr := f.cfg.CongestionCap
+			if capr <= 0 {
+				capr = 12
+			}
+			win := f.cfg.CongestionWindow
+			if win <= 0 {
+				win = 25 * time.Millisecond
+			}
+			u := dst.utilization(p.Now(), win)
+			pressure := u / (1.05 - u)
+			if pressure > capr {
+				pressure = capr
+			}
+			wire = time.Duration(float64(wire) * (1 + f.cfg.CongestionPenalty*pressure))
+			dst.loadBusy += wire
+		}
+		p.Delay(wire)
+		src.ctr.XmitData += chunk
+		src.ctr.XmitPkts++
+		dst.ctr.RcvData += chunk
+		dst.ctr.RcvPkts++
+		dst.ingress.Unlock(p)
+		if up != nil {
+			up.Release()
+		}
+		src.egress.Unlock(p)
+		remaining -= chunk
+		if bytes == 0 {
+			break
+		}
+	}
+	return p.Now() - start
+}

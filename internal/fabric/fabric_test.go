@@ -1,0 +1,243 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"zipper/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Nodes:         8,
+		NodesPerLeaf:  4,
+		LinkBandwidth: 1e9, // 1 GB/s for easy arithmetic
+		LinkLatency:   time.Microsecond,
+		MTU:           1 << 20,
+	}
+}
+
+func TestTransferTimeUncontended(t *testing.T) {
+	e := sim.New()
+	f := New(e, testConfig())
+	var dur time.Duration
+	e.Spawn("s", func(p *sim.Proc) {
+		dur = f.Send(p, 0, 1, 1<<20) // 1 MiB at 1 GB/s ≈ 1.048576 ms + 2 hops
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(float64(1<<20)/1e9*float64(time.Second)) + 2*time.Microsecond
+	if dur != want {
+		t.Fatalf("transfer took %v, want %v", dur, want)
+	}
+}
+
+func TestInterLeafExtraHops(t *testing.T) {
+	e := sim.New()
+	f := New(e, testConfig())
+	var intra, inter time.Duration
+	e.Spawn("s", func(p *sim.Proc) {
+		intra = f.Send(p, 0, 1, 1000) // same leaf (nodes 0-3)
+		inter = f.Send(p, 0, 5, 1000) // different leaf
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inter <= intra {
+		t.Fatalf("inter-leaf %v not slower than intra-leaf %v", inter, intra)
+	}
+	if diff := inter - intra; diff != 2*time.Microsecond {
+		t.Fatalf("hop difference %v, want 2µs", diff)
+	}
+}
+
+func TestIntraNodeBypassesNetwork(t *testing.T) {
+	e := sim.New()
+	f := New(e, testConfig())
+	e.Spawn("s", func(p *sim.Proc) {
+		f.Send(p, 2, 2, 1<<20)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c := f.NodeCounters(2); c.XmitData != 0 || c.RcvData != 0 {
+		t.Fatalf("intra-node send touched the network: %+v", c)
+	}
+}
+
+func TestFanInCongestionAccruesXmitWait(t *testing.T) {
+	e := sim.New()
+	f := New(e, testConfig())
+	const size = 4 << 20
+	// Nodes 0,1,2 all send to node 3 simultaneously: two of them must stall.
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("s%d", i), func(p *sim.Proc) {
+			f.Send(p, NodeID(i), 3, size)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var wait int64
+	for i := 0; i < 3; i++ {
+		wait += f.NodeCounters(NodeID(i)).XmitWait
+	}
+	if wait == 0 {
+		t.Fatal("fan-in congestion produced no XmitWait")
+	}
+	if c := f.NodeCounters(3); c.RcvData != 3*size {
+		t.Fatalf("receiver got %d bytes, want %d", c.RcvData, 3*size)
+	}
+	// Serialized at the receiver: total time ≈ 3 × transfer time.
+	if got := e.Now(); got < 3*time.Duration(float64(size)/1e9*float64(time.Second)) {
+		t.Fatalf("fan-in finished too fast: %v", got)
+	}
+}
+
+func TestNoCongestionNoXmitWait(t *testing.T) {
+	e := sim.New()
+	f := New(e, testConfig())
+	// Disjoint pairs: no shared ports, no core oversubscription (default 1).
+	e.Spawn("a", func(p *sim.Proc) { f.Send(p, 0, 1, 1<<20) })
+	e.Spawn("b", func(p *sim.Proc) { f.Send(p, 2, 3, 1<<20) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if w := f.NodeCounters(NodeID(i)).XmitWait; w != 0 {
+			t.Fatalf("node %d XmitWait = %d, want 0", i, w)
+		}
+	}
+}
+
+func TestSmallMessageInterleavesWithLargeBurst(t *testing.T) {
+	// A small message to an uncontended destination should not wait for the
+	// whole large burst, only for at most one MTU chunk of it.
+	cfg := testConfig()
+	cfg.MTU = 256 << 10
+	e := sim.New()
+	f := New(e, cfg)
+	var smallDone time.Duration
+	e.Spawn("big", func(p *sim.Proc) {
+		f.Send(p, 0, 1, 64<<20) // long burst from node 0
+	})
+	e.Spawn("small", func(p *sim.Proc) {
+		p.Delay(time.Millisecond)
+		f.Send(p, 0, 2, 4<<10) // same egress port, different destination
+		smallDone = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	burstTime := time.Duration(float64(64<<20) / 1e9 * float64(time.Second))
+	if smallDone >= burstTime {
+		t.Fatalf("small message waited for the entire burst (done at %v, burst %v)", smallDone, burstTime)
+	}
+}
+
+func TestCoreOversubscriptionLimitsThroughput(t *testing.T) {
+	run := func(oversub float64) time.Duration {
+		cfg := testConfig()
+		cfg.CoreOversubscription = oversub
+		e := sim.New()
+		f := New(e, cfg)
+		// All 4 nodes of leaf 0 send cross-leaf to distinct receivers.
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("s%d", i), func(p *sim.Proc) {
+				f.Send(p, NodeID(i), NodeID(4+i), 8<<20)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	fast := run(1)
+	slow := run(4) // only 1 core slot for 4 flows
+	if slow < 3*fast {
+		t.Fatalf("oversubscription 4: %v, not ≈4× slower than %v", slow, fast)
+	}
+}
+
+func TestZeroByteMessageCostsLatencyOnly(t *testing.T) {
+	e := sim.New()
+	f := New(e, testConfig())
+	var dur time.Duration
+	e.Spawn("s", func(p *sim.Proc) {
+		dur = f.Send(p, 0, 1, 0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dur != 2*time.Microsecond {
+		t.Fatalf("zero-byte send took %v, want 2µs", dur)
+	}
+}
+
+// TestByteConservation property: whatever mix of transfers runs, transmitted
+// bytes equal received bytes and match the requested totals.
+func TestByteConservation(t *testing.T) {
+	prop := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 12 {
+			seeds = seeds[:12]
+		}
+		e := sim.New()
+		f := New(e, testConfig())
+		var want int64
+		for i, s := range seeds {
+			from := NodeID(int(s) % 8)
+			to := NodeID(int(s/8) % 8)
+			size := int64(s%977) * 1024
+			if from != to {
+				want += size
+			}
+			i := i
+			e.Spawn(fmt.Sprintf("s%d", i), func(p *sim.Proc) {
+				f.Send(p, from, to, size)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		tot := f.TotalCounters()
+		return tot.XmitData == want && tot.RcvData == want && tot.XmitPkts == tot.RcvPkts
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	e := sim.New()
+	f := New(e, testConfig())
+	e.Spawn("s", func(p *sim.Proc) { f.Send(p, 0, 1, 1024) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetCounters()
+	if tot := f.TotalCounters(); tot != (Counters{}) {
+		t.Fatalf("counters after reset: %+v", tot)
+	}
+}
+
+func BenchmarkSend1MiB(b *testing.B) {
+	e := sim.New()
+	f := New(e, testConfig())
+	e.Spawn("s", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			f.Send(p, 0, 1, 1<<20)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

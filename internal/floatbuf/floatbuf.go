@@ -1,0 +1,30 @@
+// Package floatbuf converts between float64 slices and the little-endian
+// byte blocks that move through the workflow runtimes.
+package floatbuf
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Encode serializes vals into a little-endian byte slice.
+func Encode(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// Decode deserializes a little-endian byte slice produced by Encode. It
+// panics if len(b) is not a multiple of 8 — blocks are always whole floats.
+func Decode(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("floatbuf: byte length not a multiple of 8")
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package floatbuf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	prop := func(vals []float64) bool {
+		got := Decode(Encode(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if vals[i] != got[i] && !(math.IsNaN(vals[i]) && math.IsNaN(got[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsRaggedInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged input did not panic")
+		}
+	}()
+	Decode(make([]byte, 7))
+}
+
+func TestEmpty(t *testing.T) {
+	if got := Decode(Encode(nil)); len(got) != 0 {
+		t.Fatalf("empty round trip = %v", got)
+	}
+}

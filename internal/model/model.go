@@ -1,0 +1,130 @@
+// Package model implements the paper's analytical performance model (§4.4):
+// with P simulation cores, Q analysis cores, and nb = D/B fine-grain blocks
+// of size B, the pipelined workflow's time-to-solution is
+//
+//	T_t2s = max(T_comp, T_transfer, T_analysis)
+//
+// where T_comp = t_c·nb/P, T_analysis = t_a·nb/Q, and T_transfer is bounded
+// by the narrowest network resource the blocks cross. The model ignores
+// pipeline start-up and drainage when nb greatly exceeds the number of
+// pipeline stages; Refined adds those terms back for small nb.
+package model
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Model holds the paper's notation.
+type Model struct {
+	P  int           // simulation processor cores
+	Q  int           // analysis processor cores
+	NB int64         // total number of data blocks (nb = D/B)
+	Tc time.Duration // time to compute one block (t_c)
+	Tm time.Duration // time to transfer one block (t_m)
+	Ta time.Duration // time to analyze one block (t_a)
+}
+
+// Validate reports structural problems.
+func (m Model) Validate() error {
+	if m.P <= 0 || m.Q <= 0 {
+		return fmt.Errorf("model: P and Q must be positive (P=%d Q=%d)", m.P, m.Q)
+	}
+	if m.NB <= 0 {
+		return fmt.Errorf("model: block count must be positive (nb=%d)", m.NB)
+	}
+	return nil
+}
+
+// TComp is the parallel computation time t_c·nb/P.
+func (m Model) TComp() time.Duration {
+	return time.Duration(float64(m.Tc) * float64(m.NB) / float64(m.P))
+}
+
+// TTransfer is the parallel transfer time t_m·nb/P (each producer core
+// transfers its own blocks; network sharing is folded into t_m).
+func (m Model) TTransfer() time.Duration {
+	return time.Duration(float64(m.Tm) * float64(m.NB) / float64(m.P))
+}
+
+// TAnalysis is the parallel analysis time t_a·nb/Q.
+func (m Model) TAnalysis() time.Duration {
+	return time.Duration(float64(m.Ta) * float64(m.NB) / float64(m.Q))
+}
+
+// TT2S is the pipelined end-to-end time: the slowest stage.
+func (m Model) TT2S() time.Duration {
+	return maxDur(m.TComp(), m.TTransfer(), m.TAnalysis())
+}
+
+// Bottleneck names the dominant stage.
+func (m Model) Bottleneck() string {
+	switch m.TT2S() {
+	case m.TComp():
+		return "simulation"
+	case m.TTransfer():
+		return "transfer"
+	default:
+		return "analysis"
+	}
+}
+
+// Refined adds pipeline fill and drain: one block must traverse the other
+// stages once before and after the steady state.
+func (m Model) Refined() time.Duration {
+	fill := m.Tc + m.Tm + m.Ta
+	return m.TT2S() + fill - maxDur(m.Tc, m.Tm, m.Ta)
+}
+
+// NonIntegrated is the serial (post-processing) reference of Figure 11's
+// upper half: stages do not overlap at all.
+func (m Model) NonIntegrated() time.Duration {
+	return m.TComp() + m.TTransfer() + m.TAnalysis()
+}
+
+func maxDur(ds ...time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PipelineDiagram renders Figure 11: the non-integrated design (upper) vs
+// the integrated pipelined design (lower) for n blocks and four stages
+// (Compute, Output, Input, Analysis).
+func PipelineDiagram(blocks int) string {
+	if blocks < 1 {
+		blocks = 4
+	}
+	if blocks > 12 {
+		blocks = 12
+	}
+	var b strings.Builder
+	b.WriteString("Non-integrated (serial stages):\n")
+	b.WriteString("  ")
+	for i := 0; i < blocks; i++ {
+		b.WriteString("C")
+	}
+	for i := 0; i < blocks; i++ {
+		b.WriteString("O")
+	}
+	for i := 0; i < blocks; i++ {
+		b.WriteString("I")
+	}
+	for i := 0; i < blocks; i++ {
+		b.WriteString("A")
+	}
+	b.WriteString("\n\nIntegrated (pipelined, one row per block):\n")
+	for i := 0; i < blocks; i++ {
+		b.WriteString("  ")
+		b.WriteString(strings.Repeat(" ", i))
+		b.WriteString("COIA\n")
+	}
+	b.WriteString("legend: C=compute O=output I=input A=analysis; at any instant four\n")
+	b.WriteString("stages work on four distinct (sequentially dependent) blocks.\n")
+	return b.String()
+}

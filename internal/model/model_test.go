@@ -1,0 +1,80 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTT2SIsMaxStage(t *testing.T) {
+	m := Model{P: 4, Q: 2, NB: 100, Tc: 10 * time.Millisecond, Tm: 5 * time.Millisecond, Ta: 8 * time.Millisecond}
+	// TComp = 10ms*100/4 = 250ms; TTransfer = 125ms; TAnalysis = 400ms.
+	if got := m.TComp(); got != 250*time.Millisecond {
+		t.Fatalf("TComp = %v", got)
+	}
+	if got := m.TAnalysis(); got != 400*time.Millisecond {
+		t.Fatalf("TAnalysis = %v", got)
+	}
+	if got := m.TT2S(); got != 400*time.Millisecond {
+		t.Fatalf("TT2S = %v", got)
+	}
+	if m.Bottleneck() != "analysis" {
+		t.Fatalf("bottleneck = %q", m.Bottleneck())
+	}
+}
+
+func TestBottleneckSwitchesWithComplexity(t *testing.T) {
+	// As t_c grows (higher time complexity), the dominant stage moves from
+	// transfer to simulation — the Figure 12 trend.
+	base := Model{P: 8, Q: 4, NB: 1000, Tm: 4 * time.Millisecond, Ta: time.Millisecond}
+	base.Tc = time.Millisecond
+	if base.Bottleneck() != "transfer" {
+		t.Fatalf("cheap compute should be transfer-bound, got %s", base.Bottleneck())
+	}
+	base.Tc = 50 * time.Millisecond
+	if base.Bottleneck() != "simulation" {
+		t.Fatalf("expensive compute should be simulation-bound, got %s", base.Bottleneck())
+	}
+}
+
+func TestRefinedAndNonIntegratedBounds(t *testing.T) {
+	prop := func(p, q uint8, nb uint16, tc, tm, ta uint16) bool {
+		m := Model{
+			P: int(p)%16 + 1, Q: int(q)%16 + 1, NB: int64(nb)%1000 + 10,
+			Tc: time.Duration(tc) * time.Microsecond,
+			Tm: time.Duration(tm) * time.Microsecond,
+			Ta: time.Duration(ta) * time.Microsecond,
+		}
+		t2s := m.TT2S()
+		// Pipelining never beats the slowest stage and never loses to the
+		// fully serial execution.
+		return t2s <= m.Refined() && m.Refined() <= t2s+m.Tc+m.Tm+m.Ta &&
+			t2s <= m.NonIntegrated()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{P: 0, Q: 1, NB: 1}).Validate(); err == nil {
+		t.Fatal("P=0 accepted")
+	}
+	if err := (Model{P: 1, Q: 1, NB: 0}).Validate(); err == nil {
+		t.Fatal("nb=0 accepted")
+	}
+	if err := (Model{P: 1, Q: 1, NB: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineDiagram(t *testing.T) {
+	d := PipelineDiagram(5)
+	if !strings.Contains(d, "COIA") || !strings.Contains(d, "Non-integrated") {
+		t.Fatalf("diagram malformed:\n%s", d)
+	}
+	if PipelineDiagram(0) == "" || PipelineDiagram(100) == "" {
+		t.Fatal("diagram bounds not handled")
+	}
+}

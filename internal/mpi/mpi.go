@@ -1,0 +1,384 @@
+// Package mpi provides an MPI-like message-passing layer for simulated
+// ranks: point-to-point Send/Recv/Sendrecv with eager and rendezvous
+// protocols, non-blocking Isend with Wait/Waitall, and binomial-tree
+// collectives (Barrier, Bcast, Allreduce). Data movement is charged to the
+// fabric model, so message traffic from different libraries and from the
+// application itself contends for the same ports — the interference the
+// paper traces in Figures 5 and 6.
+//
+// A World owns global rank identities; Comms are ordered subsets with
+// comm-relative addressing, mirroring MPI communicators. Decaf-style
+// workflows build one spanning communicator and per-application
+// sub-communicators from it.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"zipper/internal/fabric"
+	"zipper/internal/sim"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// collectiveTag is reserved for internal collective traffic.
+const collectiveTag = -1000
+
+// Config tunes the messaging layer.
+type Config struct {
+	// EagerLimit is the message size up to which sends complete without
+	// waiting for a matching receive. Zero selects 64 KiB.
+	EagerLimit int64
+}
+
+// Message is a received message.
+type Message struct {
+	Src   int // comm-relative source rank
+	Tag   int
+	Bytes int64
+	Data  interface{}
+}
+
+// envelope is an in-flight message in a rank's arrival queue.
+type envelope struct {
+	srcWorld int
+	tag      int
+	bytes    int64
+	data     interface{}
+	rendez   bool
+	matched  *sim.WaitGroup // sender waits until a receiver matches
+	done     *sim.WaitGroup // receiver waits until the transfer completes
+}
+
+// rankState is the per-world-rank matching engine.
+type rankState struct {
+	node  fabric.NodeID
+	mu    *sim.Mutex
+	cond  *sim.Cond
+	inbox []*envelope
+	proc  *sim.Proc
+}
+
+// World owns rank identities and their mailboxes.
+type World struct {
+	eng   *sim.Engine
+	fab   *fabric.Fabric
+	cfg   Config
+	ranks []*rankState
+}
+
+// NewWorld creates an empty world over the engine and fabric.
+func NewWorld(e *sim.Engine, f *fabric.Fabric, cfg Config) *World {
+	if cfg.EagerLimit <= 0 {
+		cfg.EagerLimit = 64 << 10
+	}
+	return &World{eng: e, fab: f, cfg: cfg}
+}
+
+// Engine returns the underlying simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Fabric returns the underlying network model.
+func (w *World) Fabric() *fabric.Fabric { return w.fab }
+
+// AddRanks creates len(nodes) new world ranks placed on the given fabric
+// nodes and returns a communicator over them.
+func (w *World) AddRanks(nodes []fabric.NodeID) *Comm {
+	c := &Comm{w: w}
+	for _, n := range nodes {
+		id := len(w.ranks)
+		st := &rankState{node: n}
+		st.mu = sim.NewMutex(w.eng, fmt.Sprintf("mpi.rank%d", id))
+		st.cond = sim.NewCond(st.mu, fmt.Sprintf("mpi.rank%d.arrive", id))
+		w.ranks = append(w.ranks, st)
+		c.members = append(c.members, id)
+	}
+	c.buildIndex()
+	c.barrier = sim.NewBarrier(w.eng, fmt.Sprintf("mpi.comm%p.barrier", c), len(c.members))
+	return c
+}
+
+// Comm is an ordered set of world ranks with comm-relative addressing.
+type Comm struct {
+	w       *World
+	members []int       // world ranks
+	index   map[int]int // world rank -> local rank
+	barrier *sim.Barrier
+}
+
+func (c *Comm) buildIndex() {
+	c.index = make(map[int]int, len(c.members))
+	for i, m := range c.members {
+		c.index[m] = i
+	}
+}
+
+// Size reports the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Node reports the fabric node of a comm-relative rank.
+func (c *Comm) Node(local int) fabric.NodeID { return c.w.ranks[c.members[local]].node }
+
+// Sub builds a communicator from a subset of comm-relative ranks.
+func (c *Comm) Sub(locals []int) *Comm {
+	s := &Comm{w: c.w}
+	for _, l := range locals {
+		s.members = append(s.members, c.members[l])
+	}
+	s.buildIndex()
+	s.barrier = sim.NewBarrier(c.w.eng, fmt.Sprintf("mpi.comm%p.barrier", s), len(s.members))
+	return s
+}
+
+// Union builds a communicator spanning several communicators, in order and
+// without duplicates.
+func Union(comms ...*Comm) *Comm {
+	if len(comms) == 0 {
+		panic("mpi: Union of no communicators")
+	}
+	u := &Comm{w: comms[0].w}
+	seen := map[int]bool{}
+	for _, c := range comms {
+		if c.w != u.w {
+			panic("mpi: Union across worlds")
+		}
+		for _, m := range c.members {
+			if !seen[m] {
+				seen[m] = true
+				u.members = append(u.members, m)
+			}
+		}
+	}
+	u.buildIndex()
+	u.barrier = sim.NewBarrier(u.w.eng, fmt.Sprintf("mpi.comm%p.barrier", u), len(u.members))
+	return u
+}
+
+// Rank is a launched process bound to a communicator slot.
+type Rank struct {
+	c     *Comm
+	local int
+	world int
+	proc  *sim.Proc
+}
+
+// Proc returns the rank's simulation process handle.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Local returns the comm-relative rank within the launching communicator.
+func (r *Rank) Local() int { return r.local }
+
+// WorldRank returns the world-level rank id.
+func (r *Rank) WorldRank() int { return r.world }
+
+// Node returns the fabric node the rank runs on.
+func (r *Rank) Node() fabric.NodeID { return r.c.w.ranks[r.world].node }
+
+// Comm returns the communicator the rank was launched on.
+func (r *Rank) Comm() *Comm { return r.c }
+
+// LocalIn translates this rank into other's comm-relative numbering.
+func (r *Rank) LocalIn(other *Comm) int {
+	l, ok := other.index[r.world]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank w%d not in communicator", r.world))
+	}
+	return l
+}
+
+// Launch spawns one simulation process per comm rank, binding each to a Rank
+// handle. name is a prefix; processes are named name.<local>.
+func (c *Comm) Launch(name string, fn func(*Rank)) {
+	for i := range c.members {
+		i := i
+		r := &Rank{c: c, local: i, world: c.members[i]}
+		c.w.eng.Spawn(fmt.Sprintf("%s.%d", name, i), func(p *sim.Proc) {
+			r.proc = p
+			c.w.ranks[r.world].proc = p
+			fn(r)
+		})
+	}
+}
+
+// sendFrom implements blocking send semantics from srcWorld's node using
+// process p (which may be a helper for Isend).
+func (c *Comm) sendFrom(p *sim.Proc, srcWorld int, dstLocal, tag int, bytes int64, data interface{}) {
+	w := c.w
+	dstWorld := c.members[dstLocal]
+	dst := w.ranks[dstWorld]
+	srcNode := w.ranks[srcWorld].node
+	if bytes <= w.cfg.EagerLimit {
+		// Eager: pay the wire cost now, deposit, return.
+		w.fab.Send(p, srcNode, dst.node, bytes)
+		dst.mu.Lock(p)
+		dst.inbox = append(dst.inbox, &envelope{srcWorld: srcWorld, tag: tag, bytes: bytes, data: data})
+		dst.cond.Broadcast()
+		dst.mu.Unlock(p)
+		return
+	}
+	// Rendezvous: offer, wait for match, then transfer.
+	env := &envelope{
+		srcWorld: srcWorld, tag: tag, bytes: bytes, data: data, rendez: true,
+		matched: sim.NewWaitGroup(w.eng, "mpi.rndv.match"),
+		done:    sim.NewWaitGroup(w.eng, "mpi.rndv.done"),
+	}
+	env.matched.Add(1)
+	env.done.Add(1)
+	// Request-to-send control message.
+	w.fab.Send(p, srcNode, dst.node, 0)
+	dst.mu.Lock(p)
+	dst.inbox = append(dst.inbox, env)
+	dst.cond.Broadcast()
+	dst.mu.Unlock(p)
+	env.matched.Wait(p)
+	w.fab.Send(p, srcNode, dst.node, bytes)
+	env.done.Done()
+}
+
+// Send transfers bytes to dst (comm-relative) with the given tag, blocking
+// until the message is deliverable (eager) or delivered (rendezvous).
+func (c *Comm) Send(r *Rank, dst, tag int, bytes int64, data interface{}) {
+	c.sendFrom(r.proc, r.world, dst, tag, bytes, data)
+}
+
+// Recv blocks until a message with matching source and tag arrives. src may
+// be AnySource. The returned Src is comm-relative; messages from ranks
+// outside this communicator are matched only by AnySource and report Src=-2.
+func (c *Comm) Recv(r *Rank, src, tag int) Message {
+	w := c.w
+	st := w.ranks[r.world]
+	var wantWorld int = AnySource
+	if src != AnySource {
+		wantWorld = c.members[src]
+	}
+	st.mu.Lock(r.proc)
+	for {
+		for i, env := range st.inbox {
+			if env.tag != tag {
+				continue
+			}
+			if wantWorld != AnySource && env.srcWorld != wantWorld {
+				continue
+			}
+			st.inbox = append(st.inbox[:i], st.inbox[i+1:]...)
+			st.mu.Unlock(r.proc)
+			if env.rendez {
+				env.matched.Done()
+				env.done.Wait(r.proc)
+			}
+			local, ok := c.index[env.srcWorld]
+			if !ok {
+				local = -2
+			}
+			return Message{Src: local, Tag: env.tag, Bytes: env.bytes, Data: env.data}
+		}
+		st.cond.Wait(r.proc)
+	}
+}
+
+// Request tracks a non-blocking operation.
+type Request struct {
+	wg *sim.WaitGroup
+}
+
+// Wait blocks until the operation completes.
+func (q *Request) Wait(r *Rank) { q.wg.Wait(r.proc) }
+
+// Waitall blocks until every request completes (MPI_Waitall).
+func Waitall(r *Rank, reqs []*Request) {
+	for _, q := range reqs {
+		q.Wait(r)
+	}
+}
+
+// Isend starts a non-blocking send serviced by a helper process on the same
+// node and returns a request.
+func (c *Comm) Isend(r *Rank, dst, tag int, bytes int64, data interface{}) *Request {
+	req := &Request{wg: sim.NewWaitGroup(c.w.eng, "mpi.isend")}
+	req.wg.Add(1)
+	srcWorld := r.world
+	c.w.eng.Spawn(fmt.Sprintf("isend.w%d", srcWorld), func(p *sim.Proc) {
+		c.sendFrom(p, srcWorld, dst, tag, bytes, data)
+		req.wg.Done()
+	})
+	return req
+}
+
+// Sendrecv performs a blocking combined send and receive, as used by halo
+// exchanges (MPI_Sendrecv).
+func (c *Comm) Sendrecv(r *Rank, dst, sendTag int, sendBytes int64, sendData interface{}, src, recvTag int) Message {
+	req := c.Isend(r, dst, sendTag, sendBytes, sendData)
+	m := c.Recv(r, src, recvTag)
+	req.Wait(r)
+	return m
+}
+
+// Barrier blocks until every rank of the communicator has entered, then
+// charges the dissemination-algorithm latency (log2(P) rounds).
+func (c *Comm) Barrier(r *Rank) {
+	c.barrier.Wait(r.proc)
+	rounds := int(math.Ceil(math.Log2(float64(len(c.members)))))
+	if rounds > 0 {
+		r.proc.Delay(time.Duration(rounds) * 2 * c.w.fab.Config().LinkLatency)
+	}
+}
+
+// Bcast distributes bytes from root to all ranks along a binomial tree.
+// Every rank must call it with the same arguments; the root's data value is
+// returned on every rank.
+func (c *Comm) Bcast(r *Rank, root int, bytes int64, data interface{}) interface{} {
+	p := len(c.members)
+	me := r.LocalIn(c)
+	vrank := (me - root + p) % p
+	got := data
+	recvd := vrank == 0
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank < mask { // already has data: maybe send
+			peer := vrank + mask
+			if peer < p {
+				c.Send(r, (peer+root)%p, collectiveTag, bytes, got)
+			}
+		} else if vrank < mask<<1 && !recvd {
+			m := c.Recv(r, (vrank-mask+root)%p, collectiveTag)
+			got = m.Data
+			recvd = true
+		}
+	}
+	return got
+}
+
+// Op is a reduction operator for AllreduceFloat64.
+type Op func(a, b float64) float64
+
+// Sum and Max are the common reduction operators.
+func Sum(a, b float64) float64 { return a + b }
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AllreduceFloat64 reduces v across the communicator with op and returns the
+// result on every rank (binomial reduce to rank 0, then broadcast).
+func (c *Comm) AllreduceFloat64(r *Rank, v float64, op Op) float64 {
+	p := len(c.members)
+	me := r.LocalIn(c)
+	acc := v
+	const payload = 8
+	for mask := 1; mask < p; mask <<= 1 {
+		if me&mask != 0 {
+			c.Send(r, me-mask, collectiveTag, payload, acc)
+			break
+		}
+		if me+mask < p {
+			m := c.Recv(r, me+mask, collectiveTag)
+			acc = op(acc, m.Data.(float64))
+		}
+	}
+	out := c.Bcast(r, 0, payload, acc)
+	return out.(float64)
+}

@@ -1,0 +1,319 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"zipper/internal/fabric"
+	"zipper/internal/sim"
+)
+
+func rig(nodes int) (*sim.Engine, *World) {
+	e := sim.New()
+	f := fabric.New(e, fabric.Config{
+		Nodes:         nodes,
+		NodesPerLeaf:  8,
+		LinkBandwidth: 1e9,
+		LinkLatency:   time.Microsecond,
+	})
+	return e, NewWorld(e, f, Config{})
+}
+
+func placement(n int) []fabric.NodeID {
+	p := make([]fabric.NodeID, n)
+	for i := range p {
+		p[i] = fabric.NodeID(i)
+	}
+	return p
+}
+
+func TestSendRecvEager(t *testing.T) {
+	e, w := rig(2)
+	c := w.AddRanks(placement(2))
+	var got Message
+	c.Launch("r", func(r *Rank) {
+		switch r.Local() {
+		case 0:
+			c.Send(r, 1, 7, 1024, "hello")
+		case 1:
+			got = c.Recv(r, 0, 7)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != 0 || got.Tag != 7 || got.Bytes != 1024 || got.Data != "hello" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSendRecvRendezvous(t *testing.T) {
+	e, w := rig(2)
+	c := w.AddRanks(placement(2))
+	const size = 8 << 20 // above eager limit
+	var senderDone, recvDone time.Duration
+	c.Launch("r", func(r *Rank) {
+		switch r.Local() {
+		case 0:
+			c.Send(r, 1, 1, size, nil)
+			senderDone = r.Proc().Now()
+		case 1:
+			r.Proc().Delay(50 * time.Millisecond) // receiver late
+			c.Recv(r, 0, 1)
+			recvDone = r.Proc().Now()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Rendezvous: sender cannot finish before the late receiver matched plus
+	// the wire time.
+	wire := time.Duration(float64(size) / 1e9 * float64(time.Second))
+	if senderDone < 50*time.Millisecond+wire {
+		t.Fatalf("sender finished at %v, want ≥ %v", senderDone, 50*time.Millisecond+wire)
+	}
+	if recvDone < senderDone {
+		t.Fatalf("receiver done %v before sender %v", recvDone, senderDone)
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	e, w := rig(3)
+	c := w.AddRanks(placement(3))
+	var got []int
+	c.Launch("r", func(r *Rank) {
+		switch r.Local() {
+		case 0:
+			for i := 0; i < 2; i++ {
+				m := c.Recv(r, AnySource, 5)
+				got = append(got, m.Src)
+			}
+		default:
+			r.Proc().Delay(time.Duration(r.Local()) * time.Millisecond)
+			c.Send(r, 0, 5, 64, nil)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("sources = %v, want [1 2] (arrival order)", got)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	e, w := rig(2)
+	c := w.AddRanks(placement(2))
+	var first Message
+	c.Launch("r", func(r *Rank) {
+		switch r.Local() {
+		case 0:
+			c.Send(r, 1, 1, 8, "one")
+			c.Send(r, 1, 2, 8, "two")
+		case 1:
+			first = c.Recv(r, 0, 2) // skip tag 1
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Data != "two" {
+		t.Fatalf("tag-selective recv got %v", first.Data)
+	}
+}
+
+func TestIsendWaitall(t *testing.T) {
+	e, w := rig(4)
+	c := w.AddRanks(placement(4))
+	received := 0
+	c.Launch("r", func(r *Rank) {
+		if r.Local() == 0 {
+			var reqs []*Request
+			for d := 1; d < 4; d++ {
+				reqs = append(reqs, c.Isend(r, d, 9, 2<<20, nil))
+			}
+			Waitall(r, reqs)
+		} else {
+			c.Recv(r, 0, 9)
+			received++
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != 3 {
+		t.Fatalf("received = %d, want 3", received)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e, w := rig(4)
+	c := w.AddRanks(placement(4))
+	var after []time.Duration
+	c.Launch("r", func(r *Rank) {
+		r.Proc().Delay(time.Duration(r.Local()+1) * 10 * time.Millisecond)
+		c.Barrier(r)
+		after = append(after, r.Proc().Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range after {
+		if a < 40*time.Millisecond {
+			t.Fatalf("rank left barrier at %v, before last arrival at 40ms", a)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("p%d", n), func(t *testing.T) {
+			e, w := rig(n)
+			c := w.AddRanks(placement(n))
+			got := make([]interface{}, n)
+			c.Launch("r", func(r *Rank) {
+				var v interface{}
+				if r.Local() == 1%n {
+					v = "payload"
+				}
+				got[r.Local()] = c.Bcast(r, 1%n, 4096, v)
+			})
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				if v != "payload" {
+					t.Fatalf("rank %d got %v", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7} {
+		n := n
+		t.Run(fmt.Sprintf("p%d", n), func(t *testing.T) {
+			e, w := rig(n)
+			c := w.AddRanks(placement(n))
+			sums := make([]float64, n)
+			c.Launch("r", func(r *Rank) {
+				sums[r.Local()] = c.AllreduceFloat64(r, float64(r.Local()+1), Sum)
+			})
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want := float64(n*(n+1)) / 2
+			for i, s := range sums {
+				if s != want {
+					t.Fatalf("rank %d sum = %v, want %v", i, s, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSubAndUnionComms(t *testing.T) {
+	e, w := rig(4)
+	all := w.AddRanks(placement(4))
+	prod := all.Sub([]int{0, 1})
+	cons := all.Sub([]int{2, 3})
+	if prod.Size() != 2 || cons.Size() != 2 {
+		t.Fatal("sub sizes wrong")
+	}
+	u := Union(prod, cons)
+	if u.Size() != 4 {
+		t.Fatalf("union size = %d", u.Size())
+	}
+	// Cross-app send through the union comm, app-local barrier through subs.
+	var got Message
+	prod.Launch("prod", func(r *Rank) {
+		prod.Barrier(r)
+		if r.Local() == 0 {
+			u.Send(r, 2, 3, 128, "cross") // union rank 2 = cons rank 0
+		}
+	})
+	cons.Launch("cons", func(r *Rank) {
+		cons.Barrier(r)
+		if r.Local() == 0 {
+			got = u.Recv(r, 0, 3)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Data != "cross" {
+		t.Fatalf("cross-app message = %+v", got)
+	}
+}
+
+func TestSendrecvHaloPattern(t *testing.T) {
+	// Ring halo exchange: every rank sends to right, receives from left.
+	const n = 6
+	e, w := rig(n)
+	c := w.AddRanks(placement(n))
+	got := make([]int, n)
+	c.Launch("r", func(r *Rank) {
+		right := (r.Local() + 1) % n
+		left := (r.Local() + n - 1) % n
+		m := c.Sendrecv(r, right, 4, 1<<20, r.Local(), left, 4)
+		got[r.Local()] = m.Data.(int)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if want := (i + n - 1) % n; got[i] != want {
+			t.Fatalf("rank %d received %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestMessageOrderPreservedPerPair(t *testing.T) {
+	e, w := rig(2)
+	c := w.AddRanks(placement(2))
+	var seq []int
+	c.Launch("r", func(r *Rank) {
+		if r.Local() == 0 {
+			for i := 0; i < 5; i++ {
+				c.Send(r, 1, 0, 64, i)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				seq = append(seq, c.Recv(r, 0, 0).Data.(int))
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("order %v", seq)
+		}
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	e, w := rig(2)
+	c := w.AddRanks(placement(2))
+	c.Launch("r", func(r *Rank) {
+		if r.Local() == 0 {
+			for i := 0; i < b.N; i++ {
+				c.Send(r, 1, 0, 1024, nil)
+				c.Recv(r, 1, 1)
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				c.Recv(r, 0, 0)
+				c.Send(r, 0, 1, 1024, nil)
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

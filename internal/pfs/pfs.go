@@ -1,0 +1,236 @@
+// Package pfs models a Lustre-like parallel file system for the
+// discrete-event simulator: a metadata server (MDS) plus a set of object
+// storage targets (OSTs) attached to fabric nodes. Files are striped
+// round-robin across OSTs; every data transfer between a client and an OST
+// traverses the shared fabric (Bridges and Stampede2 do not segregate I/O
+// traffic), and then contends for the OST's disk service.
+//
+// The model supports an optional deterministic background-load factor that
+// reproduces the "file system shared by many other users" variability the
+// paper observes for MPI-IO (Figure 2).
+package pfs
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"zipper/internal/fabric"
+	"zipper/internal/sim"
+)
+
+// Config describes the file system.
+type Config struct {
+	// OSTNodes are the fabric nodes that host object storage targets.
+	OSTNodes []fabric.NodeID
+	// MDSNode is the fabric node hosting the metadata server.
+	MDSNode fabric.NodeID
+	// OSTBandwidth is each OST's disk bandwidth in bytes/second.
+	OSTBandwidth float64
+	// StripeSize is the striping unit in bytes. Zero selects 1 MiB.
+	StripeSize int64
+	// MetadataLatency is the MDS service time per metadata operation.
+	// Zero selects 200µs.
+	MetadataLatency time.Duration
+	// BackgroundLoad in [0,1) is the average fraction of OST service capacity
+	// consumed by other users. Sampled deterministically from Seed.
+	BackgroundLoad float64
+	// Seed drives the deterministic background-load jitter.
+	Seed int64
+}
+
+type ost struct {
+	node fabric.NodeID
+	disk *sim.Mutex
+}
+
+// file tracks the extent of data written so far; contents are symbolic.
+type file struct {
+	size int64
+}
+
+// PFS is the simulated parallel file system.
+type PFS struct {
+	eng    *sim.Engine
+	fab    *fabric.Fabric
+	cfg    Config
+	mds    *sim.Mutex
+	osts   []*ost
+	files  map[string]*file
+	rng    *rand.Rand
+	reads  int64
+	writes int64
+}
+
+// New builds a file system over the fabric. At least one OST is required.
+func New(e *sim.Engine, fab *fabric.Fabric, cfg Config) *PFS {
+	if len(cfg.OSTNodes) == 0 {
+		panic("pfs: at least one OST node required")
+	}
+	if cfg.OSTBandwidth <= 0 {
+		panic("pfs: OSTBandwidth must be positive")
+	}
+	if cfg.StripeSize <= 0 {
+		cfg.StripeSize = 1 << 20
+	}
+	if cfg.MetadataLatency <= 0 {
+		cfg.MetadataLatency = 200 * time.Microsecond
+	}
+	p := &PFS{
+		eng:   e,
+		fab:   fab,
+		cfg:   cfg,
+		mds:   sim.NewMutex(e, "pfs.mds"),
+		files: make(map[string]*file),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i, n := range cfg.OSTNodes {
+		p.osts = append(p.osts, &ost{
+			node: n,
+			disk: sim.NewMutex(e, fmt.Sprintf("pfs.ost%d", i)),
+		})
+	}
+	return p
+}
+
+// Config returns the configuration with defaults resolved.
+func (p *PFS) Config() Config { return p.cfg }
+
+// Stats reports cumulative completed read and write operations.
+func (p *PFS) Stats() (reads, writes int64) { return p.reads, p.writes }
+
+// metadataOp serializes through the MDS.
+func (p *PFS) metadataOp(proc *sim.Proc) {
+	p.mds.Lock(proc)
+	proc.Delay(p.cfg.MetadataLatency)
+	p.mds.Unlock(proc)
+}
+
+// serviceTime is the disk time for one stripe chunk, inflated by the
+// deterministic background load sample.
+func (p *PFS) serviceTime(bytes int64) time.Duration {
+	base := float64(bytes) / p.cfg.OSTBandwidth
+	if p.cfg.BackgroundLoad > 0 {
+		// Other users consume a random fraction around the configured mean,
+		// slowing this request proportionally.
+		load := p.cfg.BackgroundLoad * (0.5 + p.rng.Float64())
+		if load > 0.95 {
+			load = 0.95
+		}
+		base /= 1 - load
+	}
+	return time.Duration(base * float64(time.Second))
+}
+
+// stripeTargets maps a byte range of a named file onto OST chunk writes.
+type chunk struct {
+	ost   *ost
+	bytes int64
+}
+
+func (p *PFS) stripes(name string, offset, size int64) []chunk {
+	var out []chunk
+	// Deterministic per-file starting OST so load spreads across files.
+	h := int64(0)
+	for _, c := range name {
+		h = h*131 + int64(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	for size > 0 {
+		idx := (h + offset/p.cfg.StripeSize) % int64(len(p.osts))
+		inStripe := p.cfg.StripeSize - offset%p.cfg.StripeSize
+		n := size
+		if n > inStripe {
+			n = inStripe
+		}
+		out = append(out, chunk{ost: p.osts[idx], bytes: n})
+		offset += n
+		size -= n
+	}
+	return out
+}
+
+// Create registers a file (one MDS operation). Creating an existing file
+// truncates it.
+func (p *PFS) Create(proc *sim.Proc, name string) {
+	p.metadataOp(proc)
+	p.files[name] = &file{}
+}
+
+// Write transfers size bytes from client to the file at offset: a fabric
+// transfer to each target OST followed by disk service. It returns the
+// elapsed time. A missing file is created implicitly; concurrent implicit
+// creates of the same file pay the metadata cost once each but never
+// truncate one another's data.
+func (p *PFS) Write(proc *sim.Proc, client fabric.NodeID, name string, offset, size int64) time.Duration {
+	start := proc.Now()
+	f := p.files[name]
+	if f == nil {
+		p.metadataOp(proc)
+		// Re-check after blocking in the MDS queue: another writer may have
+		// created the file meanwhile, and replacing its entry would discard
+		// that writer's extent updates.
+		f = p.files[name]
+		if f == nil {
+			f = &file{}
+			p.files[name] = f
+		}
+	}
+	for _, c := range p.stripes(name, offset, size) {
+		// The client RPC window paces the wire transfer at the OST's disk
+		// drain rate, so spill traffic arrives at the storage nodes without
+		// piling up in the fabric.
+		c.ost.disk.Lock(proc)
+		p.fab.Send(proc, client, c.ost.node, c.bytes)
+		proc.Delay(p.serviceTime(c.bytes))
+		c.ost.disk.Unlock(proc)
+	}
+	if end := offset + size; end > f.size {
+		f.size = end
+	}
+	p.writes++
+	return proc.Now() - start
+}
+
+// Read transfers size bytes of the file from its OSTs to the client. Reading
+// past the written extent panics — it indicates a workflow ordering bug.
+func (p *PFS) Read(proc *sim.Proc, client fabric.NodeID, name string, offset, size int64) time.Duration {
+	start := proc.Now()
+	f := p.files[name]
+	if f == nil || offset+size > f.size {
+		panic(fmt.Sprintf("pfs: read beyond written extent of %q (have %d, want [%d,%d))",
+			name, p.Size(name), offset, offset+size))
+	}
+	for _, c := range p.stripes(name, offset, size) {
+		// As with Write, the OST's service rate paces the wire transfer, so
+		// read-back traffic trickles into the client instead of bursting.
+		c.ost.disk.Lock(proc)
+		proc.Delay(p.serviceTime(c.bytes))
+		p.fab.Send(proc, c.ost.node, client, c.bytes)
+		c.ost.disk.Unlock(proc)
+	}
+	p.reads++
+	return proc.Now() - start
+}
+
+// Stat returns the file's current size after an MDS round trip; ok reports
+// whether the file exists. It is the polling primitive consumers use to
+// discover new data in file-based coupling.
+func (p *PFS) Stat(proc *sim.Proc, client fabric.NodeID, name string) (size int64, ok bool) {
+	p.metadataOp(proc)
+	f := p.files[name]
+	if f == nil {
+		return 0, false
+	}
+	return f.size, true
+}
+
+// Size reports a file's size without simulating any cost (for assertions).
+func (p *PFS) Size(name string) int64 {
+	if f := p.files[name]; f != nil {
+		return f.size
+	}
+	return 0
+}

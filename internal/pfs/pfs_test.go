@@ -1,0 +1,182 @@
+package pfs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"zipper/internal/fabric"
+	"zipper/internal/sim"
+)
+
+func testRig() (*sim.Engine, *fabric.Fabric, *PFS) {
+	e := sim.New()
+	f := fabric.New(e, fabric.Config{
+		Nodes:         10,
+		NodesPerLeaf:  5,
+		LinkBandwidth: 1e9,
+		LinkLatency:   time.Microsecond,
+	})
+	p := New(e, f, Config{
+		OSTNodes:     []fabric.NodeID{8, 9},
+		MDSNode:      7,
+		OSTBandwidth: 5e8, // disk slower than the network
+		StripeSize:   1 << 20,
+	})
+	return e, f, p
+}
+
+func TestWriteThenRead(t *testing.T) {
+	e, _, p := testRig()
+	var wrote, read time.Duration
+	e.Spawn("client", func(proc *sim.Proc) {
+		p.Create(proc, "f")
+		wrote = p.Write(proc, 0, "f", 0, 4<<20)
+		read = p.Read(proc, 0, "f", 0, 4<<20)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size("f") != 4<<20 {
+		t.Fatalf("file size = %d, want %d", p.Size("f"), 4<<20)
+	}
+	// Disk at 0.5 GB/s bounds both ops: ≥ 8.4ms for 4 MiB.
+	min := time.Duration(float64(4<<20) / 5e8 * float64(time.Second))
+	if wrote < min || read < min {
+		t.Fatalf("write=%v read=%v, want ≥ %v (disk-bound)", wrote, read, min)
+	}
+}
+
+func TestReadBeyondExtentPanics(t *testing.T) {
+	e, _, p := testRig()
+	e.Spawn("client", func(proc *sim.Proc) {
+		p.Create(proc, "f")
+		p.Write(proc, 0, "f", 0, 1024)
+		p.Read(proc, 0, "f", 0, 2048)
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("read beyond extent did not fail")
+	}
+}
+
+func TestStat(t *testing.T) {
+	e, _, p := testRig()
+	e.Spawn("client", func(proc *sim.Proc) {
+		if _, ok := p.Stat(proc, 0, "missing"); ok {
+			t.Error("Stat of missing file reported ok")
+		}
+		p.Create(proc, "f")
+		p.Write(proc, 0, "f", 0, 3000)
+		if size, ok := p.Stat(proc, 0, "f"); !ok || size != 3000 {
+			t.Errorf("Stat = %d,%v want 3000,true", size, ok)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripingSpreadsAcrossOSTs(t *testing.T) {
+	// Two clients writing distinct files should go faster than 1 client
+	// writing both sequentially, because stripes spread over 2 OSTs.
+	seq := func() time.Duration {
+		e, _, p := testRig()
+		e.Spawn("c", func(proc *sim.Proc) {
+			p.Write(proc, 0, "a", 0, 8<<20)
+			p.Write(proc, 0, "b", 0, 8<<20)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}()
+	par := func() time.Duration {
+		e, _, p := testRig()
+		e.Spawn("c0", func(proc *sim.Proc) { p.Write(proc, 0, "a", 0, 8<<20) })
+		e.Spawn("c1", func(proc *sim.Proc) { p.Write(proc, 1, "b", 0, 8<<20) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}()
+	if par >= seq {
+		t.Fatalf("parallel writes (%v) not faster than sequential (%v)", par, seq)
+	}
+}
+
+func TestOSTContention(t *testing.T) {
+	// Many clients writing simultaneously are limited by aggregate OST
+	// bandwidth (2 × 0.5 GB/s), not by their network ports (1 GB/s each).
+	e, _, p := testRig()
+	const size = 8 << 20
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("c%d", i), func(proc *sim.Proc) {
+			p.Write(proc, fabric.NodeID(i), fmt.Sprintf("f%d", i), 0, size)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 32 MiB through 1 GB/s aggregate disk ⇒ ≥ 33ms.
+	min := time.Duration(float64(4*size) / 1e9 * float64(time.Second))
+	if e.Now() < min {
+		t.Fatalf("4-client write finished in %v, want ≥ %v (disk-bound)", e.Now(), min)
+	}
+}
+
+func TestBackgroundLoadSlowsIO(t *testing.T) {
+	run := func(load float64) time.Duration {
+		e := sim.New()
+		f := fabric.New(e, fabric.Config{Nodes: 4, NodesPerLeaf: 4, LinkBandwidth: 1e9, LinkLatency: time.Microsecond})
+		p := New(e, f, Config{
+			OSTNodes:       []fabric.NodeID{3},
+			OSTBandwidth:   5e8,
+			BackgroundLoad: load,
+			Seed:           42,
+		})
+		e.Spawn("c", func(proc *sim.Proc) { p.Write(proc, 0, "f", 0, 16<<20) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	quiet, busy := run(0), run(0.6)
+	if busy <= quiet {
+		t.Fatalf("background load had no effect: quiet=%v busy=%v", quiet, busy)
+	}
+}
+
+func TestBackgroundLoadDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		e := sim.New()
+		f := fabric.New(e, fabric.Config{Nodes: 4, NodesPerLeaf: 4, LinkBandwidth: 1e9, LinkLatency: time.Microsecond})
+		p := New(e, f, Config{OSTNodes: []fabric.NodeID{3}, OSTBandwidth: 5e8, BackgroundLoad: 0.5, Seed: 7})
+		e.Spawn("c", func(proc *sim.Proc) { p.Write(proc, 0, "f", 0, 8<<20) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("background load not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestWriteExtendsAndOverwrites(t *testing.T) {
+	e, _, p := testRig()
+	e.Spawn("c", func(proc *sim.Proc) {
+		p.Write(proc, 0, "f", 0, 1000)
+		p.Write(proc, 0, "f", 500, 1000) // overlap + extend
+		if p.Size("f") != 1500 {
+			t.Errorf("size = %d, want 1500", p.Size("f"))
+		}
+		p.Write(proc, 0, "f", 100, 10) // interior overwrite
+		if p.Size("f") != 1500 {
+			t.Errorf("size after interior write = %d, want 1500", p.Size("f"))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+package realenv
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"zipper/internal/block"
+	"zipper/internal/core"
+	"zipper/internal/rt"
+)
+
+func TestClockAndThreads(t *testing.T) {
+	env := New()
+	c := env.Ctx()
+	t0 := c.Now()
+	var ran bool
+	env.Go("worker", func(tc rt.Ctx) {
+		tc.Sleep(5 * time.Millisecond)
+		ran = true
+	})
+	env.Wait()
+	if !ran {
+		t.Fatal("thread did not run")
+	}
+	if c.Now() <= t0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestLockAndCond(t *testing.T) {
+	env := New()
+	lk := env.NewLock("l")
+	cond := lk.NewCond("c")
+	c := env.Ctx()
+	ready := false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lk.Lock(c)
+		for !ready {
+			cond.Wait(c)
+		}
+		lk.Unlock(c)
+	}()
+	time.Sleep(time.Millisecond)
+	lk.Lock(c)
+	ready = true
+	cond.Broadcast()
+	lk.Unlock(c)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cond wait never woke")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New().Ctx()
+	b := block.New(block.ID{Rank: 1, Step: 2, Seq: 3}, 4096, []byte("hello zipper"))
+	if err := fs.WriteBlock(c, b); err != nil {
+		t.Fatal(err)
+	}
+	if !b.OnDisk {
+		t.Fatal("OnDisk not set")
+	}
+	got, err := fs.ReadBlock(c, b.ID, b.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "hello zipper" || got.Offset != 4096 || !got.OnDisk {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if err := fs.RemoveBlock(c, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadBlock(c, b.ID, b.Bytes); err == nil {
+		t.Fatal("read after remove succeeded")
+	}
+}
+
+func TestFileStoreDetectsCorruption(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New().Ctx()
+	b := block.New(block.ID{Rank: 0, Step: 0, Seq: 0}, 0, []byte("precious data"))
+	if err := fs.WriteBlock(c, b); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk.
+	path := fs.path(b.ID)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadBlock(c, b.ID, b.Bytes); err == nil {
+		t.Fatal("corrupted block passed the checksum")
+	}
+	// Truncation is also detected.
+	if err := os.WriteFile(path, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadBlock(c, b.ID, b.Bytes); err == nil {
+		t.Fatal("truncated block accepted")
+	}
+}
+
+func TestNetworkBackpressure(t *testing.T) {
+	n := NewNetwork(1, 1)
+	c := New().Ctx()
+	n.Send(c, 0, rt.Message{From: 1}) // fills the window
+	blocked := make(chan struct{})
+	go func() {
+		n.Send(c, 0, rt.Message{From: 2}) // must block
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("second send did not block on a full window")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if m, ok := n.Inbox(0).Recv(c); !ok || m.From != 1 {
+		t.Fatalf("recv = %+v, %v", m, ok)
+	}
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("send did not unblock after drain")
+	}
+}
+
+func TestTCPFrameRoundTrip(t *testing.T) {
+	ln, err := ListenTCP("127.0.0.1:0", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	tr, err := DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	c := New().Ctx()
+
+	blk := block.New(block.ID{Rank: 3, Step: 14, Seq: 15}, 926, []byte{1, 2, 3, 4, 5})
+	tr.Send(c, 1, rt.Message{
+		From:  3,
+		Block: blk,
+		Disk: []rt.DiskRef{
+			{ID: block.ID{Rank: 3, Step: 13, Seq: 9}, Bytes: 512},
+		},
+	})
+	tr.Send(c, 0, rt.Message{From: 3, Fin: true})
+
+	m, ok := ln.Inbox(1).Recv(c)
+	if !ok {
+		t.Fatal("no message")
+	}
+	if m.From != 3 || m.Block == nil || m.Block.ID != blk.ID || m.Block.Offset != 926 {
+		t.Fatalf("frame mismatch: %+v", m)
+	}
+	if string(m.Block.Data) != string(blk.Data) {
+		t.Fatalf("payload mismatch: %v", m.Block.Data)
+	}
+	if len(m.Disk) != 1 || m.Disk[0].Bytes != 512 || m.Disk[0].ID.Seq != 9 {
+		t.Fatalf("disk refs mismatch: %+v", m.Disk)
+	}
+	fin, ok := ln.Inbox(0).Recv(c)
+	if !ok || !fin.Fin {
+		t.Fatalf("fin mismatch: %+v", fin)
+	}
+}
+
+// TestTCPWorkflow runs the full Zipper core over the TCP transport: the
+// producer and consumer sides share nothing but the socket and the spool
+// directory, as two separate OS processes would.
+func TestTCPWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := ListenTCP("127.0.0.1:0", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	consEnv := New()
+	consFS, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := core.NewConsumer(consEnv, core.Config{}, 0, 1, ln.Inbox(0), consFS)
+
+	prodEnv := New()
+	prodFS, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	prod := core.NewProducer(prodEnv, core.Config{BufferBlocks: 4, HighWater: 2}, 0, 0, tr, prodFS)
+
+	const n = 25
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := prodEnv.Ctx()
+		for s := 0; s < n; s++ {
+			prod.Write(c, s, int64(s), []byte{byte(s), byte(s + 1)}, 2)
+		}
+		prod.Close(c)
+		prod.Wait(c)
+	}()
+
+	c := consEnv.Ctx()
+	got := map[int]byte{}
+	for {
+		b, ok := cons.Read(c)
+		if !ok {
+			break
+		}
+		got[b.ID.Step] = b.Data[0]
+		time.Sleep(time.Millisecond) // slow consumer: force spills over TCP refs
+	}
+	wg.Wait()
+	cons.Wait(c)
+	if err := cons.Err(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("received %d blocks, want %d", len(got), n)
+	}
+	for s, v := range got {
+		if v != byte(s) {
+			t.Fatalf("step %d payload %d", s, v)
+		}
+	}
+}
+
+func TestTCPValidation(t *testing.T) {
+	if _, err := ListenTCP("127.0.0.1:0", 0, 1); err == nil {
+		t.Fatal("zero consumers accepted")
+	}
+	if _, err := DialTCP("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,260 @@
+package realenv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"zipper/internal/block"
+	"zipper/internal/rt"
+)
+
+// TCP transport: the real-mode network path for running the producer and
+// consumer applications as separate OS processes, mirroring the paper's two
+// independently launched MPI applications. The consumer side listens; every
+// producer process dials in and streams framed mixed messages. Receive
+// windows are per-consumer buffered queues; when a window fills, the reader
+// goroutine stops draining its connection and TCP flow control pushes the
+// backpressure to the sender — the same stall the in-memory path produces.
+
+// frame layout (little endian):
+//
+//	u32 magic | u32 flags | i64 to | i64 from
+//	i64 rank | i64 step | i64 seq | i64 offset | i64 bytes | u1 onDisk
+//	i64 nDisk | nDisk × (i64 rank | i64 step | i64 seq | i64 bytes)
+//	i64 dataLen | data
+const (
+	frameMagic  = 0x5a495031 // "ZIP1"
+	flagFin     = 1 << 0
+	flagHasBlk  = 1 << 1
+	maxFrameLen = 1 << 31
+)
+
+// TCPListener is the consumer-side endpoint set.
+type TCPListener struct {
+	ln      net.Listener
+	inboxes []chan rt.Message
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// ListenTCP starts the consumer-side endpoint set on addr (use
+// "127.0.0.1:0" for tests) with one window-deep inbox per consumer.
+func ListenTCP(addr string, consumers, window int) (*TCPListener, error) {
+	if consumers < 1 {
+		return nil, fmt.Errorf("realenv: need ≥1 consumer, got %d", consumers)
+	}
+	if window < 1 {
+		window = 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("realenv: listen: %w", err)
+	}
+	l := &TCPListener{ln: ln}
+	for i := 0; i < consumers; i++ {
+		l.inboxes = append(l.inboxes, make(chan rt.Message, window))
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listening address to hand to producer processes.
+func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+
+// Inbox returns consumer i's receive endpoint.
+func (l *TCPListener) Inbox(i int) rt.Inbox { return inbox(l.inboxes[i]) }
+
+// Close stops accepting; established connections drain until their peers
+// close.
+func (l *TCPListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *TCPListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			defer conn.Close()
+			r := bufio.NewReaderSize(conn, 1<<20)
+			for {
+				to, m, err := readFrame(r)
+				if err != nil {
+					return // EOF or peer failure: connection done
+				}
+				if to < 0 || to >= len(l.inboxes) {
+					return // corrupt target: drop the connection
+				}
+				l.inboxes[to] <- m
+			}
+		}()
+	}
+}
+
+// TCPTransport is the producer-side sender over one connection.
+type TCPTransport struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+// DialTCP connects a producer process to the consumer-side listener.
+func DialTCP(addr string) (*TCPTransport, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("realenv: dial %s: %w", addr, err)
+	}
+	return &TCPTransport{w: bufio.NewWriterSize(c, 1<<20), c: c}, nil
+}
+
+// Send frames and writes the message. It is safe for concurrent use by the
+// sender threads of multiple producers sharing the connection.
+func (t *TCPTransport) Send(c rt.Ctx, to int, m rt.Message) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := writeFrame(t.w, to, m); err != nil {
+		panic(fmt.Sprintf("realenv: tcp send: %v", err))
+	}
+	if err := t.w.Flush(); err != nil {
+		panic(fmt.Sprintf("realenv: tcp flush: %v", err))
+	}
+}
+
+// Close shuts the connection down; the consumer side sees EOF after the
+// final frame.
+func (t *TCPTransport) Close() error { return t.c.Close() }
+
+func writeFrame(w io.Writer, to int, m rt.Message) error {
+	var flags uint32
+	if m.Fin {
+		flags |= flagFin
+	}
+	if m.Block != nil {
+		flags |= flagHasBlk
+	}
+	hdr := make([]byte, 0, 128)
+	hdr = binary.LittleEndian.AppendUint32(hdr, frameMagic)
+	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
+	hdr = appendI64(hdr, int64(to), int64(m.From))
+	b := m.Block
+	if b == nil {
+		b = &block.Block{}
+	}
+	onDisk := int64(0)
+	if b.OnDisk {
+		onDisk = 1
+	}
+	hdr = appendI64(hdr, int64(b.ID.Rank), int64(b.ID.Step), int64(b.ID.Seq), b.Offset, b.Bytes, onDisk)
+	hdr = appendI64(hdr, int64(len(m.Disk)))
+	for _, d := range m.Disk {
+		hdr = appendI64(hdr, int64(d.ID.Rank), int64(d.ID.Step), int64(d.ID.Seq), d.Bytes)
+	}
+	hdr = appendI64(hdr, int64(len(b.Data)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(b.Data)
+	return err
+}
+
+func appendI64(b []byte, vs ...int64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+func readFrame(r io.Reader) (int, rt.Message, error) {
+	var m rt.Message
+	u32 := func() (uint32, error) {
+		var buf [4]byte
+		_, err := io.ReadFull(r, buf[:])
+		return binary.LittleEndian.Uint32(buf[:]), err
+	}
+	i64 := func() (int64, error) {
+		var buf [8]byte
+		_, err := io.ReadFull(r, buf[:])
+		return int64(binary.LittleEndian.Uint64(buf[:])), err
+	}
+	magic, err := u32()
+	if err != nil {
+		return 0, m, err
+	}
+	if magic != frameMagic {
+		return 0, m, fmt.Errorf("realenv: bad frame magic %#x", magic)
+	}
+	flags, err := u32()
+	if err != nil {
+		return 0, m, err
+	}
+	to, err := i64()
+	if err != nil {
+		return 0, m, err
+	}
+	from, _ := i64()
+	m.From = int(from)
+	m.Fin = flags&flagFin != 0
+	var blk block.Block
+	var rank, step, seq, offset, bytes, onDisk int64
+	for _, dst := range []*int64{&rank, &step, &seq, &offset, &bytes, &onDisk} {
+		if *dst, err = i64(); err != nil {
+			return 0, m, err
+		}
+	}
+	nDisk, err := i64()
+	if err != nil || nDisk < 0 || nDisk > 1<<20 {
+		return 0, m, fmt.Errorf("realenv: bad disk-ref count %d: %v", nDisk, err)
+	}
+	for i := int64(0); i < nDisk; i++ {
+		var dr, ds, dq, db int64
+		for _, dst := range []*int64{&dr, &ds, &dq, &db} {
+			if *dst, err = i64(); err != nil {
+				return 0, m, err
+			}
+		}
+		m.Disk = append(m.Disk, rt.DiskRef{
+			ID:    block.ID{Rank: int(dr), Step: int(ds), Seq: int(dq)},
+			Bytes: db,
+		})
+	}
+	dataLen, err := i64()
+	if err != nil || dataLen < 0 || dataLen > maxFrameLen {
+		return 0, m, fmt.Errorf("realenv: bad frame length %d: %v", dataLen, err)
+	}
+	if flags&flagHasBlk != 0 {
+		blk.ID = block.ID{Rank: int(rank), Step: int(step), Seq: int(seq)}
+		blk.Offset = offset
+		blk.Bytes = bytes
+		blk.OnDisk = onDisk == 1
+		if dataLen > 0 {
+			blk.Data = make([]byte, dataLen)
+			if _, err := io.ReadFull(r, blk.Data); err != nil {
+				return 0, m, err
+			}
+		}
+		m.Block = &blk
+	} else if dataLen > 0 {
+		if _, err := io.CopyN(io.Discard, r, dataLen); err != nil {
+			return 0, m, err
+		}
+	}
+	return int(to), m, nil
+}
+
+var _ rt.Transport = (*TCPTransport)(nil)

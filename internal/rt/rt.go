@@ -1,0 +1,100 @@
+// Package rt defines the platform abstraction beneath the Zipper runtime.
+// The runtime's producer and consumer modules are written once against these
+// interfaces and run on two platforms:
+//
+//   - realenv: goroutines, sync primitives, Go channels as the low-latency
+//     network, and a spool directory as the parallel file system — for
+//     coupling real applications in process (the examples).
+//   - simenv: the discrete-event engine with the fabric and PFS models — for
+//     re-running the paper's cluster-scale experiments in virtual time.
+//
+// Everything that blocks takes a Ctx so the simulated platform can park the
+// calling virtual process.
+package rt
+
+import (
+	"time"
+
+	"zipper/internal/block"
+)
+
+// Ctx is a per-thread handle. Real threads share a trivial implementation;
+// simulated threads wrap their engine process.
+type Ctx interface {
+	// Now reports elapsed time since the platform epoch.
+	Now() time.Duration
+	// Sleep pauses the calling thread for d.
+	Sleep(d time.Duration)
+}
+
+// Env spawns threads and creates synchronization primitives.
+type Env interface {
+	// Go starts a runtime thread. In simulation this creates an engine
+	// process; name appears in deadlock reports and traces.
+	Go(name string, fn func(Ctx))
+	// NewLock creates a mutual-exclusion lock.
+	NewLock(name string) Lock
+	// CopyDelay charges the cost of staging bytes through memory. The real
+	// platform does nothing (the copy itself costs the time); the simulated
+	// platform sleeps bytes/memory-bandwidth.
+	CopyDelay(c Ctx, bytes int64)
+}
+
+// Lock is a mutual-exclusion lock that can mint condition variables.
+type Lock interface {
+	Lock(Ctx)
+	Unlock(Ctx)
+	NewCond(name string) Cond
+}
+
+// Cond is a condition variable bound to the Lock that created it. As with
+// sync.Cond, Wait releases the lock, suspends, and re-acquires; callers must
+// re-check predicates in a loop.
+type Cond interface {
+	Wait(Ctx)
+	Signal()
+	Broadcast()
+}
+
+// DiskRef announces one block the writer thread spilled to the parallel
+// file system: its identity plus the size the reader must fetch.
+type DiskRef struct {
+	ID    block.ID
+	Bytes int64
+}
+
+// Message is the "mixed message" of the paper's producer runtime (§4.2): an
+// optional data block plus the list of block IDs the work-stealing writer
+// spilled to the parallel file system since the last send, or an end-of-
+// stream marker.
+type Message struct {
+	From  int // producer rank
+	Block *block.Block
+	Disk  []DiskRef
+	Fin   bool // the producer has sent everything
+}
+
+// Transport sends mixed messages to consumer endpoints over the low-latency
+// network path. Send blocks while the destination's receive window is full —
+// the backpressure that ultimately stalls producers and triggers stealing.
+type Transport interface {
+	Send(c Ctx, to int, m Message)
+}
+
+// Inbox is a consumer's receive endpoint.
+type Inbox interface {
+	// Recv blocks for the next message; ok=false means the inbox was closed.
+	Recv(c Ctx) (Message, bool)
+}
+
+// BlockStore is the parallel-file-system path for spilling, preserving, and
+// re-reading blocks.
+type BlockStore interface {
+	// WriteBlock persists a block.
+	WriteBlock(c Ctx, b *block.Block) error
+	// ReadBlock loads a previously written block. bytes is the expected
+	// payload size (needed by the simulated store, which keeps no data).
+	ReadBlock(c Ctx, id block.ID, bytes int64) (*block.Block, error)
+	// RemoveBlock deletes a spilled block (No-Preserve mode reclamation).
+	RemoveBlock(c Ctx, id block.ID) error
+}

@@ -1,0 +1,211 @@
+// Package simenv implements the rt platform on the discrete-event simulator:
+// runtime threads are engine processes pinned to a fabric node, the network
+// path is a credit-windowed message channel over the fabric model, and the
+// block store is backed by the parallel-file-system model. Running the
+// unchanged Zipper core on this platform replays the paper's cluster-scale
+// experiments in virtual time.
+package simenv
+
+import (
+	"fmt"
+	"time"
+
+	"zipper/internal/block"
+	"zipper/internal/fabric"
+	"zipper/internal/pfs"
+	"zipper/internal/rt"
+	"zipper/internal/sim"
+)
+
+// Env is a per-rank platform handle: threads it spawns run on (and charge
+// traffic to) the given fabric node.
+type Env struct {
+	Eng  *sim.Engine
+	Node fabric.NodeID
+	// MemBandwidth models staging copies for CopyDelay; zero selects
+	// 10 GB/s.
+	MemBandwidth float64
+}
+
+// NewEnv returns a platform handle for one rank.
+func NewEnv(e *sim.Engine, node fabric.NodeID, memBW float64) *Env {
+	if memBW <= 0 {
+		memBW = 10e9
+	}
+	return &Env{Eng: e, Node: node, MemBandwidth: memBW}
+}
+
+// Ctx is the simulated thread context. It carries the owning node so the
+// network and store implementations know where traffic originates.
+type Ctx struct {
+	P    *sim.Proc
+	Node fabric.NodeID
+}
+
+// Now reports virtual time.
+func (c *Ctx) Now() time.Duration { return c.P.Now() }
+
+// Sleep advances virtual time.
+func (c *Ctx) Sleep(d time.Duration) { c.P.Delay(d) }
+
+// WrapProc builds a context for an existing engine process (an application
+// rank) running on the environment's node.
+func (e *Env) WrapProc(p *sim.Proc) *Ctx { return &Ctx{P: p, Node: e.Node} }
+
+// Go spawns an engine process on the environment's node.
+func (e *Env) Go(name string, fn func(rt.Ctx)) {
+	node := e.Node
+	e.Eng.Spawn(name, func(p *sim.Proc) {
+		fn(&Ctx{P: p, Node: node})
+	})
+}
+
+// CopyDelay charges bytes at the modelled memory bandwidth.
+func (e *Env) CopyDelay(c rt.Ctx, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	c.Sleep(time.Duration(float64(bytes) / e.MemBandwidth * float64(time.Second)))
+}
+
+// NewLock creates an engine-backed lock.
+func (e *Env) NewLock(name string) rt.Lock {
+	return &lock{mu: sim.NewMutex(e.Eng, name)}
+}
+
+type lock struct{ mu *sim.Mutex }
+
+func proc(c rt.Ctx) *Ctx {
+	sc, ok := c.(*Ctx)
+	if !ok {
+		panic(fmt.Sprintf("simenv: foreign context %T used with simulated primitive", c))
+	}
+	return sc
+}
+
+func (l *lock) Lock(c rt.Ctx)   { l.mu.Lock(proc(c).P) }
+func (l *lock) Unlock(c rt.Ctx) { l.mu.Unlock(proc(c).P) }
+func (l *lock) NewCond(name string) rt.Cond {
+	return &cond{c: sim.NewCond(l.mu, name)}
+}
+
+type cond struct{ c *sim.Cond }
+
+func (c *cond) Wait(x rt.Ctx) { c.c.Wait(proc(x).P) }
+func (c *cond) Signal()       { c.c.Signal() }
+func (c *cond) Broadcast()    { c.c.Broadcast() }
+
+// messageOverhead is the wire header charged per mixed message, plus the
+// per-entry cost of the on-disk ID list.
+const (
+	messageOverhead = 64
+	diskIDWireBytes = 24
+)
+
+func wireBytes(m rt.Message) int64 {
+	n := int64(messageOverhead) + diskIDWireBytes*int64(len(m.Disk))
+	if m.Block != nil {
+		n += m.Block.Bytes
+	}
+	return n
+}
+
+// Network is the simulated low-latency message path with per-consumer
+// receive windows. A sender that exhausts a window stalls, and the stall is
+// credited to its node's XmitWait counter — the paper's congestion proxy.
+type Network struct {
+	fab     *fabric.Fabric
+	inboxes []*inbox
+}
+
+type inbox struct {
+	node    fabric.NodeID
+	credits *sim.Semaphore
+	store   *sim.Store[rt.Message]
+}
+
+// NewNetwork creates endpoints for the given consumer nodes with a
+// window-message receive window each.
+func NewNetwork(e *sim.Engine, fab *fabric.Fabric, consumerNodes []fabric.NodeID, window int) *Network {
+	if window < 1 {
+		window = 1
+	}
+	n := &Network{fab: fab}
+	for i, node := range consumerNodes {
+		n.inboxes = append(n.inboxes, &inbox{
+			node:    node,
+			credits: sim.NewSemaphore(e, fmt.Sprintf("znet.%d.credits", i), window),
+			store:   sim.NewStore[rt.Message](e, fmt.Sprintf("znet.%d.inbox", i), 0),
+		})
+	}
+	return n
+}
+
+// Send acquires a window credit, transfers the message over the fabric, and
+// deposits it in the consumer's inbox. Waiting for exhausted credits is
+// "data ready but cannot transmit" — it accrues XmitWait.
+func (n *Network) Send(c rt.Ctx, to int, m rt.Message) {
+	sc := proc(c)
+	ib := n.inboxes[to]
+	waitStart := sc.P.Now()
+	ib.credits.Acquire(sc.P)
+	n.fab.AddXmitWait(sc.Node, sc.P.Now()-waitStart)
+	n.fab.Send(sc.P, sc.Node, ib.node, wireBytes(m))
+	ib.store.Put(sc.P, m)
+}
+
+// Inbox returns consumer i's receive endpoint.
+func (n *Network) Inbox(i int) rt.Inbox { return recvBox{n.inboxes[i]} }
+
+type recvBox struct{ ib *inbox }
+
+// Recv takes the next message and releases its window credit.
+func (r recvBox) Recv(c rt.Ctx) (rt.Message, bool) {
+	sc := proc(c)
+	m, ok := r.ib.store.Get(sc.P)
+	if ok {
+		r.ib.credits.Release()
+	}
+	return m, ok
+}
+
+// Store adapts the PFS model to the rt.BlockStore interface. The client node
+// for each operation comes from the calling thread's context, so one Store
+// serves all ranks.
+type Store struct {
+	FS *pfs.PFS
+	// Prefix namespaces this workflow's spill files.
+	Prefix string
+}
+
+// NewStore wraps a simulated parallel file system.
+func NewStore(fs *pfs.PFS, prefix string) *Store { return &Store{FS: fs, Prefix: prefix} }
+
+func (s *Store) name(id block.ID) string { return s.Prefix + "/" + id.String() }
+
+// WriteBlock spills the block to the PFS model and marks it OnDisk.
+func (s *Store) WriteBlock(c rt.Ctx, b *block.Block) error {
+	sc := proc(c)
+	s.FS.Write(sc.P, sc.Node, s.name(b.ID), 0, b.Bytes)
+	b.OnDisk = true
+	return nil
+}
+
+// ReadBlock loads a spilled block's size and identity (contents are
+// symbolic in simulation).
+func (s *Store) ReadBlock(c rt.Ctx, id block.ID, bytes int64) (*block.Block, error) {
+	sc := proc(c)
+	s.FS.Read(sc.P, sc.Node, s.name(id), 0, bytes)
+	b := block.NewSized(id, 0, bytes)
+	b.OnDisk = true
+	return b, nil
+}
+
+// RemoveBlock is metadata-only in the simulated store.
+func (s *Store) RemoveBlock(c rt.Ctx, id block.ID) error { return nil }
+
+var (
+	_ rt.Env        = (*Env)(nil)
+	_ rt.Transport  = (*Network)(nil)
+	_ rt.BlockStore = (*Store)(nil)
+)

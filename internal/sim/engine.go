@@ -1,0 +1,245 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine runs "processes" (Proc) in virtual time. Each process is backed
+// by a goroutine, but the engine guarantees that exactly one process executes
+// at any instant: a process runs until it blocks on a simulated operation
+// (Delay, Mutex.Lock, Store.Get, ...) and then hands control back to the
+// engine, which advances the virtual clock to the next scheduled event. This
+// cooperative model lets substrate code (network, file system, runtime
+// threads) be written as ordinary sequential Go while the engine provides
+// reproducible, laptop-speed execution of cluster-scale scenarios.
+//
+// Determinism: events are ordered by (time, sequence number), where sequence
+// numbers are assigned at scheduling time, and every wait queue in the
+// package is strictly FIFO. Two runs of the same program therefore interleave
+// identically.
+//
+// Deadlock: if no events remain but processes are still blocked, Run returns
+// a *DeadlockError naming each blocked process and the primitive it waits on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// event is a scheduled wake-up for a process.
+type event struct {
+	at       time.Duration
+	seq      int64
+	p        *Proc
+	canceled bool
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event queue.
+type Engine struct {
+	now     time.Duration
+	seq     int64
+	procSeq int
+	events  eventHeap
+	parked  chan struct{}
+	nLive   int
+	blocked map[*Proc]string
+	failure error
+	running bool
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{
+		parked:  make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// schedule queues a wake-up for p at time at and returns the event so the
+// caller may cancel it.
+func (e *Engine) schedule(p *Proc, at time.Duration) *event {
+	e.seq++
+	ev := &event{at: at, seq: e.seq, p: p}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Spawn creates a process named name running fn and schedules it to start at
+// the current virtual time. Spawn may be called before Run or from within a
+// running process, but not from outside the engine while Run is in progress.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		id:     e.procSeq,
+		resume: make(chan struct{}),
+	}
+	e.nLive++
+	e.schedule(p, e.now)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if e.failure == nil {
+					e.failure = fmt.Errorf("sim: process %q panicked: %v", name, r)
+				}
+			}
+			e.nLive--
+			p.done = true
+			e.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// Run executes events until none remain or a process panics. It returns a
+// *DeadlockError if processes remain blocked with no pending events, or the
+// panic wrapped as an error if a process panicked.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.failure == nil {
+		ev := e.next()
+		if ev == nil {
+			break
+		}
+		if ev.at < e.now {
+			return fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.at)
+		}
+		e.now = ev.at
+		ev.p.resume <- struct{}{}
+		<-e.parked
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if len(e.blocked) > 0 {
+		return e.deadlockError()
+	}
+	return nil
+}
+
+// next pops the earliest non-canceled event, or nil if none remain.
+func (e *Engine) next() *event {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if !ev.canceled {
+			return ev
+		}
+	}
+	return nil
+}
+
+func (e *Engine) deadlockError() *DeadlockError {
+	d := &DeadlockError{At: e.now}
+	for p, reason := range e.blocked {
+		d.Blocked = append(d.Blocked, BlockedProc{Name: p.name, Reason: reason})
+	}
+	sort.Slice(d.Blocked, func(i, j int) bool { return d.Blocked[i].Name < d.Blocked[j].Name })
+	return d
+}
+
+// wake moves a blocked process back onto the event queue at the current time.
+func (e *Engine) wake(p *Proc) {
+	if _, ok := e.blocked[p]; !ok {
+		panic(fmt.Sprintf("sim: wake of process %q that is not blocked", p.name))
+	}
+	delete(e.blocked, p)
+	e.schedule(p, e.now)
+}
+
+// BlockedProc describes one process stuck at deadlock detection time.
+type BlockedProc struct {
+	Name   string
+	Reason string
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked on synchronization primitives.
+type DeadlockError struct {
+	At      time.Duration
+	Blocked []BlockedProc
+}
+
+func (d *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at %v: %d blocked process(es):", d.At, len(d.Blocked))
+	for _, bp := range d.Blocked {
+		fmt.Fprintf(&b, " %s[%s]", bp.Name, bp.Reason)
+	}
+	return b.String()
+}
+
+// Proc is the handle a process uses to interact with the engine. All methods
+// must be called from the process's own goroutine while it is running.
+type Proc struct {
+	eng    *Engine
+	name   string
+	id     int
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's unique spawn-ordered identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// yield passes control to the engine and waits to be resumed.
+func (p *Proc) yield() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+}
+
+// Delay advances the process's virtual time by d, letting other processes run.
+func (p *Proc) Delay(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v in process %q", d, p.name))
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	p.yield()
+}
+
+// block parks the process with no pending event. Another process must call
+// Engine.wake (via a synchronization primitive) to resume it. reason appears
+// in deadlock reports.
+func (p *Proc) block(reason string) {
+	p.eng.blocked[p] = reason
+	p.yield()
+}

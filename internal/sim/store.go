@@ -1,0 +1,140 @@
+package sim
+
+import "fmt"
+
+// Store is a bounded FIFO queue connecting simulated processes, analogous to
+// a buffered Go channel. Put blocks while the store is full; Get blocks while
+// it is empty. Close releases all blocked processes: pending Gets drain the
+// remaining items and then report ok=false, and pending Puts report ok=false.
+//
+// Wakeups are FIFO and woken processes re-check their predicate, so ordering
+// is deterministic under the engine's single-running-process discipline.
+type Store[T any] struct {
+	eng     *Engine
+	name    string
+	cap     int // <= 0 means unbounded
+	items   []T
+	getters []*Proc
+	putters []*Proc
+	closed  bool
+}
+
+// NewStore returns a store holding at most capacity items. capacity <= 0
+// means unbounded.
+func NewStore[T any](e *Engine, name string, capacity int) *Store[T] {
+	return &Store[T]{eng: e, name: name, cap: capacity}
+}
+
+// Len reports the number of queued items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Cap reports the configured capacity (<= 0 meaning unbounded).
+func (s *Store[T]) Cap() int { return s.cap }
+
+// Closed reports whether Close has been called.
+func (s *Store[T]) Closed() bool { return s.closed }
+
+func (s *Store[T]) full() bool { return s.cap > 0 && len(s.items) >= s.cap }
+
+// Put appends v, blocking while the store is full. It reports false if the
+// store is (or becomes) closed.
+func (s *Store[T]) Put(p *Proc, v T) bool {
+	for s.full() && !s.closed {
+		s.putters = append(s.putters, p)
+		p.block("store-put:" + s.name)
+	}
+	if s.closed {
+		return false
+	}
+	s.items = append(s.items, v)
+	s.wakeOneGetter()
+	return true
+}
+
+// TryPut appends v only if the store has room; it reports whether it did.
+func (s *Store[T]) TryPut(v T) bool {
+	if s.closed || s.full() {
+		return false
+	}
+	s.items = append(s.items, v)
+	s.wakeOneGetter()
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while the store is empty.
+// It reports ok=false once the store is closed and drained.
+func (s *Store[T]) Get(p *Proc) (T, bool) {
+	for len(s.items) == 0 {
+		if s.closed {
+			var zero T
+			return zero, false
+		}
+		s.getters = append(s.getters, p)
+		p.block("store-get:" + s.name)
+	}
+	v := s.items[0]
+	s.items = s.items[1:]
+	s.wakeOnePutter()
+	return v, true
+}
+
+// TryGet removes the oldest item without blocking; ok reports whether an item
+// was available.
+func (s *Store[T]) TryGet() (T, bool) {
+	if len(s.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := s.items[0]
+	s.items = s.items[1:]
+	s.wakeOnePutter()
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (s *Store[T]) Peek() (T, bool) {
+	if len(s.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return s.items[0], true
+}
+
+// Close marks the store closed and wakes every blocked process. Items already
+// queued remain retrievable by Get.
+func (s *Store[T]) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	gs, ps := s.getters, s.putters
+	s.getters, s.putters = nil, nil
+	for _, g := range gs {
+		s.eng.wake(g)
+	}
+	for _, p := range ps {
+		s.eng.wake(p)
+	}
+}
+
+func (s *Store[T]) wakeOneGetter() {
+	if len(s.getters) == 0 {
+		return
+	}
+	g := s.getters[0]
+	s.getters = s.getters[1:]
+	s.eng.wake(g)
+}
+
+func (s *Store[T]) wakeOnePutter() {
+	if len(s.putters) == 0 {
+		return
+	}
+	p := s.putters[0]
+	s.putters = s.putters[1:]
+	s.eng.wake(p)
+}
+
+func (s *Store[T]) String() string {
+	return fmt.Sprintf("Store(%s len=%d cap=%d closed=%v)", s.name, len(s.items), s.cap, s.closed)
+}

@@ -1,0 +1,332 @@
+// Package trace records per-process activity spans and renders them, in the
+// spirit of the TAU / Intel Trace Analyzer views the paper uses to diagnose
+// workflow inefficiencies (Figures 4, 5, 6, 17, 19).
+//
+// A Recorder collects (process, state, start, end) spans in either virtual or
+// wall-clock time. Analyses include per-state time aggregation, windowed
+// snapshots, and an ASCII Gantt chart renderer.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one contiguous interval during which a process was in a state.
+type Span struct {
+	Proc  string
+	State string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Dur returns the span length.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Recorder accumulates spans. It is safe for concurrent use so the same type
+// serves the real runtime and the single-threaded simulator.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+	off   bool
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetEnabled toggles collection; a disabled recorder drops spans.
+func (r *Recorder) SetEnabled(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.off = !on
+}
+
+// Add records one span. Zero-length spans are kept (they mark instantaneous
+// events); negative spans panic.
+func (r *Recorder) Add(proc, state string, start, end time.Duration) {
+	if end < start {
+		panic(fmt.Sprintf("trace: span ends before it starts: %v < %v", end, start))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.off {
+		return
+	}
+	r.spans = append(r.spans, Span{Proc: proc, State: state, Start: start, End: end})
+}
+
+// Timed runs fn and records its duration under (proc, state) using the clock.
+func (r *Recorder) Timed(proc, state string, clock func() time.Duration, fn func()) {
+	start := clock()
+	fn()
+	r.Add(proc, state, start, clock())
+}
+
+// Spans returns a copy of all recorded spans in insertion order.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// TotalByState sums span durations per state, optionally filtered to one
+// process ("" matches all).
+func (r *Recorder) TotalByState(proc string) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, s := range r.Spans() {
+		if proc != "" && s.Proc != proc {
+			continue
+		}
+		out[s.State] += s.Dur()
+	}
+	return out
+}
+
+// Total sums the duration of one state across processes matching the prefix.
+func (r *Recorder) Total(procPrefix, state string) time.Duration {
+	var t time.Duration
+	for _, s := range r.Spans() {
+		if s.State == state && strings.HasPrefix(s.Proc, procPrefix) {
+			t += s.Dur()
+		}
+	}
+	return t
+}
+
+// CountSpans counts spans of a state across processes matching the prefix.
+func (r *Recorder) CountSpans(procPrefix, state string) int {
+	n := 0
+	for _, s := range r.Spans() {
+		if s.State == state && strings.HasPrefix(s.Proc, procPrefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// Window clips all spans to [from, to), dropping spans fully outside it. The
+// result's spans are shifted so the window starts at zero — this is the
+// "snapshot" operation used for the paper's trace figures.
+func (r *Recorder) Window(from, to time.Duration) *Recorder {
+	out := NewRecorder()
+	for _, s := range r.Spans() {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		cs := s
+		if cs.Start < from {
+			cs.Start = from
+		}
+		if cs.End > to {
+			cs.End = to
+		}
+		cs.Start -= from
+		cs.End -= from
+		out.spans = append(out.spans, cs)
+	}
+	return out
+}
+
+// Procs lists distinct process names in first-appearance order.
+func (r *Recorder) Procs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range r.Spans() {
+		if !seen[s.Proc] {
+			seen[s.Proc] = true
+			out = append(out, s.Proc)
+		}
+	}
+	return out
+}
+
+// StepsIn estimates how many complete spans of the given state fit in the
+// window [from,to) for processes with the prefix, counting partial spans
+// fractionally. The paper uses this to compare "steps per snapshot" between
+// Zipper and Decaf (Figures 17, 19).
+func (r *Recorder) StepsIn(procPrefix, state string, from, to time.Duration) float64 {
+	var total float64
+	nProcs := map[string]bool{}
+	for _, s := range r.Spans() {
+		if s.State != state || !strings.HasPrefix(s.Proc, procPrefix) {
+			continue
+		}
+		nProcs[s.Proc] = true
+		if s.End <= from || s.Start >= to || s.Dur() == 0 {
+			continue
+		}
+		ov := s
+		if ov.Start < from {
+			ov.Start = from
+		}
+		if ov.End > to {
+			ov.End = to
+		}
+		total += float64(ov.Dur()) / float64(s.Dur())
+	}
+	if len(nProcs) == 0 {
+		return 0
+	}
+	return total / float64(len(nProcs))
+}
+
+// GanttOptions configures rendering.
+type GanttOptions struct {
+	// Width is the number of time columns. Zero selects 100.
+	Width int
+	// Procs restricts and orders the rows; empty means all in appearance order.
+	Procs []string
+	// Symbols maps state -> glyph. States not listed get letters assigned in
+	// first-appearance order.
+	Symbols map[string]rune
+}
+
+// Gantt renders the recorder's spans as an ASCII timeline, one row per
+// process, with a legend. Each column shows the state occupying the largest
+// share of that time bucket ('.' for idle).
+func (r *Recorder) Gantt(opt GanttOptions) string {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return "(empty trace)\n"
+	}
+	width := opt.Width
+	if width <= 0 {
+		width = 100
+	}
+	procs := opt.Procs
+	if len(procs) == 0 {
+		procs = r.Procs()
+	}
+	var maxT time.Duration
+	for _, s := range spans {
+		if s.End > maxT {
+			maxT = s.End
+		}
+	}
+	if maxT == 0 {
+		maxT = 1
+	}
+	symbols := map[string]rune{}
+	for k, v := range opt.Symbols {
+		symbols[k] = v
+	}
+	next := 0
+	alphabet := []rune("CSUPTWRABDEFGHIJKLMNOQVXYZ")
+	sym := func(state string) rune {
+		if g, ok := symbols[state]; ok {
+			return g
+		}
+		g := alphabet[next%len(alphabet)]
+		next++
+		symbols[state] = g
+		return g
+	}
+	rowFor := map[string]int{}
+	for i, p := range procs {
+		rowFor[p] = i
+	}
+	// occupancy[row][col][state] = overlapped duration
+	occ := make([]map[int]map[string]time.Duration, len(procs))
+	for i := range occ {
+		occ[i] = map[int]map[string]time.Duration{}
+	}
+	bucket := maxT / time.Duration(width)
+	if bucket == 0 {
+		bucket = 1
+	}
+	for _, s := range spans {
+		row, ok := rowFor[s.Proc]
+		if !ok {
+			continue
+		}
+		c0 := int(s.Start / bucket)
+		c1 := int((s.End - 1) / bucket)
+		if s.Dur() == 0 {
+			c1 = c0
+		}
+		for c := c0; c <= c1 && c < width; c++ {
+			bs, be := time.Duration(c)*bucket, time.Duration(c+1)*bucket
+			ov := minDur(s.End, be) - maxDur(s.Start, bs)
+			if ov <= 0 {
+				ov = 1
+			}
+			if occ[row][c] == nil {
+				occ[row][c] = map[string]time.Duration{}
+			}
+			occ[row][c][s.State] += ov
+		}
+	}
+	var b strings.Builder
+	nameW := 0
+	for _, p := range procs {
+		if len(p) > nameW {
+			nameW = len(p)
+		}
+	}
+	for i, p := range procs {
+		fmt.Fprintf(&b, "%-*s |", nameW, p)
+		for c := 0; c < width; c++ {
+			states := occ[i][c]
+			if len(states) == 0 {
+				b.WriteRune('.')
+				continue
+			}
+			var best string
+			var bestD time.Duration = -1
+			keys := make([]string, 0, len(states))
+			for k := range states {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if states[k] > bestD {
+					best, bestD = k, states[k]
+				}
+			}
+			b.WriteRune(sym(best))
+		}
+		b.WriteString("|\n")
+	}
+	// Legend in glyph-assignment order.
+	type kv struct {
+		state string
+		g     rune
+	}
+	var legend []kv
+	for s, g := range symbols {
+		legend = append(legend, kv{s, g})
+	}
+	sort.Slice(legend, func(i, j int) bool { return legend[i].state < legend[j].state })
+	b.WriteString("legend:")
+	for _, l := range legend {
+		fmt.Fprintf(&b, " %c=%s", l.g, l.state)
+	}
+	fmt.Fprintf(&b, "  (span %v, %v/col)\n", maxT, bucket)
+	return b.String()
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

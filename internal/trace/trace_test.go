@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestTotalsAndCounts(t *testing.T) {
+	r := NewRecorder()
+	r.Add("sim.0", "collision", ms(0), ms(10))
+	r.Add("sim.0", "streaming", ms(10), ms(15))
+	r.Add("sim.0", "collision", ms(15), ms(25))
+	r.Add("sim.1", "collision", ms(0), ms(8))
+	r.Add("ana.0", "analyze", ms(5), ms(20))
+
+	if got := r.TotalByState("sim.0")["collision"]; got != ms(20) {
+		t.Fatalf("sim.0 collision = %v, want 20ms", got)
+	}
+	if got := r.Total("sim", "collision"); got != ms(28) {
+		t.Fatalf("sim* collision = %v, want 28ms", got)
+	}
+	if got := r.CountSpans("sim", "collision"); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := r.Total("", "analyze"); got != ms(15) {
+		t.Fatalf("analyze total = %v", got)
+	}
+}
+
+func TestWindowClipsAndShifts(t *testing.T) {
+	r := NewRecorder()
+	r.Add("p", "a", ms(0), ms(10))
+	r.Add("p", "b", ms(10), ms(30))
+	r.Add("p", "c", ms(30), ms(40))
+	w := r.Window(ms(5), ms(35))
+	spans := w.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("window kept %d spans, want 3", len(spans))
+	}
+	if spans[0].Start != 0 || spans[0].End != ms(5) {
+		t.Fatalf("first clipped span = %+v", spans[0])
+	}
+	if spans[2].Start != ms(25) || spans[2].End != ms(30) {
+		t.Fatalf("last clipped span = %+v", spans[2])
+	}
+}
+
+func TestWindowDropsOutside(t *testing.T) {
+	r := NewRecorder()
+	r.Add("p", "early", ms(0), ms(5))
+	r.Add("p", "late", ms(50), ms(60))
+	if got := r.Window(ms(10), ms(40)).Len(); got != 0 {
+		t.Fatalf("window kept %d spans, want 0", got)
+	}
+}
+
+func TestStepsIn(t *testing.T) {
+	r := NewRecorder()
+	// Three 10ms steps; a window covering 2.5 of them.
+	for i := 0; i < 3; i++ {
+		r.Add("sim.0", "step", ms(i*10), ms(i*10+10))
+	}
+	got := r.StepsIn("sim", "step", ms(0), ms(25))
+	if got < 2.45 || got > 2.55 {
+		t.Fatalf("StepsIn = %v, want ≈2.5", got)
+	}
+}
+
+func TestStepsInAveragesOverProcs(t *testing.T) {
+	r := NewRecorder()
+	r.Add("sim.0", "step", ms(0), ms(10))
+	r.Add("sim.0", "step", ms(10), ms(20))
+	r.Add("sim.1", "step", ms(0), ms(20)) // slower proc: 1 step
+	got := r.StepsIn("sim", "step", ms(0), ms(20))
+	if got != 1.5 {
+		t.Fatalf("StepsIn = %v, want 1.5", got)
+	}
+}
+
+func TestGanttRendersStates(t *testing.T) {
+	r := NewRecorder()
+	r.Add("sim.0", "compute", ms(0), ms(50))
+	r.Add("sim.0", "stall", ms(50), ms(100))
+	out := r.Gantt(GanttOptions{Width: 10, Symbols: map[string]rune{"compute": 'C', "stall": '#'}})
+	if !strings.Contains(out, "CCCCC#####") {
+		t.Fatalf("unexpected gantt:\n%s", out)
+	}
+	if !strings.Contains(out, "C=compute") || !strings.Contains(out, "#=stall") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestGanttIdleColumns(t *testing.T) {
+	r := NewRecorder()
+	r.Add("p", "x", ms(0), ms(10))
+	r.Add("p", "x", ms(90), ms(100))
+	out := r.Gantt(GanttOptions{Width: 10, Symbols: map[string]rune{"x": 'X'}})
+	if !strings.Contains(out, "X........X") {
+		t.Fatalf("gantt:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	r := NewRecorder()
+	if out := r.Gantt(GanttOptions{}); !strings.Contains(out, "empty") {
+		t.Fatalf("empty gantt = %q", out)
+	}
+}
+
+func TestDisabledRecorderDrops(t *testing.T) {
+	r := NewRecorder()
+	r.SetEnabled(false)
+	r.Add("p", "x", 0, ms(1))
+	if r.Len() != 0 {
+		t.Fatal("disabled recorder kept a span")
+	}
+	r.SetEnabled(true)
+	r.Add("p", "x", 0, ms(1))
+	if r.Len() != 1 {
+		t.Fatal("re-enabled recorder dropped a span")
+	}
+}
+
+func TestNegativeSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative span did not panic")
+		}
+	}()
+	NewRecorder().Add("p", "x", ms(2), ms(1))
+}
+
+func TestTimed(t *testing.T) {
+	r := NewRecorder()
+	var fake time.Duration
+	clock := func() time.Duration { return fake }
+	r.Timed("p", "work", clock, func() { fake = ms(42) })
+	s := r.Spans()
+	if len(s) != 1 || s[0].Dur() != ms(42) {
+		t.Fatalf("timed span = %+v", s)
+	}
+}
+
+// Property: windowing preserves total in-window duration per state.
+func TestWindowConservesDuration(t *testing.T) {
+	prop := func(starts []uint16) bool {
+		r := NewRecorder()
+		for i, s := range starts {
+			if i >= 10 {
+				break
+			}
+			st := time.Duration(s%1000) * time.Millisecond
+			r.Add("p", "x", st, st+ms(17))
+		}
+		from, to := ms(100), ms(600)
+		w := r.Window(from, to)
+		var want time.Duration
+		for _, s := range r.Spans() {
+			lo, hi := s.Start, s.End
+			if lo < from {
+				lo = from
+			}
+			if hi > to {
+				hi = to
+			}
+			if hi > lo {
+				want += hi - lo
+			}
+		}
+		return w.Total("p", "x") == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"zipper/internal/mpi"
+	"zipper/internal/sim"
+)
+
+// DataSpaces couples the applications through dedicated staging servers
+// (§2(2)): producers put data into server memory with RDMA after acquiring a
+// write lock from the lock service, and consumers get it back after the
+// step's writers unlock. The Adios flavour hides the native customized
+// light-weight lock behind ADIOS's uniform interface: a single coarse
+// reader/writer lock serializes whole write and read phases against each
+// other, plus a fixed per-operation interface overhead — the cost the paper
+// measures as the 1.3× native-vs-ADIOS gap in Figure 2.
+type DataSpaces struct {
+	// Adios selects the ADIOS/DataSpaces flavour.
+	Adios bool
+	// Slots is the circular lock-queue depth (the paper's num_slots). Zero
+	// selects 4.
+	Slots int
+	// LockWindow is how far producers may run ahead of consumers before the
+	// reader/writer lock blocks them; the native custom locks still enforce
+	// per-step writer/reader alternation. Zero selects 1.
+	LockWindow int
+	// ServiceTime is the staging-server per-request CPU time. Zero selects
+	// 100µs.
+	ServiceTime time.Duration
+	// ServerBandwidth is the server-side ingestion rate (indexing plus
+	// memory copy into the virtual shared space) in bytes/second. Zero
+	// selects 2 GB/s.
+	ServerBandwidth float64
+	// AdiosOverhead is the per-operation uniform-interface cost in the
+	// ADIOS flavour. Zero selects 3ms.
+	AdiosOverhead time.Duration
+	// PackPerByte is the ADIOS flavour's per-byte marshaling cost. Zero
+	// selects 6ns/byte.
+	PackPerByte time.Duration
+
+	pl      *Platform
+	table   *stepTable
+	servers []*server
+	// Coarse global RW interlock for the ADIOS flavour.
+	rwMu      *sim.Mutex
+	rwCond    *sim.Cond
+	writersIn int
+	readersIn int
+}
+
+// NewDataSpaces returns the native or ADIOS-flavoured model.
+func NewDataSpaces(adios bool) *DataSpaces { return &DataSpaces{Adios: adios} }
+
+// Name implements Method.
+func (d *DataSpaces) Name() string {
+	if d.Adios {
+		return "ADIOS/DataSpaces"
+	}
+	return "DataSpaces"
+}
+
+// Validate implements Method.
+func (d *DataSpaces) Validate(pl *Platform) error {
+	if len(pl.StagingNodes) == 0 {
+		return errors.New("dataspaces: no staging nodes for servers")
+	}
+	return nil
+}
+
+// Setup implements Method.
+func (d *DataSpaces) Setup(pl *Platform) {
+	if d.Slots <= 0 {
+		d.Slots = 4
+	}
+	if d.LockWindow <= 0 {
+		d.LockWindow = 1
+	}
+	if d.ServiceTime <= 0 {
+		d.ServiceTime = 100 * time.Microsecond
+	}
+	if d.ServerBandwidth <= 0 {
+		d.ServerBandwidth = 2e9
+	}
+	if d.AdiosOverhead <= 0 {
+		d.AdiosOverhead = 3 * time.Millisecond
+	}
+	if d.PackPerByte <= 0 {
+		d.PackPerByte = 6 * time.Nanosecond
+	}
+	d.pl = pl
+	d.table = newStepTable(pl.Eng, "dspaces.steps")
+	for i, n := range pl.StagingNodes {
+		d.servers = append(d.servers, newServer(pl.Eng, fmt.Sprintf("dspaces.srv%d", i), n, d.ServiceTime))
+	}
+	d.rwMu = sim.NewMutex(pl.Eng, "dspaces.rw")
+	d.rwCond = sim.NewCond(d.rwMu, "dspaces.rw.cond")
+}
+
+// serverFor spreads (rank, step) data across staging servers.
+func (d *DataSpaces) serverFor(rank, step int) *server {
+	return d.servers[(rank+step)%len(d.servers)]
+}
+
+// enterWrite/exitWrite and enterRead/exitRead implement the ADIOS-flavour
+// coarse interlock: writers exclude readers and vice versa, globally.
+func (d *DataSpaces) enterWrite(p *sim.Proc) {
+	d.rwMu.Lock(p)
+	for d.readersIn > 0 {
+		d.rwCond.Wait(p)
+	}
+	d.writersIn++
+	d.rwMu.Unlock(p)
+}
+
+func (d *DataSpaces) exitWrite(p *sim.Proc) {
+	d.rwMu.Lock(p)
+	d.writersIn--
+	if d.writersIn == 0 {
+		d.rwCond.Broadcast()
+	}
+	d.rwMu.Unlock(p)
+}
+
+func (d *DataSpaces) enterRead(p *sim.Proc) {
+	d.rwMu.Lock(p)
+	for d.writersIn > 0 {
+		d.rwCond.Wait(p)
+	}
+	d.readersIn++
+	d.rwMu.Unlock(p)
+}
+
+func (d *DataSpaces) exitRead(p *sim.Proc) {
+	d.rwMu.Lock(p)
+	d.readersIn--
+	if d.readersIn == 0 {
+		d.rwCond.Broadcast()
+	}
+	d.rwMu.Unlock(p)
+}
+
+// Writer implements Method.
+func (d *DataSpaces) Writer(r *mpi.Rank) StepWriter { return &dsWriter{d: d, r: r} }
+
+// Reader implements Method.
+func (d *DataSpaces) Reader(r *mpi.Rank) StepReader { return &dsReader{d: d, r: r} }
+
+type dsWriter struct {
+	d *DataSpaces
+	r *mpi.Rank
+}
+
+func (w *dsWriter) Put(step int) {
+	d, pl, p := w.d, w.d.pl, w.r.Proc()
+	rank := w.r.Local()
+	node := w.r.Node()
+
+	// Reader/writer interlock: the writer of step s must wait until the
+	// readers are done with step s-LockWindow, and its slot (s-Slots) must
+	// have been recycled.
+	stallStart := p.Now()
+	d.table.waitRead(p, step-d.LockWindow, pl.Q)
+	d.table.waitRead(p, step-d.Slots, pl.Q)
+	if p.Now() > stallStart {
+		pl.record(prodProcName(rank), "stall", stallStart, p.Now())
+	}
+
+	lockStart := p.Now()
+	srv := d.serverFor(rank, step)
+	srv.call(p, pl.Fab, node) // dspaces_lock_on_write: lock-service round trip
+	if d.Adios {
+		p.Delay(d.AdiosOverhead + time.Duration(pl.BytesPerStep)*d.PackPerByte)
+		d.enterWrite(p)
+	}
+	pl.record(prodProcName(rank), "lock", lockStart, p.Now())
+
+	putStart := p.Now()
+	pl.Fab.Send(p, node, srv.node, pl.BytesPerStep) // RDMA put into server memory
+	// Server-side ingestion: the staging server indexes and copies the
+	// object into the virtual shared space, serialized per server.
+	srv.cpu.Lock(p)
+	p.Delay(time.Duration(float64(pl.BytesPerStep) / d.ServerBandwidth * float64(time.Second)))
+	srv.cpu.Unlock(p)
+	srv.call(p, pl.Fab, node) // metadata update + unlock
+	if d.Adios {
+		d.exitWrite(p)
+	}
+	pl.record(prodProcName(rank), "PUT", putStart, p.Now())
+	d.table.markWrote(p, step)
+}
+
+func (w *dsWriter) Close() {}
+
+type dsReader struct {
+	d *DataSpaces
+	r *mpi.Rank
+}
+
+func (rd *dsReader) Get(step int) {
+	d, pl, p := rd.d, rd.d.pl, rd.r.Proc()
+	rank := rd.r.Local()
+	node := rd.r.Node()
+
+	// lock_on_read: wait until every writer of the step has unlocked.
+	lockStart := p.Now()
+	d.table.waitWrote(p, step, pl.P)
+	if d.Adios {
+		d.enterRead(p)
+	}
+	pl.record(consProcName(rank), "lock", lockStart, p.Now())
+
+	getStart := p.Now()
+	for _, src := range pl.Share(rank) {
+		srv := d.serverFor(src, step)
+		srv.call(p, pl.Fab, node) // directory query
+		if d.Adios {
+			p.Delay(d.AdiosOverhead + time.Duration(pl.BytesPerStep)*d.PackPerByte)
+		}
+		// Server-side lookup + copy out of the shared space, then the RDMA
+		// transfer back to the consumer.
+		srv.cpu.Lock(p)
+		p.Delay(time.Duration(float64(pl.BytesPerStep) / d.ServerBandwidth * float64(time.Second)))
+		srv.cpu.Unlock(p)
+		pl.Fab.Send(p, srv.node, node, pl.BytesPerStep) // RDMA get
+	}
+	if d.Adios {
+		d.exitRead(p)
+	}
+	pl.record(consProcName(rank), "GET", getStart, p.Now())
+}
+
+// Done releases the read lock: the consumer holds it through its analysis
+// of the step (dspaces_unlock_on_read after processing), which is what
+// stalls waiting writers when analysis is slow.
+func (rd *dsReader) Done(step int) {
+	rd.d.table.markRead(rd.r.Proc(), step)
+}
+
+func (rd *dsReader) Close() {}
+
+var _ Method = (*DataSpaces)(nil)

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"zipper/internal/fabric"
+	"zipper/internal/mpi"
+)
+
+// Decaf couples the applications through dedicated "link" processes inside a
+// single MPI_COMM_WORLD (§2(6)): producers redistribute each step to link
+// processes and block in MPI_Waitall until the link has safely stored the
+// data (the stall of Figure 6); links forward to consumers, and "slower
+// consumers will block the producers" because all data must arrive in the
+// link before it can move on (§5). Serialization cost models the Boost
+// serialization the paper could not even trace past.
+//
+// Two scale limits from the paper are modelled: the integer-overflow
+// segmentation fault in the count-based redistribution once the global
+// element count exceeds 2³¹ (§6.3.1, CFD crash at ≥6,528 cores), and the
+// fixed-size staging allocation (Table 1: 64 link processes on 8 nodes)
+// whose NICs saturate at large scale — the degradation Figure 18 shows for
+// LAMMPS beyond 1,632 cores.
+type Decaf struct {
+	// LinksPerNode is how many link processes run on each staging node.
+	// Zero selects 8 (Table 1: 64 links on 8 nodes).
+	LinksPerNode int
+	// SerializeBandwidth models Boost serialization throughput in
+	// bytes/second on both the put and get sides. Zero selects 2.5 GB/s.
+	SerializeBandwidth float64
+	// MaxGlobalElems is the count-based redistribution's integer limit in
+	// 8-byte elements. Zero selects 2³¹; negative disables the check.
+	MaxGlobalElems int64
+
+	pl       *Platform
+	linkComm *mpi.Comm
+	all      *mpi.Comm
+	nLinks   int
+}
+
+// NewDecaf returns the Decaf model.
+func NewDecaf() *Decaf { return &Decaf{} }
+
+// Name implements Method.
+func (d *Decaf) Name() string { return "Decaf" }
+
+// Validate implements Method: the integer-overflow crash.
+func (d *Decaf) Validate(pl *Platform) error {
+	max := d.MaxGlobalElems
+	if max == 0 {
+		max = 1 << 31
+	}
+	if max > 0 {
+		elems := int64(pl.P) * pl.BytesPerStep / 8
+		if elems > max {
+			return fmt.Errorf("decaf: segmentation fault: global element count %d overflows int32 in count-based redistribution (§6.3.1)", elems)
+		}
+	}
+	return nil
+}
+
+// Setup implements Method: creates the link ranks inside a spanning
+// communicator (Decaf's single MPI_COMM_WORLD) and starts the link
+// processes.
+func (d *Decaf) Setup(pl *Platform) {
+	if d.LinksPerNode <= 0 {
+		d.LinksPerNode = 8
+	}
+	if d.SerializeBandwidth <= 0 {
+		d.SerializeBandwidth = 1.2e9
+	}
+	d.pl = pl
+	var linkNodes []fabric.NodeID
+	for _, n := range pl.StagingNodes {
+		for i := 0; i < d.LinksPerNode; i++ {
+			linkNodes = append(linkNodes, n)
+		}
+	}
+	if len(linkNodes) == 0 {
+		panic("decaf: no staging nodes")
+	}
+	d.nLinks = len(linkNodes)
+	d.linkComm = pl.World.AddRanks(linkNodes)
+	d.all = mpi.Union(pl.Prod, pl.Cons, d.linkComm)
+	d.linkComm.Launch("decaf.link", d.linkMain)
+}
+
+// linkOf maps a producer rank to its link process.
+func (d *Decaf) linkOf(p int) int { return p % d.nLinks }
+
+// allRankOfLink returns a link's index within the spanning communicator.
+func (d *Decaf) allRankOfLink(l int) int { return d.pl.P + d.pl.Q + l }
+
+// allRankOfCons returns a consumer's index within the spanning communicator.
+func (d *Decaf) allRankOfCons(j int) int { return d.pl.P + j }
+
+// linkMain is the dataflow link process: per step, receive from all assigned
+// producers, then forward each producer's data to its consumer. The link
+// holds one step at a time — the interlock that back-pressures producers.
+func (d *Decaf) linkMain(r *mpi.Rank) {
+	pl := d.pl
+	l := r.Local()
+	var mine []int
+	for p := 0; p < pl.P; p++ {
+		if d.linkOf(p) == l {
+			mine = append(mine, p)
+		}
+	}
+	if len(mine) == 0 {
+		return
+	}
+	for step := 0; step < pl.Steps; step++ {
+		// Gather the whole step first: "all data must arrive in link before
+		// they can be forwarded to the next application" (§5).
+		for range mine {
+			d.all.Recv(r, mpi.AnySource, stepTag(step))
+		}
+		// Forward each producer's portion to its consumer.
+		for _, p := range mine {
+			d.all.Send(r, d.allRankOfCons(pl.ConsumerOf(p)), fwdTag(step), pl.BytesPerStep, p)
+		}
+	}
+}
+
+func stepTag(step int) int { return 10_000 + step }
+func fwdTag(step int) int  { return 20_000 + step }
+
+// Writer implements Method.
+func (d *Decaf) Writer(r *mpi.Rank) StepWriter { return &decafWriter{d: d, r: r} }
+
+// Reader implements Method.
+func (d *Decaf) Reader(r *mpi.Rank) StepReader { return &decafReader{d: d, r: r} }
+
+type decafWriter struct {
+	d *Decaf
+	r *mpi.Rank
+}
+
+func (w *decafWriter) Put(step int) {
+	d, pl, p := w.d, w.d.pl, w.r.Proc()
+	rank := w.r.Local()
+
+	serStart := p.Now()
+	p.Delay(time.Duration(float64(pl.BytesPerStep) / d.SerializeBandwidth * float64(time.Second)))
+	pl.record(prodProcName(rank), "serialize", serStart, p.Now())
+
+	// Rendezvous send to the link: returns only once the link has taken the
+	// data — the producer-side MPI_Waitall stall of Figure 6.
+	putStart := p.Now()
+	d.all.Send(w.r, d.allRankOfLink(d.linkOf(rank)), stepTag(step), pl.BytesPerStep, rank)
+	pl.record(prodProcName(rank), "PUT", putStart, p.Now())
+}
+
+func (w *decafWriter) Close() {}
+
+type decafReader struct {
+	d *Decaf
+	r *mpi.Rank
+}
+
+func (rd *decafReader) Get(step int) {
+	d, pl, p := rd.d, rd.d.pl, rd.r.Proc()
+	rank := rd.r.Local()
+	getStart := p.Now()
+	for range pl.Share(rank) {
+		d.all.Recv(rd.r, mpi.AnySource, fwdTag(step))
+		p.Delay(time.Duration(float64(pl.BytesPerStep) / d.SerializeBandwidth * float64(time.Second)))
+	}
+	pl.record(consProcName(rank), "GET", getStart, p.Now())
+}
+
+// Done implements StepReader; Decaf's link hand-off completed at Get.
+func (rd *decafReader) Done(step int) {}
+
+func (rd *decafReader) Close() {}
+
+var _ Method = (*Decaf)(nil)

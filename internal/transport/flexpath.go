@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"zipper/internal/fabric"
+	"zipper/internal/mpi"
+	"zipper/internal/sim"
+)
+
+// Flexpath couples the applications with a type-based publish/subscribe
+// system over event channels (§2(4)). Publishers buffer each output epoch;
+// subscribers send a fetch request to every publisher they need and pull the
+// data back. The paper's investigation (§6.3.1) found its critical weakness:
+// Flexpath "utilizes a socket interface and all communications (even within
+// the same node) have to go through the socket interface" with no
+// shared-memory optimization, so with many processes per node every
+// transfer serializes through the node's socket stack. The model reproduces
+// this with a per-node socket-service lock and a per-process socket
+// throughput, plus the queue-depth interlock between output epochs. The
+// segmentation fault the paper hit at 6,528 cores is modelled as a Validate
+// failure at the same threshold.
+type Flexpath struct {
+	// SocketBandwidth is the per-transfer socket-path throughput in
+	// bytes/second. Zero selects 1.5 GB/s.
+	SocketBandwidth float64
+	// PerMessageOverhead is the event-channel software cost per fetch.
+	// Zero selects 200µs.
+	PerMessageOverhead time.Duration
+	// QueueDepth is how many un-fetched output epochs a publisher may
+	// buffer before blocking. Zero selects 2.
+	QueueDepth int
+	// FailCores models the crash the paper reports: workflows with at least
+	// this many total cores terminate at Validate. Zero selects 6528;
+	// negative disables.
+	FailCores int
+	// TotalCores is supplied by the driver for the Validate check.
+	TotalCores int
+
+	pl      *Platform
+	table   *stepTable
+	fetched *stepTable
+	sockMu  map[fabric.NodeID]*sim.Mutex
+}
+
+// NewFlexpath returns the Flexpath model.
+func NewFlexpath() *Flexpath { return &Flexpath{} }
+
+// Name implements Method.
+func (f *Flexpath) Name() string { return "Flexpath" }
+
+// Validate implements Method.
+func (f *Flexpath) Validate(pl *Platform) error {
+	fail := f.FailCores
+	if fail == 0 {
+		fail = 6528
+	}
+	if fail > 0 && f.TotalCores >= fail {
+		return fmt.Errorf("flexpath: segmentation fault at %d cores (software fault reported in §6.3.1)", f.TotalCores)
+	}
+	return nil
+}
+
+// Setup implements Method.
+func (f *Flexpath) Setup(pl *Platform) {
+	if f.SocketBandwidth <= 0 {
+		f.SocketBandwidth = 1.5e9
+	}
+	if f.PerMessageOverhead <= 0 {
+		f.PerMessageOverhead = 200 * time.Microsecond
+	}
+	if f.QueueDepth <= 0 {
+		f.QueueDepth = 2
+	}
+	f.pl = pl
+	f.table = newStepTable(pl.Eng, "flexpath.steps")
+	f.fetched = newStepTable(pl.Eng, "flexpath.fetched")
+	f.sockMu = map[fabric.NodeID]*sim.Mutex{}
+	for _, nodes := range [][]fabric.NodeID{pl.ProdNodes, pl.ConsNodes} {
+		for _, n := range nodes {
+			if f.sockMu[n] == nil {
+				f.sockMu[n] = sim.NewMutex(pl.Eng, fmt.Sprintf("flexpath.sock.node%d", n))
+			}
+		}
+	}
+}
+
+// Writer implements Method.
+func (f *Flexpath) Writer(r *mpi.Rank) StepWriter { return &fpWriter{f: f, r: r} }
+
+// Reader implements Method.
+func (f *Flexpath) Reader(r *mpi.Rank) StepReader { return &fpReader{f: f, r: r} }
+
+type fpWriter struct {
+	f *Flexpath
+	r *mpi.Rank
+}
+
+func (w *fpWriter) Put(step int) {
+	f, pl, p := w.f, w.f.pl, w.r.Proc()
+	rank := w.r.Local()
+
+	// Publishers may buffer QueueDepth epochs; beyond that the output epoch
+	// (open/write/close) blocks until subscribers drain.
+	stallStart := p.Now()
+	if prev := step - f.QueueDepth; prev >= 0 {
+		f.fetched.waitRead(p, fetchStepKeyed(rank, prev), 1)
+	}
+	if p.Now() > stallStart {
+		pl.record(prodProcName(rank), "stall", stallStart, p.Now())
+	}
+
+	putStart := p.Now()
+	// Copy the epoch into the event channel's buffer.
+	p.Delay(time.Duration(float64(pl.BytesPerStep) / 10e9 * float64(time.Second)))
+	f.table.publish(p, epochKey(rank, step))
+	pl.record(prodProcName(rank), "PUT", putStart, p.Now())
+}
+
+func (w *fpWriter) Close() {}
+
+func epochKey(rank, step int) string { return fmt.Sprintf("%d/%d", rank, step) }
+
+type fpReader struct {
+	f *Flexpath
+	r *mpi.Rank
+}
+
+func (rd *fpReader) Get(step int) {
+	f, pl, p := rd.f, rd.f.pl, rd.r.Proc()
+	rank := rd.r.Local()
+	node := rd.r.Node()
+
+	getStart := p.Now()
+	for _, src := range pl.Share(rank) {
+		srcNode := pl.ProdNodes[src]
+		// Fetch message to the publisher.
+		pl.Fab.Send(p, node, srcNode, 0)
+		f.table.waitPublished(p, epochKey(src, step))
+		// The publisher's event stack pushes the epoch through the node's
+		// socket interface: serialized per node, bounded by socket
+		// throughput. This is where many-processes-per-node collapses.
+		sockTime := f.PerMessageOverhead +
+			time.Duration(float64(pl.BytesPerStep)/f.SocketBandwidth*float64(time.Second))
+		mu := f.sockMu[srcNode]
+		mu.Lock(p)
+		p.Delay(sockTime)
+		mu.Unlock(p)
+		pl.Fab.Send(p, srcNode, node, pl.BytesPerStep)
+		// The subscriber side pays the same socket-stack toll on its node.
+		mu = f.sockMu[node]
+		mu.Lock(p)
+		p.Delay(sockTime)
+		mu.Unlock(p)
+		f.fetched.markRead(p, fetchStepKeyed(src, step))
+	}
+	pl.record(consProcName(rank), "GET", getStart, p.Now())
+	f.table.markRead(p, step)
+}
+
+// Done implements StepReader; Flexpath holds nothing across analysis.
+func (rd *fpReader) Done(step int) {}
+
+func (rd *fpReader) Close() {}
+
+// fetchStepKeyed folds (rank, step) into a single integer key for the
+// fetched table so each publisher's epoch recycles independently.
+func fetchStepKeyed(rank, step int) int { return step*1_000_000 + rank }
+
+var _ Method = (*Flexpath)(nil)

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"zipper/internal/mpi"
+)
+
+// MPIIO couples the applications through shared files on the parallel file
+// system (§2(1)): every producer writes its step data at its rank offset in
+// a per-step file, and consumers poll the metadata server until the step
+// file is complete before reading their share. All data crosses the PFS,
+// whose bandwidth is shared with other users — the source of MPI-IO's
+// "longest and most variational end-to-end time" in Figure 2.
+type MPIIO struct {
+	// PollInterval is the consumer's polling period. Zero selects 50ms.
+	PollInterval time.Duration
+
+	pl    *Platform
+	table *stepTable
+}
+
+// NewMPIIO returns the MPI-IO coupling model.
+func NewMPIIO() *MPIIO { return &MPIIO{} }
+
+// Name implements Method.
+func (m *MPIIO) Name() string { return "MPI-IO" }
+
+// Validate implements Method; MPI-IO has no modelled crash threshold.
+func (m *MPIIO) Validate(pl *Platform) error {
+	if len(pl.FS.Config().OSTNodes) == 0 {
+		return errors.New("mpiio: platform has no parallel file system")
+	}
+	return nil
+}
+
+// Setup implements Method.
+func (m *MPIIO) Setup(pl *Platform) {
+	if m.PollInterval <= 0 {
+		m.PollInterval = 100 * time.Millisecond
+	}
+	m.pl = pl
+	m.table = newStepTable(pl.Eng, "mpiio.steps")
+}
+
+func (m *MPIIO) stepFile(step int) string { return fmt.Sprintf("mpiio/step%d", step) }
+
+// Writer implements Method.
+func (m *MPIIO) Writer(r *mpi.Rank) StepWriter { return &mpiioWriter{m: m, r: r} }
+
+// Reader implements Method.
+func (m *MPIIO) Reader(r *mpi.Rank) StepReader { return &mpiioReader{m: m, r: r} }
+
+type mpiioWriter struct {
+	m *MPIIO
+	r *mpi.Rank
+}
+
+func (w *mpiioWriter) Put(step int) {
+	m, pl, p := w.m, w.m.pl, w.r.Proc()
+	start := p.Now()
+	offset := int64(w.r.Local()) * pl.BytesPerStep
+	pl.FS.Write(p, w.r.Node(), m.stepFile(step), offset, pl.BytesPerStep)
+	pl.record(prodProcName(w.r.Local()), "PUT", start, p.Now())
+	m.table.markWrote(p, step)
+}
+
+func (w *mpiioWriter) Close() {}
+
+type mpiioReader struct {
+	m *MPIIO
+	r *mpi.Rank
+}
+
+func (rd *mpiioReader) Get(step int) {
+	m, pl, p := rd.m, rd.m.pl, rd.r.Proc()
+	start := p.Now()
+	// Poll for step completion: a Stat (MDS round trip) per poll, the
+	// coupling cost the paper notes file-based methods pay because "a
+	// consumer application [must] know when new data is available in a
+	// file" (§2).
+	for {
+		m.table.mu.Lock(p)
+		done := m.table.wrote[step] >= pl.P
+		m.table.mu.Unlock(p)
+		if done {
+			break
+		}
+		pl.FS.Stat(p, rd.r.Node(), m.stepFile(step))
+		p.Delay(m.PollInterval)
+	}
+	pl.record(consProcName(rd.r.Local()), "poll", start, p.Now())
+	readStart := p.Now()
+	for _, src := range pl.Share(rd.r.Local()) {
+		pl.FS.Read(p, rd.r.Node(), m.stepFile(step), int64(src)*pl.BytesPerStep, pl.BytesPerStep)
+	}
+	pl.record(consProcName(rd.r.Local()), "GET", readStart, p.Now())
+	m.table.markRead(p, step)
+}
+
+// Done implements StepReader; MPI-IO holds nothing across analysis.
+func (rd *mpiioReader) Done(step int) {}
+
+func (rd *mpiioReader) Close() {}
+
+var _ Method = (*MPIIO)(nil)

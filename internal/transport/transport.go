@@ -1,0 +1,206 @@
+// Package transport implements behavioural models of the seven I/O
+// transport methods the paper benchmarks against Zipper (§2, §3): MPI-IO,
+// native DataSpaces, ADIOS/DataSpaces, native DIMES, ADIOS/DIMES, Flexpath,
+// and Decaf. Each model reproduces the synchronization structure the paper's
+// traces attribute the method's cost to — staging-server queries and locks,
+// circular lock slots, publish/subscribe fetch epochs over sockets, link
+// nodes with MPI_Waitall interlocks, and shared-file polling — while the
+// data movement itself is charged to the shared fabric and PFS models, so
+// staging traffic interferes with the application's own messages exactly as
+// observed in Figures 4–6.
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"zipper/internal/fabric"
+	"zipper/internal/mpi"
+	"zipper/internal/pfs"
+	"zipper/internal/sim"
+	"zipper/internal/trace"
+)
+
+// Platform is everything a coupling method needs to wire itself into a
+// running workflow: the simulated machine, the application communicators,
+// process placement, and the workload's shape.
+type Platform struct {
+	Eng   *sim.Engine
+	Fab   *fabric.Fabric
+	FS    *pfs.PFS
+	World *mpi.World
+	Prod  *mpi.Comm // producer application communicator
+	Cons  *mpi.Comm // consumer application communicator
+
+	ProdNodes    []fabric.NodeID // node of each producer rank
+	ConsNodes    []fabric.NodeID // node of each consumer rank
+	StagingNodes []fabric.NodeID // nodes available for servers / link procs
+
+	Rec *trace.Recorder // may be nil
+
+	P, Q         int   // producer and consumer rank counts
+	Steps        int   // workflow steps
+	BytesPerStep int64 // output bytes per producer rank per step
+}
+
+// ConsumerOf maps a producer rank to the consumer that analyzes its data.
+func (pl *Platform) ConsumerOf(p int) int { return p * pl.Q / pl.P }
+
+// Share lists the producer ranks consumer j analyzes.
+func (pl *Platform) Share(j int) []int {
+	var out []int
+	for p := 0; p < pl.P; p++ {
+		if pl.ConsumerOf(p) == j {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// record adds a span to the platform recorder when tracing is on.
+func (pl *Platform) record(proc, state string, start, end time.Duration) {
+	if pl.Rec != nil {
+		pl.Rec.Add(proc, state, start, end)
+	}
+}
+
+func prodProcName(rank int) string { return fmt.Sprintf("sim.%d", rank) }
+func consProcName(rank int) string { return fmt.Sprintf("ana.%d", rank) }
+
+// Method is a coupling method the workflow driver can run.
+type Method interface {
+	// Name is the label used in the paper's figures.
+	Name() string
+	// Validate reports configuration-dependent failures before any process
+	// starts — the mechanism used to model the software faults the paper hit
+	// at large scale (Decaf integer overflow, Flexpath segfault).
+	Validate(pl *Platform) error
+	// Setup binds the method to the platform and spawns any service
+	// processes (staging servers, link processes).
+	Setup(pl *Platform)
+	// Writer returns producer rank r's output handle.
+	Writer(r *mpi.Rank) StepWriter
+	// Reader returns consumer rank r's input handle.
+	Reader(r *mpi.Rank) StepReader
+}
+
+// StepWriter is the producer-side per-rank handle.
+type StepWriter interface {
+	// Put outputs the rank's BytesPerStep for one step, blocking as the
+	// method's synchronization demands.
+	Put(step int)
+	// Close releases method resources after the last step.
+	Close()
+}
+
+// StepReader is the consumer-side per-rank handle.
+type StepReader interface {
+	// Get obtains the consumer's share of one step's data, blocking until
+	// the method makes it available.
+	Get(step int)
+	// Done tells the method the consumer finished processing the step's
+	// data. Lock-based methods (DataSpaces, DIMES) release their read locks
+	// here — the analysis executes inside the locked region, which is what
+	// stalls producers when analysis is slow (Figure 4).
+	Done(step int)
+	// Close releases method resources after the last step.
+	Close()
+}
+
+// stepTable tracks per-step write/read completion with FIFO wakeups; the
+// lock-slot coordination shared by the staging-based methods.
+type stepTable struct {
+	mu       *sim.Mutex
+	cond     *sim.Cond
+	wrote    map[int]int
+	read     map[int]int
+	pubByKey map[string]bool
+}
+
+func newStepTable(e *sim.Engine, name string) *stepTable {
+	mu := sim.NewMutex(e, name)
+	return &stepTable{
+		mu:       mu,
+		cond:     sim.NewCond(mu, name+".cond"),
+		wrote:    map[int]int{},
+		read:     map[int]int{},
+		pubByKey: map[string]bool{},
+	}
+}
+
+// markWrote counts one producer's completion of a step.
+func (t *stepTable) markWrote(p *sim.Proc, step int) {
+	t.mu.Lock(p)
+	t.wrote[step]++
+	t.cond.Broadcast()
+	t.mu.Unlock(p)
+}
+
+// markRead counts one consumer's completion of a step.
+func (t *stepTable) markRead(p *sim.Proc, step int) {
+	t.mu.Lock(p)
+	t.read[step]++
+	t.cond.Broadcast()
+	t.mu.Unlock(p)
+}
+
+// waitWrote blocks until n producers finished writing the step.
+func (t *stepTable) waitWrote(p *sim.Proc, step, n int) {
+	t.mu.Lock(p)
+	for t.wrote[step] < n {
+		t.cond.Wait(p)
+	}
+	t.mu.Unlock(p)
+}
+
+// waitRead blocks until n consumers finished reading the step. Steps < 0 are
+// trivially complete (slot warm-up).
+func (t *stepTable) waitRead(p *sim.Proc, step, n int) {
+	if step < 0 {
+		return
+	}
+	t.mu.Lock(p)
+	for t.read[step] < n {
+		t.cond.Wait(p)
+	}
+	t.mu.Unlock(p)
+}
+
+// publish marks an arbitrary key available and wakes waiters.
+func (t *stepTable) publish(p *sim.Proc, key string) {
+	t.mu.Lock(p)
+	t.pubByKey[key] = true
+	t.cond.Broadcast()
+	t.mu.Unlock(p)
+}
+
+// waitPublished blocks until a key is available.
+func (t *stepTable) waitPublished(p *sim.Proc, key string) {
+	t.mu.Lock(p)
+	for !t.pubByKey[key] {
+		t.cond.Wait(p)
+	}
+	t.mu.Unlock(p)
+}
+
+// server models a passive service endpoint (metadata or lock server): each
+// request serializes through the server's CPU for serviceTime and costs a
+// fabric round trip from the client.
+type server struct {
+	node fabric.NodeID
+	cpu  *sim.Mutex
+	svc  time.Duration
+}
+
+func newServer(e *sim.Engine, name string, node fabric.NodeID, svc time.Duration) *server {
+	return &server{node: node, cpu: sim.NewMutex(e, name), svc: svc}
+}
+
+// call performs one request from client (control message + service time).
+func (s *server) call(p *sim.Proc, fab *fabric.Fabric, client fabric.NodeID) {
+	fab.Send(p, client, s.node, 0)
+	s.cpu.Lock(p)
+	p.Delay(s.svc)
+	s.cpu.Unlock(p)
+	fab.Send(p, s.node, client, 0)
+}

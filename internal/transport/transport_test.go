@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"zipper/internal/fabric"
+	"zipper/internal/mpi"
+	"zipper/internal/pfs"
+	"zipper/internal/sim"
+	"zipper/internal/trace"
+)
+
+// microPlatform builds a tiny platform: 2 producers, 1 consumer, 1 staging
+// node, and runs a `steps`-step workflow over the given method.
+func microPlatform(t *testing.T, steps int) *Platform {
+	t.Helper()
+	e := sim.New()
+	f := fabric.New(e, fabric.Config{
+		Nodes: 6, NodesPerLeaf: 6, LinkBandwidth: 1e9, LinkLatency: time.Microsecond,
+	})
+	fs := pfs.New(e, f, pfs.Config{OSTNodes: []fabric.NodeID{4}, MDSNode: 5, OSTBandwidth: 5e8})
+	w := mpi.NewWorld(e, f, mpi.Config{})
+	prod := w.AddRanks([]fabric.NodeID{0, 1})
+	cons := w.AddRanks([]fabric.NodeID{2})
+	return &Platform{
+		Eng: e, Fab: f, FS: fs, World: w,
+		Prod: prod, Cons: cons,
+		ProdNodes:    []fabric.NodeID{0, 1},
+		ConsNodes:    []fabric.NodeID{2},
+		StagingNodes: []fabric.NodeID{3},
+		Rec:          trace.NewRecorder(),
+		P:            2, Q: 1, Steps: steps, BytesPerStep: 1 << 20,
+	}
+}
+
+// runMethod drives the method end to end and returns the virtual makespan.
+func runMethod(t *testing.T, pl *Platform, m Method) time.Duration {
+	t.Helper()
+	if err := m.Validate(pl); err != nil {
+		t.Fatal(err)
+	}
+	m.Setup(pl)
+	pl.Prod.Launch("sim", func(r *mpi.Rank) {
+		w := m.Writer(r)
+		for s := 0; s < pl.Steps; s++ {
+			r.Proc().Delay(2 * time.Millisecond)
+			w.Put(s)
+		}
+		w.Close()
+	})
+	pl.Cons.Launch("ana", func(r *mpi.Rank) {
+		rd := m.Reader(r)
+		for s := 0; s < pl.Steps; s++ {
+			rd.Get(s)
+			r.Proc().Delay(time.Millisecond)
+			rd.Done(s)
+		}
+		rd.Close()
+	})
+	if err := pl.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return pl.Eng.Now()
+}
+
+func TestEveryMethodMicroWorkflow(t *testing.T) {
+	mks := map[string]func() Method{
+		"mpiio":     func() Method { return NewMPIIO() },
+		"dspaces":   func() Method { return NewDataSpaces(false) },
+		"adios-ds":  func() Method { return NewDataSpaces(true) },
+		"dimes":     func() Method { return NewDIMES(false) },
+		"adios-dim": func() Method { return NewDIMES(true) },
+		"flexpath":  func() Method { return NewFlexpath() },
+		"decaf":     func() Method { return NewDecaf() },
+	}
+	for name, mk := range mks {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			pl := microPlatform(t, 4)
+			d := runMethod(t, pl, mk())
+			if d <= 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+			// Every method must record its producer-side activity.
+			if pl.Rec.Total("sim.", "PUT") == 0 {
+				t.Fatal("no PUT spans recorded")
+			}
+		})
+	}
+}
+
+func TestShareMapping(t *testing.T) {
+	pl := &Platform{P: 8, Q: 3}
+	seen := map[int]bool{}
+	total := 0
+	for j := 0; j < pl.Q; j++ {
+		for _, p := range pl.Share(j) {
+			if seen[p] {
+				t.Fatalf("producer %d assigned twice", p)
+			}
+			seen[p] = true
+			if pl.ConsumerOf(p) != j {
+				t.Fatalf("ConsumerOf(%d) = %d, want %d", p, pl.ConsumerOf(p), j)
+			}
+			total++
+		}
+	}
+	if total != pl.P {
+		t.Fatalf("%d producers assigned, want %d", total, pl.P)
+	}
+}
+
+func TestDecafValidateOverflow(t *testing.T) {
+	d := NewDecaf()
+	ok := &Platform{P: 4, BytesPerStep: 1 << 20}
+	if err := d.Validate(ok); err != nil {
+		t.Fatalf("small workload rejected: %v", err)
+	}
+	bad := &Platform{P: 4096, BytesPerStep: 8 << 20} // 4096·8MiB/8 = 2^32 > 2^31
+	err := d.Validate(bad)
+	if err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("overflow not detected: %v", err)
+	}
+	d.MaxGlobalElems = -1 // disabled
+	if err := d.Validate(bad); err != nil {
+		t.Fatalf("disabled check still fired: %v", err)
+	}
+}
+
+func TestFlexpathValidateCrash(t *testing.T) {
+	f := NewFlexpath()
+	f.TotalCores = 6527
+	if err := f.Validate(&Platform{}); err != nil {
+		t.Fatalf("below threshold rejected: %v", err)
+	}
+	f.TotalCores = 6528
+	if err := f.Validate(&Platform{}); err == nil {
+		t.Fatal("threshold crash not modelled")
+	}
+	f.FailCores = -1
+	if err := f.Validate(&Platform{}); err != nil {
+		t.Fatalf("disabled crash still fired: %v", err)
+	}
+}
+
+func TestMPIIOValidateNeedsPFS(t *testing.T) {
+	pl := microPlatform(t, 1)
+	if err := NewMPIIO().Validate(pl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagingValidateNeedsNodes(t *testing.T) {
+	pl := &Platform{}
+	if err := NewDataSpaces(false).Validate(pl); err == nil {
+		t.Fatal("dataspaces accepted no staging nodes")
+	}
+	if err := NewDIMES(false).Validate(pl); err == nil {
+		t.Fatal("dimes accepted no staging nodes")
+	}
+}
+
+func TestAdiosFlavourSlower(t *testing.T) {
+	native := runMethod(t, microPlatform(t, 5), NewDIMES(false))
+	adios := runMethod(t, microPlatform(t, 5), NewDIMES(true))
+	if adios <= native {
+		t.Fatalf("ADIOS/DIMES (%v) not slower than native (%v)", adios, native)
+	}
+}
+
+func TestDIMESStallsWhenAnalysisSlow(t *testing.T) {
+	// Make analysis slower than simulation: producers must show stall time
+	// under the type-2 interlock (the Figure 4 behaviour).
+	pl := microPlatform(t, 5)
+	m := NewDIMES(false)
+	if err := m.Validate(pl); err != nil {
+		t.Fatal(err)
+	}
+	m.Setup(pl)
+	pl.Prod.Launch("sim", func(r *mpi.Rank) {
+		w := m.Writer(r)
+		for s := 0; s < pl.Steps; s++ {
+			r.Proc().Delay(time.Millisecond)
+			w.Put(s)
+		}
+		w.Close()
+	})
+	pl.Cons.Launch("ana", func(r *mpi.Rank) {
+		rd := m.Reader(r)
+		for s := 0; s < pl.Steps; s++ {
+			rd.Get(s)
+			r.Proc().Delay(50 * time.Millisecond) // slow analysis
+			rd.Done(s)
+		}
+		rd.Close()
+	})
+	if err := pl.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Rec.Total("sim.", "stall") == 0 {
+		t.Fatal("no producer stall despite slow analysis")
+	}
+}
+
+func TestStepTable(t *testing.T) {
+	e := sim.New()
+	tbl := newStepTable(e, "t")
+	var order []string
+	e.Spawn("writer", func(p *sim.Proc) {
+		p.Delay(10 * time.Millisecond)
+		tbl.markWrote(p, 0)
+		order = append(order, "wrote")
+	})
+	e.Spawn("reader", func(p *sim.Proc) {
+		tbl.waitWrote(p, 0, 1)
+		order = append(order, "read-go")
+		tbl.markRead(p, 0)
+	})
+	e.Spawn("next-writer", func(p *sim.Proc) {
+		tbl.waitRead(p, 0, 1)
+		order = append(order, "recycled")
+	})
+	e.Spawn("trivial", func(p *sim.Proc) {
+		tbl.waitRead(p, -3, 99) // negative steps never block
+		order = append(order, "warmup")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"warmup", "wrote", "read-go", "recycled"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestServerSerializesRequests(t *testing.T) {
+	e := sim.New()
+	f := fabric.New(e, fabric.Config{Nodes: 4, NodesPerLeaf: 4, LinkBandwidth: 1e9, LinkLatency: time.Microsecond})
+	srv := newServer(e, "s", 3, 10*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("client", func(p *sim.Proc) {
+			srv.call(p, f, fabric.NodeID(i))
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Three 10ms services through one CPU must take ≥ 30ms.
+	if e.Now() < 30*time.Millisecond {
+		t.Fatalf("server requests did not serialize: %v", e.Now())
+	}
+}

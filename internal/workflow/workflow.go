@@ -1,0 +1,517 @@
+// Package workflow assembles and runs complete coupled
+// simulation + analysis workflows on the simulated platform: it builds the
+// machine (fabric + PFS), places producer/consumer/staging/storage ranks on
+// nodes, models the simulation application's per-step kernels and halo
+// exchanges, and drives either one of the baseline transport methods or the
+// Zipper runtime end to end, returning the stage times, traces, and network
+// counters the paper's figures report.
+package workflow
+
+import (
+	"fmt"
+	"time"
+
+	"zipper/internal/core"
+	"zipper/internal/fabric"
+	"zipper/internal/mpi"
+	"zipper/internal/pfs"
+	"zipper/internal/rt/simenv"
+	"zipper/internal/sim"
+	"zipper/internal/trace"
+	"zipper/internal/transport"
+)
+
+// Machine describes a target system (Bridges, Stampede2, or a test rig).
+type Machine struct {
+	Name                 string
+	CoresPerNode         int
+	LinkBandwidth        float64 // bytes/s per port
+	LinkLatency          time.Duration
+	NodesPerLeaf         int
+	CoreOversubscription float64
+	MTU                  int64
+	OSTs                 int     // parallel file system object targets
+	OSTBandwidth         float64 // bytes/s per OST
+	PFSStripeSize        int64   // Lustre stripe size (0 = 1 MiB)
+	PFSBackgroundLoad    float64 // share of PFS consumed by other users
+	MemBandwidth         float64 // per-process staging-copy bandwidth
+	CongestionPenalty    float64 // ingress congestion efficiency loss
+}
+
+// Workload describes the coupled application pair per producer rank.
+type Workload struct {
+	Name  string
+	Steps int
+	// StepTime is one rank's pure kernel time per step, split into the
+	// collision/streaming/update phases by PhaseFrac.
+	StepTime  time.Duration
+	PhaseFrac [3]float64
+	// HaloBytes is exchanged with each ring neighbor during streaming.
+	HaloBytes int64
+	// BytesPerStep is the data each producer rank outputs per step.
+	BytesPerStep int64
+	// AnalyzePerByte is the consumer's analysis cost per byte received.
+	AnalyzePerByte time.Duration
+	// BlockBytes is Zipper's fine-grain block size.
+	BlockBytes int64
+}
+
+// AnalysisPerConsumerStep is one consumer's busy time per step given its
+// share of producers.
+func (w Workload) AnalysisPerConsumerStep(p, q int) time.Duration {
+	share := (p + q - 1) / q
+	return time.Duration(share) * time.Duration(w.BytesPerStep) * w.AnalyzePerByte
+}
+
+// Spec is a complete experiment configuration.
+type Spec struct {
+	Machine  Machine
+	Workload Workload
+	P, Q     int // producer and consumer rank counts
+	// ProducerProcsPerNode / ConsumerProcsPerNode set placement density;
+	// zero selects the machine's core count.
+	ProducerProcsPerNode int
+	ConsumerProcsPerNode int
+	// StagingNodes is the node count reserved for staging servers / links.
+	StagingNodes int
+	// Zipper tunes the Zipper runtime (RunZipper only).
+	Zipper core.Config
+	// Window is Zipper's per-consumer receive window in messages.
+	Window int
+	// Trace enables span recording.
+	Trace bool
+	// Seed drives PFS background-load jitter.
+	Seed int64
+}
+
+// StageTimes aggregates the pipeline-stage busy times across ranks
+// (maximum over ranks, as the model's bottleneck analysis requires).
+type StageTimes struct {
+	Simulation time.Duration // producer kernel time
+	Transfer   time.Duration // producer output/send busy time
+	Store      time.Duration // file-system path busy time (spill + preserve)
+	Analysis   time.Duration // consumer analysis busy time
+}
+
+// Result is one workflow execution's outcome.
+type Result struct {
+	Method string
+	OK     bool
+	Fail   string // crash reason when OK is false
+	E2E    time.Duration
+	Stages StageTimes
+	// ProducerStall is the maximum time a producer spent blocked handing
+	// data to the transport.
+	ProducerStall time.Duration
+	// SenderIdle is Zipper's sender-thread wait time (E2E - send busy),
+	// reported for the Figure 14 stacked bars.
+	SenderIdle time.Duration
+	// ProducerWallClock is when the last producer finished handing off its
+	// data (runtime threads drained) — the "simulation wall clock time" of
+	// Figure 14.
+	ProducerWallClock time.Duration
+	// XmitWaitProducers sums the XmitWait counter over producer nodes.
+	XmitWaitProducers int64
+	// BlocksSent/BlocksStolen aggregate Zipper producer stats.
+	BlocksSent, BlocksStolen int64
+	Rec                      *trace.Recorder
+}
+
+// rig is a built machine instance.
+type rig struct {
+	eng       *sim.Engine
+	fab       *fabric.Fabric
+	fs        *pfs.PFS
+	world     *mpi.World
+	prodComm  *mpi.Comm
+	consComm  *mpi.Comm
+	prodNodes []fabric.NodeID
+	consNodes []fabric.NodeID
+	stageNode []fabric.NodeID
+	rec       *trace.Recorder
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// build constructs the machine and communicators for a spec.
+func build(spec Spec) *rig {
+	m := spec.Machine
+	ppn := spec.ProducerProcsPerNode
+	if ppn <= 0 {
+		ppn = m.CoresPerNode
+	}
+	cpn := spec.ConsumerProcsPerNode
+	if cpn <= 0 {
+		cpn = m.CoresPerNode
+	}
+	nProd := ceilDiv(spec.P, ppn)
+	nCons := ceilDiv(spec.Q, cpn)
+	nStage := spec.StagingNodes
+	if nStage <= 0 {
+		nStage = 1
+	}
+	osts := m.OSTs
+	if osts <= 0 {
+		osts = 4
+	}
+	total := nProd + nCons + nStage + osts + 1
+	eng := sim.New()
+	fab := fabric.New(eng, fabric.Config{
+		Nodes:                total,
+		NodesPerLeaf:         m.NodesPerLeaf,
+		LinkBandwidth:        m.LinkBandwidth,
+		LinkLatency:          m.LinkLatency,
+		CoreOversubscription: m.CoreOversubscription,
+		MTU:                  m.MTU,
+		CongestionPenalty:    m.CongestionPenalty,
+	})
+	var ostNodes []fabric.NodeID
+	for i := 0; i < osts; i++ {
+		ostNodes = append(ostNodes, fabric.NodeID(nProd+nCons+nStage+i))
+	}
+	fs := pfs.New(eng, fab, pfs.Config{
+		OSTNodes:       ostNodes,
+		MDSNode:        fabric.NodeID(total - 1),
+		OSTBandwidth:   m.OSTBandwidth,
+		StripeSize:     m.PFSStripeSize,
+		BackgroundLoad: m.PFSBackgroundLoad,
+		Seed:           spec.Seed,
+	})
+	r := &rig{eng: eng, fab: fab, fs: fs}
+	for p := 0; p < spec.P; p++ {
+		r.prodNodes = append(r.prodNodes, fabric.NodeID(p/ppn))
+	}
+	for q := 0; q < spec.Q; q++ {
+		r.consNodes = append(r.consNodes, fabric.NodeID(nProd+q/cpn))
+	}
+	for s := 0; s < nStage; s++ {
+		r.stageNode = append(r.stageNode, fabric.NodeID(nProd+nCons+s))
+	}
+	r.world = mpi.NewWorld(eng, fab, mpi.Config{})
+	r.prodComm = r.world.AddRanks(r.prodNodes)
+	r.consComm = r.world.AddRanks(r.consNodes)
+	if spec.Trace {
+		r.rec = trace.NewRecorder()
+	}
+	return r
+}
+
+// phases returns the per-phase durations of one simulation step.
+func phases(w Workload) [3]time.Duration {
+	f := w.PhaseFrac
+	if f[0]+f[1]+f[2] <= 0 {
+		f = [3]float64{0.45, 0.35, 0.20} // CL/ST/UD split seen in Figure 6
+	}
+	var out [3]time.Duration
+	for i := range out {
+		out[i] = time.Duration(float64(w.StepTime) * f[i])
+	}
+	return out
+}
+
+// simStep models one time step of the producer application: collision
+// kernel, streaming with ring halo exchanges, update kernel.
+func simStep(r *mpi.Rank, w Workload, rec *trace.Recorder, step int) {
+	p := r.Proc()
+	ph := phases(w)
+	name := fmt.Sprintf("sim.%d", r.Local())
+	stepStart := p.Now()
+	t0 := p.Now()
+	p.Delay(ph[0])
+	if rec != nil {
+		rec.Add(name, "CL", t0, p.Now())
+	}
+	t1 := p.Now()
+	if size := r.Comm().Size(); size > 1 && w.HaloBytes > 0 {
+		right := (r.Local() + 1) % size
+		left := (r.Local() + size - 1) % size
+		sr := p.Now()
+		r.Comm().Sendrecv(r, right, 100+step, w.HaloBytes, nil, left, 100+step)
+		r.Comm().Sendrecv(r, left, 200+step, w.HaloBytes, nil, right, 200+step)
+		if rec != nil {
+			rec.Add(name, "MPI_Sendrecv", sr, p.Now())
+		}
+	}
+	p.Delay(ph[1])
+	if rec != nil {
+		rec.Add(name, "ST", t1, p.Now())
+	}
+	t2 := p.Now()
+	p.Delay(ph[2])
+	if rec != nil {
+		rec.Add(name, "UD", t2, p.Now())
+		rec.Add(name, "step", stepStart, p.Now())
+	}
+}
+
+// RunSimOnly measures the simulation application alone: the lower bound the
+// paper plots in Figures 16 and 18.
+func RunSimOnly(spec Spec) Result {
+	r := build(spec)
+	w := spec.Workload
+	r.prodComm.Launch("sim", func(rank *mpi.Rank) {
+		for s := 0; s < w.Steps; s++ {
+			simStep(rank, w, r.rec, s)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		return Result{Method: "Simulation-only", Fail: err.Error()}
+	}
+	return Result{
+		Method: "Simulation-only",
+		OK:     true,
+		E2E:    r.eng.Now(),
+		Stages: StageTimes{Simulation: time.Duration(w.Steps) * w.StepTime},
+		Rec:    r.rec,
+	}
+}
+
+// RunAnalysisOnly measures the analysis application alone (Figure 2's
+// "analysis time" bar): every consumer busy-analyzes its share per step with
+// data already in memory.
+func RunAnalysisOnly(spec Spec) Result {
+	r := build(spec)
+	w := spec.Workload
+	per := w.AnalysisPerConsumerStep(spec.P, spec.Q)
+	r.consComm.Launch("ana", func(rank *mpi.Rank) {
+		for s := 0; s < w.Steps; s++ {
+			rank.Proc().Delay(per)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		return Result{Method: "Analysis-only", Fail: err.Error()}
+	}
+	return Result{
+		Method: "Analysis-only",
+		OK:     true,
+		E2E:    r.eng.Now(),
+		Stages: StageTimes{Analysis: time.Duration(w.Steps) * per},
+		Rec:    r.rec,
+	}
+}
+
+// RunBaseline executes the workflow with one of the seven baseline coupling
+// methods.
+func RunBaseline(spec Spec, method transport.Method) Result {
+	r := build(spec)
+	w := spec.Workload
+	pl := &transport.Platform{
+		Eng: r.eng, Fab: r.fab, FS: r.fs, World: r.world,
+		Prod: r.prodComm, Cons: r.consComm,
+		ProdNodes: r.prodNodes, ConsNodes: r.consNodes, StagingNodes: r.stageNode,
+		Rec: r.rec, P: spec.P, Q: spec.Q, Steps: w.Steps, BytesPerStep: w.BytesPerStep,
+	}
+	if err := method.Validate(pl); err != nil {
+		return Result{Method: method.Name(), Fail: err.Error()}
+	}
+	method.Setup(pl)
+
+	putBusy := make([]time.Duration, spec.P)
+	anaBusy := make([]time.Duration, spec.Q)
+	perStep := w.AnalysisPerConsumerStep(spec.P, spec.Q)
+
+	r.prodComm.Launch("sim", func(rank *mpi.Rank) {
+		wr := method.Writer(rank)
+		for s := 0; s < w.Steps; s++ {
+			simStep(rank, w, r.rec, s)
+			t0 := rank.Proc().Now()
+			wr.Put(s)
+			putBusy[rank.Local()] += rank.Proc().Now() - t0
+		}
+		wr.Close()
+	})
+	r.consComm.Launch("ana", func(rank *mpi.Rank) {
+		rd := method.Reader(rank)
+		for s := 0; s < w.Steps; s++ {
+			rd.Get(s)
+			t0 := rank.Proc().Now()
+			rank.Proc().Delay(perStep)
+			anaBusy[rank.Local()] += rank.Proc().Now() - t0
+			if r.rec != nil {
+				r.rec.Add(fmt.Sprintf("ana.%d", rank.Local()), "analyze", t0, rank.Proc().Now())
+			}
+			rd.Done(s)
+		}
+		rd.Close()
+	})
+	if err := r.eng.Run(); err != nil {
+		return Result{Method: method.Name(), Fail: err.Error()}
+	}
+	res := Result{
+		Method: method.Name(),
+		OK:     true,
+		E2E:    r.eng.Now(),
+		Stages: StageTimes{
+			Simulation: time.Duration(w.Steps) * w.StepTime,
+			Transfer:   maxDur(putBusy),
+			Analysis:   maxDur(anaBusy),
+		},
+		ProducerStall:     maxDur(putBusy), // Put time is transfer + stall for baselines
+		XmitWaitProducers: sumXmitWait(r),
+		Rec:               r.rec,
+	}
+	return res
+}
+
+// RunZipper executes the workflow on the Zipper runtime.
+func RunZipper(spec Spec) Result {
+	r := build(spec)
+	w := spec.Workload
+	window := spec.Window
+	if window <= 0 {
+		window = 4
+	}
+	zcfg := spec.Zipper
+	zcfg.Recorder = r.rec
+	net := simenv.NewNetwork(r.eng, r.fab, r.consNodes, window)
+	store := simenv.NewStore(r.fs, "zipper")
+
+	producers := make([]*core.Producer, spec.P)
+	consumers := make([]*core.Consumer, spec.Q)
+	for q := 0; q < spec.Q; q++ {
+		n := 0
+		for p := 0; p < spec.P; p++ {
+			if p*spec.Q/spec.P == q {
+				n++
+			}
+		}
+		env := simenv.NewEnv(r.eng, r.consNodes[q], spec.Machine.MemBandwidth)
+		consumers[q] = core.NewConsumer(env, zcfg, q, n, net.Inbox(q), store)
+	}
+	for p := 0; p < spec.P; p++ {
+		env := simenv.NewEnv(r.eng, r.prodNodes[p], spec.Machine.MemBandwidth)
+		producers[p] = core.NewProducer(env, zcfg, p, p*spec.Q/spec.P, net, store)
+	}
+
+	blockBytes := w.BlockBytes
+	if blockBytes <= 0 {
+		blockBytes = 1 << 20
+	}
+	nBlocks := int(w.BytesPerStep / blockBytes)
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+
+	anaBusy := make([]time.Duration, spec.Q)
+	r.prodComm.Launch("sim", func(rank *mpi.Rank) {
+		env := simenv.NewEnv(r.eng, r.prodNodes[rank.Local()], spec.Machine.MemBandwidth)
+		prod := producers[rank.Local()]
+		p := rank.Proc()
+		c := env.WrapProc(p)
+		name := fmt.Sprintf("sim.%d", rank.Local())
+		perBlock := w.StepTime / time.Duration(nBlocks)
+		for s := 0; s < w.Steps; s++ {
+			stepStart := p.Now()
+			// Halo exchange at the step boundary, as in the baseline app.
+			if size := rank.Comm().Size(); size > 1 && w.HaloBytes > 0 {
+				right := (rank.Local() + 1) % size
+				left := (rank.Local() + size - 1) % size
+				sr := p.Now()
+				rank.Comm().Sendrecv(rank, right, 100+s, w.HaloBytes, nil, left, 100+s)
+				rank.Comm().Sendrecv(rank, left, 200+s, w.HaloBytes, nil, right, 200+s)
+				if r.rec != nil {
+					r.rec.Add(name, "MPI_Sendrecv", sr, p.Now())
+				}
+			}
+			// Fine-grain pipelining: each block is handed to the runtime as
+			// soon as it is computed, not in an end-of-step burst — this is
+			// the data-availability-driven design of §4.1.
+			computeStart := p.Now()
+			for b := 0; b < nBlocks; b++ {
+				p.Delay(perBlock)
+				prod.Write(c, s, int64(b)*blockBytes, nil, blockBytes)
+			}
+			if r.rec != nil {
+				r.rec.Add(name, "compute", computeStart, p.Now())
+				r.rec.Add(name, "step", stepStart, p.Now())
+			}
+		}
+		prod.Close(c)
+		prod.Wait(c)
+	})
+	r.consComm.Launch("ana", func(rank *mpi.Rank) {
+		env := simenv.NewEnv(r.eng, r.consNodes[rank.Local()], spec.Machine.MemBandwidth)
+		cons := consumers[rank.Local()]
+		c := env.WrapProc(rank.Proc())
+		for {
+			blk, ok := cons.Read(c)
+			if !ok {
+				break
+			}
+			t0 := rank.Proc().Now()
+			rank.Proc().Delay(time.Duration(blk.Bytes) * w.AnalyzePerByte)
+			anaBusy[rank.Local()] += rank.Proc().Now() - t0
+			if r.rec != nil {
+				r.rec.Add(fmt.Sprintf("ana.%d", rank.Local()), "analyze", t0, rank.Proc().Now())
+			}
+		}
+		cons.Wait(c)
+	})
+	if err := r.eng.Run(); err != nil {
+		return Result{Method: "Zipper", Fail: err.Error()}
+	}
+
+	res := Result{
+		Method: "Zipper",
+		OK:     true,
+		E2E:    r.eng.Now(),
+		Rec:    r.rec,
+	}
+	var maxSend, maxStall, maxStore time.Duration
+	for _, p := range producers {
+		st := p.FinalStats()
+		res.BlocksSent += st.BlocksSent
+		res.BlocksStolen += st.BlocksStolen
+		if st.SendBusy > maxSend {
+			maxSend = st.SendBusy
+		}
+		if st.WriteStall > maxStall {
+			maxStall = st.WriteStall
+		}
+		if st.StealBusy > maxStore {
+			maxStore = st.StealBusy
+		}
+		if st.Finished > res.ProducerWallClock {
+			res.ProducerWallClock = st.Finished
+		}
+	}
+	var storeCons time.Duration
+	for _, c := range consumers {
+		st := c.FinalStats()
+		if st.StoreBusy > storeCons {
+			storeCons = st.StoreBusy
+		}
+	}
+	res.Stages = StageTimes{
+		Simulation: time.Duration(w.Steps) * w.StepTime,
+		Transfer:   maxSend,
+		Store:      maxStore + storeCons,
+		Analysis:   maxDur(anaBusy),
+	}
+	res.ProducerStall = maxStall
+	res.SenderIdle = res.E2E - maxSend
+	res.XmitWaitProducers = sumXmitWait(r)
+	return res
+}
+
+func maxDur(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func sumXmitWait(r *rig) int64 {
+	seen := map[fabric.NodeID]bool{}
+	var total int64
+	for _, n := range r.prodNodes {
+		if !seen[n] {
+			seen[n] = true
+			total += r.fab.NodeCounters(n).XmitWait
+		}
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"zipper/internal/core"
+	"zipper/internal/transport"
+)
+
+func TestZipperPreserveMatchesBlockCounts(t *testing.T) {
+	spec := testSpec()
+	spec.Zipper.Mode = core.Preserve
+	res := RunZipper(spec)
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	want := int64(spec.P) * int64(spec.Workload.Steps) *
+		(spec.Workload.BytesPerStep / spec.Workload.BlockBytes)
+	if res.BlocksSent+res.BlocksStolen != want {
+		t.Fatalf("blocks %d+%d != %d", res.BlocksSent, res.BlocksStolen, want)
+	}
+	if res.Stages.Store == 0 {
+		t.Fatal("preserve mode recorded no store-stage time")
+	}
+}
+
+func TestZipperProducerWallClockBounded(t *testing.T) {
+	res := RunZipper(testSpec())
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	if res.ProducerWallClock <= 0 || res.ProducerWallClock > res.E2E {
+		t.Fatalf("producer wall clock %v outside (0, %v]", res.ProducerWallClock, res.E2E)
+	}
+	// Producers must at least run their kernels.
+	if res.ProducerWallClock < res.Stages.Simulation {
+		t.Fatalf("producer wall %v below pure kernel time %v",
+			res.ProducerWallClock, res.Stages.Simulation)
+	}
+}
+
+func TestLAMMPSStyleWorkloadCompletes(t *testing.T) {
+	spec := testSpec()
+	spec.Workload.Name = "LAMMPS"
+	spec.Workload.PhaseFrac = [3]float64{0.7, 0.25, 0.05}
+	spec.Workload.BytesPerStep = 5 << 20
+	spec.Workload.BlockBytes = 1_258_291 // 1.2 MiB, not a divisor of the step
+	res := RunZipper(spec)
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	dec := RunBaseline(spec, transport.NewDecaf())
+	if !dec.OK {
+		t.Fatal(dec.Fail)
+	}
+	if res.E2E >= dec.E2E {
+		t.Fatalf("Zipper (%v) not faster than Decaf (%v) on the MD-shaped workload", res.E2E, dec.E2E)
+	}
+}
+
+func TestBaselineStageTimesPopulated(t *testing.T) {
+	res := RunBaseline(testSpec(), transport.NewDIMES(false))
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	if res.Stages.Simulation <= 0 || res.Stages.Transfer <= 0 || res.Stages.Analysis <= 0 {
+		t.Fatalf("stage times missing: %+v", res.Stages)
+	}
+	if res.Stages.Analysis >= res.E2E {
+		t.Fatalf("analysis busy %v not below e2e %v", res.Stages.Analysis, res.E2E)
+	}
+}
+
+func TestAnalysisPerConsumerStep(t *testing.T) {
+	w := Workload{BytesPerStep: 1 << 20, AnalyzePerByte: 2 * time.Nanosecond}
+	// 8 producers over 4 consumers: share of 2 ranks each.
+	got := w.AnalysisPerConsumerStep(8, 4)
+	want := 2 * time.Duration(1<<20) * 2 * time.Nanosecond / 2
+	_ = want
+	if got != time.Duration(2*(1<<20))*2 {
+		t.Fatalf("analysis per step = %v", got)
+	}
+	// Uneven division rounds the share up (max-loaded consumer).
+	if w.AnalysisPerConsumerStep(7, 3) != time.Duration(3*(1<<20))*2 {
+		t.Fatalf("uneven share = %v", w.AnalysisPerConsumerStep(7, 3))
+	}
+}
+
+func TestWindowDefaultApplied(t *testing.T) {
+	spec := testSpec()
+	spec.Window = 0 // must default, not deadlock
+	res := RunZipper(spec)
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+}

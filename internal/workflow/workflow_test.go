@@ -1,0 +1,240 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"zipper/internal/core"
+	"zipper/internal/transport"
+)
+
+func testMachine() Machine {
+	return Machine{
+		Name:          "testrig",
+		CoresPerNode:  4,
+		LinkBandwidth: 2e9,
+		LinkLatency:   2 * time.Microsecond,
+		NodesPerLeaf:  8,
+		MTU:           512 << 10,
+		OSTs:          2,
+		OSTBandwidth:  1e9,
+		MemBandwidth:  10e9,
+	}
+}
+
+func testWorkload() Workload {
+	return Workload{
+		Name:           "unit",
+		Steps:          6,
+		StepTime:       20 * time.Millisecond,
+		HaloBytes:      64 << 10,
+		BytesPerStep:   4 << 20,
+		AnalyzePerByte: 2 * time.Nanosecond, // 2-rank share ≈ 16.8ms/step < step time
+		BlockBytes:     1 << 20,
+	}
+}
+
+func testSpec() Spec {
+	return Spec{
+		Machine:  testMachine(),
+		Workload: testWorkload(),
+		P:        8, Q: 4,
+		StagingNodes: 2,
+		Window:       4,
+		Zipper:       core.Config{BufferBlocks: 8, HighWater: 5},
+	}
+}
+
+func allMethods() []transport.Method {
+	return []transport.Method{
+		transport.NewMPIIO(),
+		transport.NewDataSpaces(false),
+		transport.NewDataSpaces(true),
+		transport.NewDIMES(false),
+		transport.NewDIMES(true),
+		transport.NewFlexpath(),
+		transport.NewDecaf(),
+	}
+}
+
+func TestSimOnlyLowerBound(t *testing.T) {
+	res := RunSimOnly(testSpec())
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	w := testWorkload()
+	min := time.Duration(w.Steps) * w.StepTime
+	if res.E2E < min {
+		t.Fatalf("sim-only %v < pure kernel time %v", res.E2E, min)
+	}
+	if res.E2E > 2*min {
+		t.Fatalf("sim-only %v too slow (halo overhead blew up)", res.E2E)
+	}
+}
+
+func TestAnalysisOnly(t *testing.T) {
+	res := RunAnalysisOnly(testSpec())
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	if res.E2E <= 0 || res.Stages.Analysis <= 0 {
+		t.Fatalf("analysis-only result %+v", res)
+	}
+}
+
+func TestEveryBaselineCompletes(t *testing.T) {
+	simOnly := RunSimOnly(testSpec())
+	for _, m := range allMethods() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			res := RunBaseline(testSpec(), m)
+			if !res.OK {
+				t.Fatalf("%s failed: %s", m.Name(), res.Fail)
+			}
+			if res.E2E < simOnly.E2E {
+				t.Fatalf("%s end-to-end %v below simulation-only %v", m.Name(), res.E2E, simOnly.E2E)
+			}
+		})
+	}
+}
+
+func TestZipperCompletesAndBeatsSlowBaselines(t *testing.T) {
+	res := RunZipper(testSpec())
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	want := int64(8 * 6 * 4) // P × steps × blocks/step
+	if res.BlocksSent+res.BlocksStolen != want {
+		t.Fatalf("blocks sent %d + stolen %d != %d", res.BlocksSent, res.BlocksStolen, want)
+	}
+	mpiio := RunBaseline(testSpec(), transport.NewMPIIO())
+	if !mpiio.OK {
+		t.Fatal(mpiio.Fail)
+	}
+	if res.E2E >= mpiio.E2E {
+		t.Fatalf("Zipper (%v) not faster than MPI-IO (%v)", res.E2E, mpiio.E2E)
+	}
+}
+
+func TestZipperNearSimOnlyWhenAnalysisFast(t *testing.T) {
+	spec := testSpec()
+	res := RunZipper(spec)
+	simOnly := RunSimOnly(spec)
+	if !res.OK || !simOnly.OK {
+		t.Fatalf("runs failed: %v / %v", res.Fail, simOnly.Fail)
+	}
+	// Paper Figure 16: Zipper's end-to-end time is almost equal to
+	// simulation-only. Allow 35% slack at this tiny scale.
+	if float64(res.E2E) > 1.35*float64(simOnly.E2E) {
+		t.Fatalf("Zipper %v not near simulation-only %v", res.E2E, simOnly.E2E)
+	}
+}
+
+func TestNativeBeatsAdiosFlavour(t *testing.T) {
+	spec := testSpec()
+	nat := RunBaseline(spec, transport.NewDIMES(false))
+	adios := RunBaseline(spec, transport.NewDIMES(true))
+	if !nat.OK || !adios.OK {
+		t.Fatalf("%v / %v", nat.Fail, adios.Fail)
+	}
+	if nat.E2E >= adios.E2E {
+		t.Fatalf("native DIMES (%v) not faster than ADIOS/DIMES (%v)", nat.E2E, adios.E2E)
+	}
+	natDS := RunBaseline(spec, transport.NewDataSpaces(false))
+	adiosDS := RunBaseline(spec, transport.NewDataSpaces(true))
+	if natDS.E2E >= adiosDS.E2E {
+		t.Fatalf("native DataSpaces (%v) not faster than ADIOS/DataSpaces (%v)", natDS.E2E, adiosDS.E2E)
+	}
+}
+
+func TestDecafIntegerOverflowCrash(t *testing.T) {
+	spec := testSpec()
+	spec.Workload.BytesPerStep = 4 << 30 // 8 ranks × 4 GiB = 2^32 elements/8 > 2^31
+	res := RunBaseline(spec, transport.NewDecaf())
+	if res.OK {
+		t.Fatal("Decaf did not crash past the int32 element limit")
+	}
+	if !strings.Contains(res.Fail, "overflow") {
+		t.Fatalf("unexpected failure: %s", res.Fail)
+	}
+}
+
+func TestFlexpathCrashThreshold(t *testing.T) {
+	fp := transport.NewFlexpath()
+	fp.TotalCores = 6528
+	res := RunBaseline(testSpec(), fp)
+	if res.OK {
+		t.Fatal("Flexpath did not fail at its crash threshold")
+	}
+	if !strings.Contains(res.Fail, "segmentation fault") {
+		t.Fatalf("unexpected failure: %s", res.Fail)
+	}
+}
+
+func TestZipperStealsWhenAnalysisSlow(t *testing.T) {
+	spec := testSpec()
+	spec.Workload.AnalyzePerByte = 40 * time.Nanosecond // analysis ≫ simulation
+	spec.Window = 1
+	spec.Zipper = core.Config{BufferBlocks: 6, HighWater: 3}
+	res := RunZipper(spec)
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	if res.BlocksStolen == 0 {
+		t.Fatal("no stealing despite slow analysis")
+	}
+	// Message-passing-only comparison: disabled stealing must stall more.
+	spec.Zipper.DisableSteal = true
+	mp := RunZipper(spec)
+	if !mp.OK {
+		t.Fatal(mp.Fail)
+	}
+	if res.ProducerStall >= mp.ProducerStall {
+		t.Fatalf("stealing did not reduce producer stall: %v vs %v", res.ProducerStall, mp.ProducerStall)
+	}
+}
+
+func TestTraceCapturesKernelsAndTransports(t *testing.T) {
+	spec := testSpec()
+	spec.Trace = true
+	res := RunBaseline(spec, transport.NewDecaf())
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	for _, state := range []string{"CL", "ST", "UD", "PUT", "analyze"} {
+		if res.Rec.Total("", state) == 0 {
+			t.Fatalf("trace missing state %q", state)
+		}
+	}
+	if res.Rec.StepsIn("sim.", "step", 0, res.E2E) < float64(testWorkload().Steps)-0.5 {
+		t.Fatal("step spans incomplete")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := RunBaseline(testSpec(), transport.NewDecaf())
+	b := RunBaseline(testSpec(), transport.NewDecaf())
+	if a.E2E != b.E2E {
+		t.Fatalf("non-deterministic Decaf run: %v vs %v", a.E2E, b.E2E)
+	}
+	za, zb := RunZipper(testSpec()), RunZipper(testSpec())
+	if za.E2E != zb.E2E || za.BlocksStolen != zb.BlocksStolen {
+		t.Fatalf("non-deterministic Zipper run: %+v vs %+v", za, zb)
+	}
+}
+
+func TestXmitWaitVisibleUnderCongestion(t *testing.T) {
+	spec := testSpec()
+	spec.Workload.BytesPerStep = 16 << 20
+	spec.Workload.StepTime = 2 * time.Millisecond // generation outruns drain
+	spec.Workload.AnalyzePerByte = time.Nanosecond
+	spec.Zipper.DisableSteal = true
+	res := RunZipper(spec)
+	if !res.OK {
+		t.Fatal(res.Fail)
+	}
+	if res.XmitWaitProducers == 0 {
+		t.Fatal("no XmitWait recorded under heavy fan-in")
+	}
+}

@@ -1,0 +1,241 @@
+// Package zipper is the public API of the Zipper runtime system — a fully
+// asynchronous, fine-grain, pipelining layer that couples a data-producing
+// simulation with a data-consuming analysis inside one process, as published
+// in "Performance Analysis and Optimization of In-situ Integration of
+// Simulation with Data Analysis: Zipping Applications Up" (HPDC'18).
+//
+// A Job owns P producer endpoints and Q consumer endpoints. Producer code
+// calls Write for every fine-grain block it computes and Close when done;
+// consumer code calls Read until ok is false. Under the hood each producer
+// runs a sender thread (low-latency in-memory channel path) and a
+// work-stealing writer thread (file-system path, Algorithm 1 of the paper),
+// and each consumer runs receiver/reader — and, in Preserve mode, output —
+// threads. Data flows as soon as it exists; there are no barriers or
+// interlocks between time steps.
+//
+//	job, _ := zipper.NewJob(zipper.Config{Producers: 2, Consumers: 1, SpoolDir: dir})
+//	go func() {
+//	    p := job.Producer(0)
+//	    p.Write(0, 0, payload)
+//	    p.Close()
+//	}()
+//	...
+//	for {
+//	    blk, ok := job.Consumer(0).Read()
+//	    if !ok { break }
+//	    analyze(blk)
+//	}
+//	job.Wait()
+package zipper
+
+import (
+	"errors"
+	"fmt"
+
+	"zipper/internal/core"
+	"zipper/internal/rt"
+	"zipper/internal/rt/realenv"
+	"zipper/internal/trace"
+)
+
+// BlockID identifies a block: producing rank, time step, and sequence number.
+type BlockID struct {
+	Rank int
+	Step int
+	Seq  int
+}
+
+// Block is one unit of data delivered to a consumer. Blocks may arrive out
+// of (step, rank) order; the ID and Offset place them in the global domain.
+type Block struct {
+	ID     BlockID
+	Offset int64
+	Data   []byte
+	// ViaDisk reports whether the block traveled the file-system path
+	// (it was stolen by the writer thread).
+	ViaDisk bool
+}
+
+// Config configures a Job.
+type Config struct {
+	// Producers and Consumers are the endpoint counts (both ≥ 1). Producer
+	// i feeds consumer i·Consumers/Producers.
+	Producers, Consumers int
+	// SpoolDir is the directory standing in for the parallel file system
+	// (spills and preserved blocks). Required.
+	SpoolDir string
+	// BufferBlocks is each producer's buffer capacity (default 8).
+	BufferBlocks int
+	// HighWater is the work-stealing threshold (default ¾ of BufferBlocks).
+	HighWater int
+	// ConsumerBufferBlocks is each consumer's buffer capacity (default 16).
+	ConsumerBufferBlocks int
+	// Window is each consumer's receive window in messages (default 4).
+	Window int
+	// Preserve keeps every block on the file system for later validation.
+	Preserve bool
+	// DisableSteal turns the dual-channel optimization off
+	// (message-passing-only mode).
+	DisableSteal bool
+	// Recorder, when non-nil, captures runtime-thread activity spans.
+	Recorder *trace.Recorder
+}
+
+// Job is a running Zipper workflow.
+type Job struct {
+	env  *realenv.Env
+	cfg  Config
+	prod []*Producer
+	cons []*Consumer
+}
+
+// NewJob validates the configuration, builds the network and file-system
+// paths, and starts the runtime threads for every endpoint.
+func NewJob(cfg Config) (*Job, error) {
+	if cfg.Producers < 1 || cfg.Consumers < 1 {
+		return nil, errors.New("zipper: Producers and Consumers must be ≥ 1")
+	}
+	if cfg.Consumers > cfg.Producers {
+		return nil, fmt.Errorf("zipper: more consumers (%d) than producers (%d)", cfg.Consumers, cfg.Producers)
+	}
+	if cfg.SpoolDir == "" {
+		return nil, errors.New("zipper: SpoolDir is required")
+	}
+	env := realenv.New()
+	window := cfg.Window
+	if window <= 0 {
+		window = 4
+	}
+	net := realenv.NewNetwork(cfg.Consumers, window)
+	fs, err := realenv.NewFileStore(cfg.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := core.Config{
+		BufferBlocks:         cfg.BufferBlocks,
+		HighWater:            cfg.HighWater,
+		ConsumerBufferBlocks: cfg.ConsumerBufferBlocks,
+		DisableSteal:         cfg.DisableSteal,
+		Recorder:             cfg.Recorder,
+	}
+	if cfg.Preserve {
+		ccfg.Mode = core.Preserve
+	}
+	j := &Job{env: env, cfg: cfg}
+	for q := 0; q < cfg.Consumers; q++ {
+		n := 0
+		for p := 0; p < cfg.Producers; p++ {
+			if p*cfg.Consumers/cfg.Producers == q {
+				n++
+			}
+		}
+		j.cons = append(j.cons, &Consumer{
+			c:   core.NewConsumer(env, ccfg, q, n, net.Inbox(q), fs),
+			ctx: env.Ctx(),
+		})
+	}
+	for p := 0; p < cfg.Producers; p++ {
+		j.prod = append(j.prod, &Producer{
+			p:   core.NewProducer(env, ccfg, p, p*cfg.Consumers/cfg.Producers, net, fs),
+			ctx: env.Ctx(),
+		})
+	}
+	return j, nil
+}
+
+// Producer returns producer endpoint i.
+func (j *Job) Producer(i int) *Producer { return j.prod[i] }
+
+// Consumer returns consumer endpoint i.
+func (j *Job) Consumer(i int) *Consumer { return j.cons[i] }
+
+// Wait blocks until every runtime thread has finished: all producers closed,
+// all data delivered, and (in Preserve mode) stored.
+func (j *Job) Wait() {
+	for _, p := range j.prod {
+		p.p.Wait(p.ctx)
+	}
+	for _, c := range j.cons {
+		c.c.Wait(c.ctx)
+	}
+}
+
+// Producer is the application-facing producer endpoint. Its methods must be
+// called from a single goroutine (the producing application's).
+type Producer struct {
+	p   *core.Producer
+	ctx rt.Ctx
+}
+
+// Write hands one block of output to the runtime. data is retained until
+// delivered; the caller must not modify it afterwards.
+func (p *Producer) Write(step int, offset int64, data []byte) {
+	p.p.Write(p.ctx, step, offset, data, int64(len(data)))
+}
+
+// Close declares the stream finished. Write must not be called afterwards.
+func (p *Producer) Close() { p.p.Close(p.ctx) }
+
+// Stats returns the producer runtime module's counters.
+func (p *Producer) Stats() ProducerStats {
+	s := p.p.Stats(p.ctx)
+	return ProducerStats{
+		BlocksWritten: s.BlocksWritten,
+		BlocksSent:    s.BlocksSent,
+		BlocksStolen:  s.BlocksStolen,
+		WriteStall:    s.WriteStall.Seconds(),
+	}
+}
+
+// ProducerStats summarizes a producer endpoint's activity.
+type ProducerStats struct {
+	BlocksWritten int64
+	BlocksSent    int64   // via the network path
+	BlocksStolen  int64   // via the file-system path (work-stealing writer)
+	WriteStall    float64 // seconds Write spent blocked on a full buffer
+}
+
+// Consumer is the application-facing consumer endpoint. Its methods must be
+// called from a single goroutine (the analyzing application's).
+type Consumer struct {
+	c   *core.Consumer
+	ctx rt.Ctx
+}
+
+// Read blocks until the next data block is available, in arrival order.
+// ok=false means every upstream producer closed and all blocks were
+// delivered (or a runtime error occurred; check Err).
+func (c *Consumer) Read() (Block, bool) {
+	b, ok := c.c.Read(c.ctx)
+	if !ok {
+		return Block{}, false
+	}
+	return Block{
+		ID:      BlockID{Rank: b.ID.Rank, Step: b.ID.Step, Seq: b.ID.Seq},
+		Offset:  b.Offset,
+		Data:    b.Data,
+		ViaDisk: b.OnDisk,
+	}, true
+}
+
+// Err reports a runtime failure, if any.
+func (c *Consumer) Err() error { return c.c.Err(c.ctx) }
+
+// Stats returns the consumer runtime module's counters.
+func (c *Consumer) Stats() ConsumerStats {
+	s := c.c.Stats(c.ctx)
+	return ConsumerStats{
+		BlocksReceived: s.BlocksReceived,
+		BlocksRead:     s.BlocksRead,
+		BlocksAnalyzed: s.BlocksAnalyzed,
+		BlocksStored:   s.BlocksStored,
+	}
+}
+
+// ConsumerStats summarizes a consumer endpoint's activity.
+type ConsumerStats struct {
+	BlocksReceived int64 // via the network path
+	BlocksRead     int64 // via the file-system path
+	BlocksAnalyzed int64
+	BlocksStored   int64 // persisted by the Preserve-mode output thread
+}

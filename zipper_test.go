@@ -1,0 +1,145 @@
+package zipper
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"zipper/internal/floatbuf"
+)
+
+func TestJobValidation(t *testing.T) {
+	if _, err := NewJob(Config{Producers: 0, Consumers: 1, SpoolDir: t.TempDir()}); err == nil {
+		t.Error("zero producers accepted")
+	}
+	if _, err := NewJob(Config{Producers: 1, Consumers: 2, SpoolDir: t.TempDir()}); err == nil {
+		t.Error("more consumers than producers accepted")
+	}
+	if _, err := NewJob(Config{Producers: 1, Consumers: 1}); err == nil {
+		t.Error("missing spool dir accepted")
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	job, err := NewJob(Config{Producers: 3, Consumers: 2, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 8
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := job.Producer(i)
+			for s := 0; s < steps; s++ {
+				p.Write(s, int64(s), floatbuf.Encode([]float64{float64(i), float64(s)}))
+			}
+			p.Close()
+		}()
+	}
+	var mu sync.Mutex
+	got := map[BlockID][]float64{}
+	var cwg sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		q := q
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				blk, ok := job.Consumer(q).Read()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got[blk.ID] = floatbuf.Decode(blk.Data)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	job.Wait()
+	if len(got) != 3*steps {
+		t.Fatalf("got %d blocks, want %d", len(got), 3*steps)
+	}
+	for id, vals := range got {
+		if vals[0] != float64(id.Rank) || vals[1] != float64(id.Step) {
+			t.Fatalf("block %+v corrupted: %v", id, vals)
+		}
+	}
+	for q := 0; q < 2; q++ {
+		if err := job.Consumer(q).Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJobStealingVisibleInStats(t *testing.T) {
+	job, err := NewJob(Config{
+		Producers: 1, Consumers: 1, SpoolDir: t.TempDir(),
+		BufferBlocks: 4, HighWater: 2, Window: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	go func() {
+		p := job.Producer(0)
+		for s := 0; s < n; s++ {
+			p.Write(s, 0, make([]byte, 2048))
+		}
+		p.Close()
+	}()
+	viaDisk := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		if blk.ViaDisk {
+			viaDisk++
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	job.Wait()
+	ps := job.Producer(0).Stats()
+	cs := job.Consumer(0).Stats()
+	if ps.BlocksStolen == 0 {
+		t.Fatal("no stealing under slow consumer")
+	}
+	if int64(viaDisk) != ps.BlocksStolen || cs.BlocksRead != ps.BlocksStolen {
+		t.Fatalf("disk-path accounting mismatch: viaDisk=%d stolen=%d read=%d",
+			viaDisk, ps.BlocksStolen, cs.BlocksRead)
+	}
+	if ps.BlocksWritten != n || cs.BlocksAnalyzed != n {
+		t.Fatalf("written=%d analyzed=%d want %d", ps.BlocksWritten, cs.BlocksAnalyzed, n)
+	}
+}
+
+func TestJobPreserve(t *testing.T) {
+	dir := t.TempDir()
+	job, err := NewJob(Config{Producers: 1, Consumers: 1, SpoolDir: dir, Preserve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		p := job.Producer(0)
+		for s := 0; s < 5; s++ {
+			p.Write(s, 0, []byte{byte(s)})
+		}
+		p.Close()
+	}()
+	for {
+		if _, ok := job.Consumer(0).Read(); !ok {
+			break
+		}
+	}
+	job.Wait()
+	cs := job.Consumer(0).Stats()
+	ps := job.Producer(0).Stats()
+	if cs.BlocksStored+ps.BlocksStolen != 5 {
+		t.Fatalf("preserve mode persisted %d+%d blocks, want 5", cs.BlocksStored, ps.BlocksStolen)
+	}
+}
