@@ -1,0 +1,34 @@
+# Zipper development targets. CI (.github/workflows/ci.yml) runs `make ci`
+# piecewise; the full suite (no -short) is the tier-1 gate.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching
+
+ci: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Fast lane: paper-figure reproductions are skipped (testing.Short).
+test:
+	$(GO) test -race -short ./...
+
+# Tier-1: the full suite including the figure reproductions (~15 s).
+test-full:
+	$(GO) build ./... && $(GO) test ./...
+
+# One iteration of every benchmark — catches bit-rot, measures nothing.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Regenerate the committed batching baseline.
+bench-batching:
+	$(GO) run ./cmd/benchbatch -o BENCH_batching.json

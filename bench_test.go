@@ -5,13 +5,15 @@
 //	go test -bench BenchmarkFig16 -benchmem
 //
 // Paper-scale runs are available through cmd/zipperbench with -full/-scale 1.
-package zipper
+package zipper_test
 
 import (
 	"testing"
 	"time"
 
+	"zipper"
 	"zipper/internal/apps/synthetic"
+	"zipper/internal/benchharness"
 	"zipper/internal/core"
 	"zipper/internal/exp"
 	"zipper/internal/model"
@@ -344,11 +346,43 @@ func BenchmarkAblationBarrier(b *testing.B) {
 	})
 }
 
+// --- Batched dual-channel transfers (the per-message-overhead ablation) ---
+
+// BenchmarkBatching pushes blocks through a one-deep receive window (the
+// regime where the producer runs ahead of the network) under the canonical
+// protocol variants: the seed's one-block-per-message protocol with a fresh
+// allocation per payload ("seed"), the pooled unbatched protocol, and pooled
+// batched sends. The msgs/block metric shows batching amortizing the
+// per-message overhead; B/op shows the payload pool closing the allocation
+// loop (~32 KiB/block for the seed vs a few hundred bytes pooled). The
+// workload itself lives in internal/benchharness, shared with cmd/benchbatch
+// so the committed BENCH_batching.json baseline measures the same thing.
+func BenchmarkBatching(b *testing.B) {
+	const blockBytes = 32 << 10
+	for _, v := range benchharness.Variants {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			dir := b.TempDir()
+			b.ReportAllocs()
+			b.SetBytes(blockBytes)
+			b.ResetTimer()
+			st, err := benchharness.Run(dir, v, b.N, blockBytes)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.BlocksSent > 0 {
+				b.ReportMetric(float64(st.Messages)/float64(st.BlocksSent), "msgs/block")
+			}
+		})
+	}
+}
+
 // --- Real-platform throughput of the public API ---
 
 func BenchmarkRealJobThroughput(b *testing.B) {
 	dir := b.TempDir()
-	job, err := NewJob(Config{Producers: 1, Consumers: 1, SpoolDir: dir, BufferBlocks: 16})
+	job, err := zipper.NewJob(zipper.Config{Producers: 1, Consumers: 1, SpoolDir: dir, BufferBlocks: 16})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,128 @@
+// benchbatch records the batching baseline: the same backpressured
+// one-producer workload run with the seed's one-block-per-message protocol
+// (fresh allocation per payload) and with pooled payloads at several
+// MaxBatchBlocks settings, on the real platform. It writes the comparison as
+// JSON so CI and future optimization PRs have a committed reference point.
+//
+// Usage:
+//
+//	benchbatch [-o BENCH_batching.json] [-blocks N] [-blockbytes B]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"zipper/internal/benchharness"
+)
+
+// Row is one protocol variant's measurement.
+type Row struct {
+	Variant        string  `json:"variant"`
+	MaxBatchBlocks int     `json:"max_batch_blocks"`
+	Pooled         bool    `json:"pooled"`
+	Blocks         int64   `json:"blocks"`
+	Messages       int64   `json:"messages"`
+	MsgsPerBlock   float64 `json:"msgs_per_block"`
+	NsPerBlock     float64 `json:"ns_per_block"`
+	AllocBPerBlock float64 `json:"alloc_bytes_per_block"`
+	ThroughputMBs  float64 `json:"throughput_mb_per_s"`
+}
+
+// Report is the file layout of BENCH_batching.json.
+type Report struct {
+	BlockBytes int64  `json:"block_bytes"`
+	BlocksRun  int    `json:"blocks_per_variant"`
+	GoVersion  string `json:"go_version"`
+	Rows       []Row  `json:"rows"`
+}
+
+func run(dir string, blocks int, blockBytes int64, v benchharness.Variant) (Row, error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	st, err := benchharness.Run(dir, v, blocks, int(blockBytes))
+	elapsed := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Row{}, err
+	}
+
+	row := Row{
+		Variant:        v.Name,
+		MaxBatchBlocks: v.Batch,
+		Pooled:         v.Pooled,
+		Blocks:         st.BlocksSent,
+		Messages:       st.Messages,
+		NsPerBlock:     float64(elapsed) / float64(blocks),
+		AllocBPerBlock: float64(m1.TotalAlloc-m0.TotalAlloc) / float64(blocks),
+	}
+	if st.BlocksSent > 0 {
+		row.MsgsPerBlock = float64(st.Messages) / float64(st.BlocksSent)
+	}
+	if elapsed > 0 {
+		row.ThroughputMBs = float64(int64(blocks)*blockBytes) / (float64(elapsed) / 1e9) / 1e6
+	}
+	return row, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_batching.json", "output file")
+	blocks := flag.Int("blocks", 100_000, "blocks per variant")
+	blockBytes := flag.Int64("blockbytes", 32<<10, "payload bytes per block")
+	flag.Parse()
+	if *blocks < 1 {
+		fatal(fmt.Errorf("-blocks must be ≥ 1, got %d", *blocks))
+	}
+	if *blockBytes < 2 {
+		fatal(fmt.Errorf("-blockbytes must be ≥ 2, got %d", *blockBytes))
+	}
+
+	rep := Report{BlockBytes: *blockBytes, BlocksRun: *blocks, GoVersion: runtime.Version()}
+	for _, v := range benchharness.Variants {
+		dir, err := os.MkdirTemp("", "benchbatch")
+		if err != nil {
+			fatal(err)
+		}
+		row, err := run(dir, *blocks, *blockBytes, v)
+		os.RemoveAll(dir)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-18s msgs/block=%.4f ns/block=%.0f allocB/block=%.0f %.0f MB/s\n",
+			row.Variant, row.MsgsPerBlock, row.NsPerBlock, row.AllocBPerBlock, row.ThroughputMBs)
+	}
+
+	// The headline claims the README and the tentpole PR make: batching ≥ 4
+	// at least halves messages per block, and pooling cuts per-block
+	// allocation versus the seed protocol.
+	seed, batched := rep.Rows[0], rep.Rows[2]
+	if batched.MsgsPerBlock*2 > seed.MsgsPerBlock {
+		fatal(fmt.Errorf("batching regression: %.3f msgs/block (batch=4) vs %.3f (seed)",
+			batched.MsgsPerBlock, seed.MsgsPerBlock))
+	}
+	if batched.AllocBPerBlock >= seed.AllocBPerBlock {
+		fatal(fmt.Errorf("pooling regression: %.0f alloc B/block (batch=4) vs %.0f (seed)",
+			batched.AllocBPerBlock, seed.AllocBPerBlock))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchbatch:", err)
+	os.Exit(1)
+}

@@ -27,6 +27,9 @@ func main() {
 		Producers: 1,
 		Consumers: 1,
 		SpoolDir:  dir,
+		// Let the sender drain a few blocks per mixed message when the
+		// buffer runs deep; with shallow buffers it stays one-per-message.
+		MaxBatchBlocks: 4,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -40,7 +43,11 @@ func main() {
 		gen := synthetic.NewGenerator(synthetic.Linear, elemsPerBlock, 42)
 		p := job.Producer(0)
 		for s := 0; s < steps; s++ {
-			p.Write(s, 0, floatbuf.Encode(gen.Next()))
+			// Pooled payload: once the consumer Releases a block, this
+			// NewPayload reuses its buffer instead of allocating.
+			data := zipper.NewPayload(8 * elemsPerBlock)
+			floatbuf.EncodeInto(data, gen.Next())
+			p.Write(s, 0, data)
 		}
 		p.Close()
 	}()
@@ -53,6 +60,7 @@ func main() {
 			break
 		}
 		v.Analyze(floatbuf.Decode(blk.Data))
+		blk.Release()
 		blocks++
 	}
 	wg.Wait()

@@ -1,0 +1,3 @@
+module zipper
+
+go 1.24

@@ -1,0 +1,72 @@
+// Package benchharness is the single source of truth for the batching
+// measurement workload shared by BenchmarkBatching (bench_test.go) and
+// cmd/benchbatch: one producer pushing blocks through a one-deep receive
+// window — the backpressured regime where batches form — under a given
+// protocol variant. Keeping both callers on this harness keeps the committed
+// BENCH_batching.json baseline comparable to the in-repo benchmark.
+package benchharness
+
+import "zipper"
+
+// Variant is one batching-protocol configuration of the comparison.
+type Variant struct {
+	Name   string
+	Batch  int  // MaxBatchBlocks
+	Pooled bool // NewPayload/Release vs a fresh allocation per block
+}
+
+// Variants is the canonical comparison: the seed's one-block-per-message
+// protocol with per-block allocation, then pooled payloads at rising batch
+// caps.
+var Variants = []Variant{
+	{Name: "seed-1x-unpooled", Batch: 1, Pooled: false},
+	{Name: "pooled-batch=1", Batch: 1, Pooled: true},
+	{Name: "pooled-batch=4", Batch: 4, Pooled: true},
+	{Name: "pooled-batch=16", Batch: 16, Pooled: true},
+}
+
+// Run pushes `blocks` blocks of blockBytes through a fresh one-producer
+// one-consumer job configured for the variant, waits for the stream to
+// drain, and returns the producer's stats (Messages/BlocksSent is the
+// batching efficiency).
+func Run(spoolDir string, v Variant, blocks, blockBytes int) (zipper.ProducerStats, error) {
+	job, err := zipper.NewJob(zipper.Config{
+		Producers: 1, Consumers: 1, SpoolDir: spoolDir,
+		BufferBlocks: 64, Window: 1, DisableSteal: true,
+		MaxBatchBlocks: v.Batch,
+	})
+	if err != nil {
+		return zipper.ProducerStats{}, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var sink byte
+		for {
+			blk, ok := job.Consumer(0).Read()
+			if !ok {
+				_ = sink
+				return
+			}
+			sink ^= blk.Data[0] ^ blk.Data[len(blk.Data)-1]
+			if v.Pooled {
+				blk.Release()
+			}
+		}
+	}()
+	p := job.Producer(0)
+	for i := 0; i < blocks; i++ {
+		var data []byte
+		if v.Pooled {
+			data = zipper.NewPayload(blockBytes)
+		} else {
+			data = make([]byte, blockBytes)
+		}
+		data[0], data[blockBytes-1] = byte(i), byte(i>>8)
+		p.Write(i, 0, data)
+	}
+	p.Close()
+	<-done
+	job.Wait()
+	return p.Stats(), nil
+}

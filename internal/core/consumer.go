@@ -8,11 +8,14 @@ import (
 )
 
 // entry is one block resident in the consumer buffer with its lifecycle
-// flags. A block is freed only when analyzed and, in Preserve mode, stored.
+// flags. A block is freed only when analyzed and, in Preserve mode, stored;
+// release marks a payload the analysis has returned for recycling, which the
+// runtime honors only once it no longer needs the bytes itself.
 type entry struct {
 	b        *block.Block
 	analyzed bool
 	stored   bool
+	release  bool
 }
 
 // Consumer is one analysis process's runtime module. The analysis
@@ -146,9 +149,14 @@ func (c *Consumer) reapLocked() {
 	}
 }
 
-// insertLocked waits for buffer space and appends a new entry.
+// insertLocked waits for buffer space and appends a new entry. Once the
+// consumer has failed (c.err set) space may never free again — the output
+// thread is gone and analyzed-but-unstored entries occupy the buffer
+// forever — so the wait gives up and the entry is appended over capacity:
+// the stream is already lost, but the receiver must keep draining so Wait
+// and the producers' Fins can complete.
 func (c *Consumer) insertLocked(x rt.Ctx, b *block.Block) {
-	for len(c.entries) >= c.cfg.ConsumerBufferBlocks {
+	for len(c.entries) >= c.cfg.ConsumerBufferBlocks && c.err == nil {
 		c.space.Wait(x)
 	}
 	e := &entry{b: b, stored: b.OnDisk || c.cfg.Mode == NoPreserve}
@@ -157,6 +165,32 @@ func (c *Consumer) insertLocked(x rt.Ctx, b *block.Block) {
 	if !e.stored {
 		c.storeWork.Signal()
 	}
+}
+
+// ReleaseBlock hands b's payload back for recycling once the runtime is done
+// with it. In NoPreserve mode (or once the block is stored) the payload goes
+// back to the pool immediately; while the Preserve-mode output thread still
+// needs the bytes, the release is deferred and happens right after the store
+// completes. Call it from the analysis application when it has finished with
+// a block obtained from Read; releasing a block whose payload the caller
+// still reads corrupts the stream.
+func (c *Consumer) ReleaseBlock(x rt.Ctx, b *block.Block) {
+	if b == nil {
+		return
+	}
+	c.lk.Lock(x)
+	for _, e := range c.entries {
+		if e.b == b {
+			if !e.stored {
+				e.release = true // output thread releases after storing
+				c.lk.Unlock(x)
+				return
+			}
+			break
+		}
+	}
+	c.lk.Unlock(x)
+	b.Release()
 }
 
 // Err reports a runtime failure (for example, an unreadable spilled block).
@@ -201,7 +235,7 @@ func (c *Consumer) receiverThread(x rt.Ctx) {
 		if !ok {
 			break // inbox closed under us: treat as end of stream
 		}
-		if c.cfg.Recorder != nil && m.Block != nil {
+		if c.cfg.Recorder != nil && len(m.Blocks) > 0 {
 			c.cfg.Recorder.Add(c.traceName("receiver"), "recv", start, start+busy)
 		}
 		for _, ref := range m.Disk {
@@ -210,9 +244,9 @@ func (c *Consumer) receiverThread(x rt.Ctx) {
 		if len(m.Disk) > 0 {
 			c.diskWork.Broadcast()
 		}
-		if m.Block != nil {
+		for _, b := range m.Blocks {
 			c.stats.BlocksReceived++
-			c.insertLocked(x, m.Block)
+			c.insertLocked(x, b)
 		}
 		if m.Fin {
 			c.finsGot++
@@ -270,6 +304,7 @@ func (c *Consumer) readerThread(x rt.Ctx) {
 	c.readerDone = true
 	c.avail.Broadcast()
 	c.storeWork.Broadcast()
+	c.space.Broadcast() // on error, free a receiver stuck in insertLocked
 	c.done.Broadcast()
 	c.lk.Unlock(x)
 }
@@ -309,6 +344,9 @@ func (c *Consumer) outputThread(x rt.Ctx) {
 		}
 		target.stored = true
 		c.stats.BlocksStored++
+		if target.release {
+			target.b.Release()
+		}
 		c.reapLocked()
 	}
 	c.outputDone = true

@@ -60,6 +60,15 @@ type Config struct {
 	HighWater int
 	// ConsumerBufferBlocks is the consumer buffer capacity. Zero selects 16.
 	ConsumerBufferBlocks int
+	// MaxBatchBlocks caps how many buffered blocks the sender thread drains
+	// into one mixed message. Zero or one selects the paper's original
+	// one-block-per-message protocol; larger values amortize the per-message
+	// overhead (header, window credit, send call) when the buffer runs deep.
+	MaxBatchBlocks int
+	// MaxBatchBytes caps a batch's total payload bytes. Zero means unlimited.
+	// The head block of a batch is always taken, even when it alone exceeds
+	// the cap, so oversized blocks still make progress.
+	MaxBatchBytes int64
 	// Mode selects Preserve or NoPreserve.
 	Mode Mode
 	// DisableSteal turns the writer thread off, yielding the
@@ -85,6 +94,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConsumerBufferBlocks <= 0 {
 		c.ConsumerBufferBlocks = 16
+	}
+	if c.MaxBatchBlocks <= 0 {
+		c.MaxBatchBlocks = 1
+	}
+	if c.MaxBatchBytes < 0 {
+		c.MaxBatchBytes = 0
 	}
 	return c
 }

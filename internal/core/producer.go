@@ -135,8 +135,9 @@ func (p *Producer) Stats(c rt.Ctx) ProducerStats {
 // returned).
 func (p *Producer) FinalStats() ProducerStats { return p.stats }
 
-// senderThread drains the producer buffer to the network, piggybacking the
-// IDs of spilled blocks, and finally emits the Fin message.
+// senderThread drains the producer buffer to the network in batches of up to
+// MaxBatchBlocks / MaxBatchBytes, piggybacking the IDs of spilled blocks, and
+// finally emits the Fin message.
 func (p *Producer) senderThread(c rt.Ctx) {
 	for {
 		p.lk.Lock(c)
@@ -147,26 +148,19 @@ func (p *Producer) senderThread(c rt.Ctx) {
 			p.lk.Unlock(c)
 			break
 		}
-		var b *block.Block
-		if len(p.buf) > 0 {
-			b = p.buf[0]
-			p.buf = p.buf[1:]
-			p.notFull.Signal()
-		}
+		blocks := p.drainBatchLocked()
 		ids := p.diskIDs
 		p.diskIDs = nil
 		p.lk.Unlock(c)
 
 		start := c.Now()
-		p.tr.Send(c, p.to, rt.Message{From: p.rank, Block: b, Disk: ids})
+		p.tr.Send(c, p.to, rt.Message{From: p.rank, Blocks: blocks, Disk: ids})
 		busy := c.Now() - start
 
 		p.lk.Lock(c)
 		p.stats.SendBusy += busy
 		p.stats.Messages++
-		if b != nil {
-			p.stats.BlocksSent++
-		}
+		p.stats.BlocksSent += int64(len(blocks))
 		p.lk.Unlock(c)
 		if p.cfg.Recorder != nil {
 			p.cfg.Recorder.Add(p.traceName("sender"), "send", start, start+busy)
@@ -174,6 +168,10 @@ func (p *Producer) senderThread(c rt.Ctx) {
 	}
 	// Fin carries any last spilled IDs implicitly not needed: loop ensures
 	// diskIDs is empty before exit.
+	//
+	// Note the loop drains the buffer completely before this point, so a
+	// Close racing a partially filled batch cannot strand blocks: the exit
+	// predicate requires both the buffer and the disk-ID list to be empty.
 	start := c.Now()
 	p.tr.Send(c, p.to, rt.Message{From: p.rank, Fin: true})
 	p.lk.Lock(c)
@@ -183,6 +181,36 @@ func (p *Producer) senderThread(c rt.Ctx) {
 	p.stats.Finished = c.Now()
 	p.done.Broadcast()
 	p.lk.Unlock(c)
+}
+
+// drainBatchLocked removes up to MaxBatchBlocks / MaxBatchBytes blocks from
+// the head of the producer buffer. The head block is always taken so an
+// oversized block cannot wedge the sender; the byte cap applies only to
+// growing the batch past it. Returns nil when the buffer is empty (a send
+// that only announces spilled IDs).
+func (p *Producer) drainBatchLocked() []*block.Block {
+	if len(p.buf) == 0 {
+		return nil
+	}
+	n := 1
+	bytes := p.buf[0].Bytes
+	for n < len(p.buf) && n < p.cfg.MaxBatchBlocks {
+		next := p.buf[n]
+		if p.cfg.MaxBatchBytes > 0 && bytes+next.Bytes > p.cfg.MaxBatchBytes {
+			break
+		}
+		bytes += next.Bytes
+		n++
+	}
+	blocks := make([]*block.Block, n)
+	copy(blocks, p.buf[:n])
+	p.buf = p.buf[n:]
+	if n > 1 {
+		p.notFull.Broadcast()
+	} else {
+		p.notFull.Signal()
+	}
+	return blocks
 }
 
 // writerThread is Algorithm 1: steal the oldest block whenever the buffer is
@@ -218,7 +246,6 @@ func (p *Producer) writerThread(c rt.Ctx) {
 			// Put the block back at the front: order within the network path
 			// is not load-bearing, but data must not be lost.
 			p.buf = append([]*block.Block{b}, p.buf...)
-			p.stats.BlocksWritten += 0 // no change; kept for symmetry
 			p.writerDone = true
 			p.notEmpty.Broadcast()
 			p.done.Broadcast()

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"zipper/internal/apps/synthetic"
+	"zipper/internal/workflow"
+)
+
+// BatchingRow is one MaxBatchBlocks setting of the batching sweep: the same
+// backpressured workload run with the given batch cap, reporting how many
+// mixed messages moved the same number of blocks.
+type BatchingRow struct {
+	MaxBatchBlocks int
+	Messages       int64
+	BlocksSent     int64
+	// MsgsPerBlock is Messages/BlocksSent — 1.0 (plus Fin noise) for the
+	// paper's unbatched protocol, dropping toward 1/MaxBatchBlocks as the
+	// producer runs ahead of the network and batches fill.
+	MsgsPerBlock float64
+	E2E          time.Duration
+	ProducerWall time.Duration
+	Stall        time.Duration
+}
+
+// RunBatchingSweep runs the O(n) synthetic workload (generation far ahead of
+// the network — the regime where per-message overhead matters) once per
+// batch cap. The message-passing-only configuration isolates the network
+// path so Messages/BlocksSent measures batching alone.
+func RunBatchingSweep(batches []int, producers, steps int) []BatchingRow {
+	var rows []BatchingRow
+	for _, batch := range batches {
+		spec := Synthetic(synthetic.Linear, 1<<20, producers)
+		if steps > 0 {
+			spec.Workload.Steps = steps
+		}
+		spec.Workload.AnalyzePerByte = time.Nanosecond
+		spec.Zipper.BufferBlocks = 32
+		spec.Zipper.DisableSteal = true
+		spec.Zipper.MaxBatchBlocks = batch
+		res := workflow.RunZipper(spec)
+		row := BatchingRow{
+			MaxBatchBlocks: batch,
+			Messages:       res.Messages,
+			BlocksSent:     res.BlocksSent,
+			E2E:            res.E2E,
+			ProducerWall:   res.ProducerWallClock,
+			Stall:          res.ProducerStall,
+		}
+		if res.BlocksSent > 0 {
+			row.MsgsPerBlock = float64(res.Messages) / float64(res.BlocksSent)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatBatching renders the batching sweep.
+func FormatBatching(rows []BatchingRow) string {
+	var b strings.Builder
+	b.WriteString("Batched mixed messages: message count vs batch cap (O(n) synthetic)\n")
+	fmt.Fprintf(&b, "  %-6s | %10s %10s %10s %10s %10s\n",
+		"batch", "messages", "blocks", "msgs/blk", "e2e", "prod wall")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6d | %10d %10d %10.3f %9.1fs %9.1fs\n",
+			r.MaxBatchBlocks, r.Messages, r.BlocksSent, r.MsgsPerBlock,
+			r.E2E.Seconds(), r.ProducerWall.Seconds())
+	}
+	return b.String()
+}

@@ -9,6 +9,15 @@ import (
 	"zipper/internal/core"
 )
 
+// skipInShort gates the slow paper-figure reproductions (seconds each) out
+// of the CI fast lane; the scheduled full-suite job runs them all.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-figure reproduction: skipped in -short mode")
+	}
+}
+
 // fig2At returns the row map for quick lookups.
 func fig2At(t *testing.T, steps, scale int) map[string]Fig2Row {
 	t.Helper()
@@ -78,6 +87,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestBreakdownShape(t *testing.T) {
+	skipInShort(t)
 	rows := RunBreakdown(core.NoPreserve, 14)
 	if len(rows) != 6 {
 		t.Fatalf("got %d rows", len(rows))
@@ -121,6 +131,7 @@ func TestBreakdownShape(t *testing.T) {
 }
 
 func TestPreserveStoreDominates(t *testing.T) {
+	skipInShort(t)
 	rows := RunBreakdown(core.Preserve, 14)
 	for _, r := range rows {
 		if r.App == "O(n^3/2)" {
@@ -144,6 +155,7 @@ func TestPreserveStoreDominates(t *testing.T) {
 }
 
 func TestConcurrentSweepShape(t *testing.T) {
+	skipInShort(t)
 	// O(n): generation far outruns the network, so the writer steals and
 	// both stall time and XmitWait drop (Figures 14a/15a).
 	rows := RunConcurrentSweep(synthetic.Linear, []int{84, 168}, 10)
@@ -179,6 +191,7 @@ func TestConcurrentSweepShape(t *testing.T) {
 }
 
 func TestScalingShape(t *testing.T) {
+	skipInShort(t)
 	rows := RunScaling("cfd", []int{204, 408}, 8)
 	for _, r := range rows {
 		zip := r.Methods["Zipper"]
@@ -201,6 +214,7 @@ func TestScalingShape(t *testing.T) {
 }
 
 func TestScalingCrashesAtPaperThresholds(t *testing.T) {
+	skipInShort(t)
 	rows := RunScaling("cfd", []int{6528}, 1)
 	r := rows[0]
 	if r.Methods["Decaf"].OK {
@@ -215,6 +229,7 @@ func TestScalingCrashesAtPaperThresholds(t *testing.T) {
 }
 
 func TestStepComparisonZipperAhead(t *testing.T) {
+	skipInShort(t)
 	cmp := RunStepComparison("cfd", 204, 10, 1300*time.Millisecond)
 	if cmp.ZipperSteps <= cmp.DecafSteps {
 		t.Fatalf("Zipper %.2f steps not ahead of Decaf %.2f in the snapshot",
@@ -241,6 +256,7 @@ func TestTraceFigures(t *testing.T) {
 }
 
 func TestModelValidation(t *testing.T) {
+	skipInShort(t)
 	rows := RunModelValidation(14)
 	for _, r := range rows {
 		ratio := float64(r.Measured) / float64(r.Predicted)
@@ -274,6 +290,30 @@ func TestScaleHelper(t *testing.T) {
 	tiny := Scale(CFDBridges(0), 1000)
 	if tiny.P < 2 || tiny.Q < 1 || tiny.Q > tiny.P {
 		t.Fatalf("degenerate scale: %+v", tiny)
+	}
+}
+
+func TestBatchingSweepReducesMessages(t *testing.T) {
+	rows := RunBatchingSweep([]int{1, 4}, 28, 6)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	un, batched := rows[0], rows[1]
+	if un.BlocksSent == 0 || un.BlocksSent != batched.BlocksSent {
+		t.Fatalf("workloads diverged: %d vs %d blocks", un.BlocksSent, batched.BlocksSent)
+	}
+	// The acceptance bar: batch cap ≥ 4 must at least halve messages per
+	// delivered block on a backpressured workload.
+	if batched.MsgsPerBlock*2 > un.MsgsPerBlock {
+		t.Fatalf("batching ineffective: %.3f msgs/block (batch=4) vs %.3f (batch=1)",
+			batched.MsgsPerBlock, un.MsgsPerBlock)
+	}
+	// Fewer messages must not slow the pipeline down.
+	if float64(batched.E2E) > 1.05*float64(un.E2E) {
+		t.Fatalf("batching regressed E2E: %v vs %v", batched.E2E, un.E2E)
+	}
+	if out := FormatBatching(rows); !strings.Contains(out, "msgs/blk") {
+		t.Error("FormatBatching malformed")
 	}
 }
 

@@ -7,13 +7,24 @@ import (
 	"math"
 )
 
-// Encode serializes vals into a little-endian byte slice.
+// Encode serializes vals into a freshly allocated little-endian byte slice.
 func Encode(vals []float64) []byte {
 	out := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
-	}
+	EncodeInto(out, vals)
 	return out
+}
+
+// EncodeInto serializes vals into dst, which must be exactly 8*len(vals)
+// bytes — typically a pooled payload from block.GetPayload or
+// zipper.NewPayload, so the encode step allocates nothing. It panics on a
+// size mismatch rather than silently truncating a block.
+func EncodeInto(dst []byte, vals []float64) {
+	if len(dst) != 8*len(vals) {
+		panic("floatbuf: EncodeInto buffer size mismatch")
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
 }
 
 // Decode deserializes a little-endian byte slice produced by Encode. It

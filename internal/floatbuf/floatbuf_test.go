@@ -33,6 +33,24 @@ func TestDecodeRejectsRaggedInput(t *testing.T) {
 	Decode(make([]byte, 7))
 }
 
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	vals := []float64{1.5, -2.25, math.Pi, 0}
+	dst := make([]byte, 8*len(vals))
+	EncodeInto(dst, vals)
+	if string(dst) != string(Encode(vals)) {
+		t.Fatal("EncodeInto diverges from Encode")
+	}
+}
+
+func TestEncodeIntoRejectsWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	EncodeInto(make([]byte, 7), []float64{1})
+}
+
 func TestEmpty(t *testing.T) {
 	if got := Decode(Encode(nil)); len(got) != 0 {
 		t.Fatalf("empty round trip = %v", got)

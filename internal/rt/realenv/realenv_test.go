@@ -154,9 +154,10 @@ func TestTCPFrameRoundTrip(t *testing.T) {
 	c := New().Ctx()
 
 	blk := block.New(block.ID{Rank: 3, Step: 14, Seq: 15}, 926, []byte{1, 2, 3, 4, 5})
+	blk2 := block.New(block.ID{Rank: 3, Step: 14, Seq: 16}, 931, []byte{6, 7, 8})
 	tr.Send(c, 1, rt.Message{
-		From:  3,
-		Block: blk,
+		From:   3,
+		Blocks: []*block.Block{blk, blk2},
 		Disk: []rt.DiskRef{
 			{ID: block.ID{Rank: 3, Step: 13, Seq: 9}, Bytes: 512},
 		},
@@ -167,17 +168,20 @@ func TestTCPFrameRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("no message")
 	}
-	if m.From != 3 || m.Block == nil || m.Block.ID != blk.ID || m.Block.Offset != 926 {
+	if m.From != 3 || len(m.Blocks) != 2 || m.Blocks[0].ID != blk.ID || m.Blocks[0].Offset != 926 {
 		t.Fatalf("frame mismatch: %+v", m)
 	}
-	if string(m.Block.Data) != string(blk.Data) {
-		t.Fatalf("payload mismatch: %v", m.Block.Data)
+	if string(m.Blocks[0].Data) != string(blk.Data) || string(m.Blocks[1].Data) != string(blk2.Data) {
+		t.Fatalf("payload mismatch: %v %v", m.Blocks[0].Data, m.Blocks[1].Data)
+	}
+	if m.Blocks[1].ID != blk2.ID || m.Blocks[1].Bytes != 3 {
+		t.Fatalf("second batched block mismatch: %+v", m.Blocks[1])
 	}
 	if len(m.Disk) != 1 || m.Disk[0].Bytes != 512 || m.Disk[0].ID.Seq != 9 {
 		t.Fatalf("disk refs mismatch: %+v", m.Disk)
 	}
 	fin, ok := ln.Inbox(0).Recv(c)
-	if !ok || !fin.Fin {
+	if !ok || !fin.Fin || len(fin.Blocks) != 0 {
 		t.Fatalf("fin mismatch: %+v", fin)
 	}
 }

@@ -23,14 +23,17 @@ import (
 // frame layout (little endian):
 //
 //	u32 magic | u32 flags | i64 to | i64 from
-//	i64 rank | i64 step | i64 seq | i64 offset | i64 bytes | u1 onDisk
 //	i64 nDisk | nDisk × (i64 rank | i64 step | i64 seq | i64 bytes)
-//	i64 dataLen | data
+//	i64 nBlocks | nBlocks × (i64 rank | i64 step | i64 seq | i64 offset |
+//	                         i64 bytes | i64 onDisk | i64 dataLen | data)
+//
+// Version 2 of the frame carries a batch of data blocks so one socket write
+// (and one read on the far side) moves a whole drained batch.
 const (
-	frameMagic  = 0x5a495031 // "ZIP1"
+	frameMagic  = 0x5a495032 // "ZIP2"
 	flagFin     = 1 << 0
-	flagHasBlk  = 1 << 1
 	maxFrameLen = 1 << 31
+	maxBatchLen = 1 << 20 // sanity cap on per-frame block and disk-ref counts
 )
 
 // TCPListener is the consumer-side endpoint set.
@@ -145,32 +148,34 @@ func writeFrame(w io.Writer, to int, m rt.Message) error {
 	if m.Fin {
 		flags |= flagFin
 	}
-	if m.Block != nil {
-		flags |= flagHasBlk
-	}
 	hdr := make([]byte, 0, 128)
 	hdr = binary.LittleEndian.AppendUint32(hdr, frameMagic)
 	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
 	hdr = appendI64(hdr, int64(to), int64(m.From))
-	b := m.Block
-	if b == nil {
-		b = &block.Block{}
-	}
-	onDisk := int64(0)
-	if b.OnDisk {
-		onDisk = 1
-	}
-	hdr = appendI64(hdr, int64(b.ID.Rank), int64(b.ID.Step), int64(b.ID.Seq), b.Offset, b.Bytes, onDisk)
 	hdr = appendI64(hdr, int64(len(m.Disk)))
 	for _, d := range m.Disk {
 		hdr = appendI64(hdr, int64(d.ID.Rank), int64(d.ID.Step), int64(d.ID.Seq), d.Bytes)
 	}
-	hdr = appendI64(hdr, int64(len(b.Data)))
+	hdr = appendI64(hdr, int64(len(m.Blocks)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	_, err := w.Write(b.Data)
-	return err
+	bh := make([]byte, 0, 7*8)
+	for _, b := range m.Blocks {
+		onDisk := int64(0)
+		if b.OnDisk {
+			onDisk = 1
+		}
+		bh = appendI64(bh[:0], int64(b.ID.Rank), int64(b.ID.Step), int64(b.ID.Seq),
+			b.Offset, b.Bytes, onDisk, int64(len(b.Data)))
+		if _, err := w.Write(bh); err != nil {
+			return err
+		}
+		if _, err := w.Write(b.Data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func appendI64(b []byte, vs ...int64) []byte {
@@ -210,15 +215,8 @@ func readFrame(r io.Reader) (int, rt.Message, error) {
 	from, _ := i64()
 	m.From = int(from)
 	m.Fin = flags&flagFin != 0
-	var blk block.Block
-	var rank, step, seq, offset, bytes, onDisk int64
-	for _, dst := range []*int64{&rank, &step, &seq, &offset, &bytes, &onDisk} {
-		if *dst, err = i64(); err != nil {
-			return 0, m, err
-		}
-	}
 	nDisk, err := i64()
-	if err != nil || nDisk < 0 || nDisk > 1<<20 {
+	if err != nil || nDisk < 0 || nDisk > maxBatchLen {
 		return 0, m, fmt.Errorf("realenv: bad disk-ref count %d: %v", nDisk, err)
 	}
 	for i := int64(0); i < nDisk; i++ {
@@ -233,26 +231,39 @@ func readFrame(r io.Reader) (int, rt.Message, error) {
 			Bytes: db,
 		})
 	}
-	dataLen, err := i64()
-	if err != nil || dataLen < 0 || dataLen > maxFrameLen {
-		return 0, m, fmt.Errorf("realenv: bad frame length %d: %v", dataLen, err)
+	nBlocks, err := i64()
+	if err != nil || nBlocks < 0 || nBlocks > maxBatchLen {
+		return 0, m, fmt.Errorf("realenv: bad block count %d: %v", nBlocks, err)
 	}
-	if flags&flagHasBlk != 0 {
-		blk.ID = block.ID{Rank: int(rank), Step: int(step), Seq: int(seq)}
-		blk.Offset = offset
-		blk.Bytes = bytes
-		blk.OnDisk = onDisk == 1
+	var frameData int64 // aggregate payload: a corrupt header must not demand unbounded allocation
+	for i := int64(0); i < nBlocks; i++ {
+		var rank, step, seq, offset, bytes, onDisk, dataLen int64
+		for _, dst := range []*int64{&rank, &step, &seq, &offset, &bytes, &onDisk, &dataLen} {
+			if *dst, err = i64(); err != nil {
+				return 0, m, err
+			}
+		}
+		if dataLen < 0 || dataLen > maxFrameLen {
+			return 0, m, fmt.Errorf("realenv: bad block data length %d", dataLen)
+		}
+		if frameData += dataLen; frameData > maxFrameLen {
+			return 0, m, fmt.Errorf("realenv: frame payload exceeds %d bytes", int64(maxFrameLen))
+		}
+		blk := &block.Block{
+			ID:     block.ID{Rank: int(rank), Step: int(step), Seq: int(seq)},
+			Offset: offset,
+			Bytes:  bytes,
+			OnDisk: onDisk == 1,
+		}
 		if dataLen > 0 {
-			blk.Data = make([]byte, dataLen)
+			// Pooled payload: the consumer releases it after analysis, so
+			// steady-state TCP receive allocates nothing for data.
+			blk.Data = block.GetPayload(int(dataLen))
 			if _, err := io.ReadFull(r, blk.Data); err != nil {
 				return 0, m, err
 			}
 		}
-		m.Block = &blk
-	} else if dataLen > 0 {
-		if _, err := io.CopyN(io.Discard, r, dataLen); err != nil {
-			return 0, m, err
-		}
+		m.Blocks = append(m.Blocks, blk)
 	}
 	return int(to), m, nil
 }

@@ -63,15 +63,28 @@ type DiskRef struct {
 	Bytes int64
 }
 
-// Message is the "mixed message" of the paper's producer runtime (§4.2): an
-// optional data block plus the list of block IDs the work-stealing writer
+// Message is the "mixed message" of the paper's producer runtime (§4.2),
+// extended with batching: zero or more data blocks drained from the producer
+// buffer in one send, plus the list of block IDs the work-stealing writer
 // spilled to the parallel file system since the last send, or an end-of-
-// stream marker.
+// stream marker. Batching amortizes the per-message overhead of the
+// fine-grain protocol (header, window credit, send call) without giving up
+// fine-grain pipelining: a block still leaves as soon as the sender thread
+// gets to it, it just shares the wire trip with whatever else is queued.
 type Message struct {
-	From  int // producer rank
-	Block *block.Block
-	Disk  []DiskRef
-	Fin   bool // the producer has sent everything
+	From   int // producer rank
+	Blocks []*block.Block
+	Disk   []DiskRef
+	Fin    bool // the producer has sent everything
+}
+
+// PayloadBytes sums the data-block payload sizes carried by the message.
+func (m Message) PayloadBytes() int64 {
+	var n int64
+	for _, b := range m.Blocks {
+		n += b.Bytes
+	}
+	return n
 }
 
 // Transport sends mixed messages to consumer endpoints over the low-latency

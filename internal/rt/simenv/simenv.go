@@ -95,17 +95,22 @@ func (c *cond) Wait(x rt.Ctx) { c.c.Wait(proc(x).P) }
 func (c *cond) Signal()       { c.c.Signal() }
 func (c *cond) Broadcast()    { c.c.Broadcast() }
 
-// messageOverhead is the wire header charged per mixed message, plus the
-// per-entry cost of the on-disk ID list.
+// messageOverhead is the wire header charged per mixed message (it includes
+// the descriptor of the first data block), diskIDWireBytes the per-entry cost
+// of the on-disk ID list, and blockWireBytes the descriptor of each batched
+// block beyond the first. A single-block message therefore costs exactly what
+// the unbatched protocol charged, and batching amortizes messageOverhead
+// across the whole batch.
 const (
 	messageOverhead = 64
 	diskIDWireBytes = 24
+	blockWireBytes  = 48
 )
 
 func wireBytes(m rt.Message) int64 {
-	n := int64(messageOverhead) + diskIDWireBytes*int64(len(m.Disk))
-	if m.Block != nil {
-		n += m.Block.Bytes
+	n := int64(messageOverhead) + diskIDWireBytes*int64(len(m.Disk)) + m.PayloadBytes()
+	if extra := len(m.Blocks) - 1; extra > 0 {
+		n += blockWireBytes * int64(extra)
 	}
 	return n
 }

@@ -79,9 +79,9 @@ func TestNetworkWindowBackpressureAndXmitWait(t *testing.T) {
 	env := NewEnv(e, 0, 0)
 	var sendDone [2]time.Duration
 	env.Go("sender", func(c rt.Ctx) {
-		net.Send(c, 0, rt.Message{From: 0, Block: block.NewSized(block.ID{}, 0, 1<<20)})
+		net.Send(c, 0, rt.Message{From: 0, Blocks: []*block.Block{block.NewSized(block.ID{}, 0, 1<<20)}})
 		sendDone[0] = c.Now()
-		net.Send(c, 0, rt.Message{From: 0, Block: block.NewSized(block.ID{Seq: 1}, 0, 1<<20)})
+		net.Send(c, 0, rt.Message{From: 0, Blocks: []*block.Block{block.NewSized(block.ID{Seq: 1}, 0, 1<<20)}})
 		sendDone[1] = c.Now()
 	})
 	envC := NewEnv(e, 1, 0)
@@ -138,7 +138,7 @@ func TestStoreUsesCallerNode(t *testing.T) {
 }
 
 func TestWireBytesAccounting(t *testing.T) {
-	m := rt.Message{Block: block.NewSized(block.ID{}, 0, 1000)}
+	m := rt.Message{Blocks: []*block.Block{block.NewSized(block.ID{}, 0, 1000)}}
 	if got := wireBytes(m); got != 1000+messageOverhead {
 		t.Fatalf("wireBytes = %d", got)
 	}
@@ -148,5 +148,16 @@ func TestWireBytesAccounting(t *testing.T) {
 	}
 	if got := wireBytes(rt.Message{Fin: true}); got != messageOverhead {
 		t.Fatalf("fin wireBytes = %d", got)
+	}
+	// A batch charges the message header once plus one descriptor per extra
+	// block — strictly cheaper than the same blocks sent individually.
+	batch := rt.Message{Blocks: []*block.Block{
+		block.NewSized(block.ID{}, 0, 1000),
+		block.NewSized(block.ID{Seq: 1}, 0, 500),
+		block.NewSized(block.ID{Seq: 2}, 0, 250),
+	}}
+	want := int64(1750 + messageOverhead + 2*blockWireBytes)
+	if got := wireBytes(batch); got != want {
+		t.Fatalf("batched wireBytes = %d, want %d", got, want)
 	}
 }

@@ -112,9 +112,11 @@ type Result struct {
 	ProducerWallClock time.Duration
 	// XmitWaitProducers sums the XmitWait counter over producer nodes.
 	XmitWaitProducers int64
-	// BlocksSent/BlocksStolen aggregate Zipper producer stats.
-	BlocksSent, BlocksStolen int64
-	Rec                      *trace.Recorder
+	// BlocksSent/BlocksStolen/Messages aggregate Zipper producer stats;
+	// Messages counts mixed messages (including Fins), so Messages/BlocksSent
+	// measures how well batching amortizes the per-message overhead.
+	BlocksSent, BlocksStolen, Messages int64
+	Rec                                *trace.Recorder
 }
 
 // rig is a built machine instance.
@@ -462,6 +464,7 @@ func RunZipper(spec Spec) Result {
 		st := p.FinalStats()
 		res.BlocksSent += st.BlocksSent
 		res.BlocksStolen += st.BlocksStolen
+		res.Messages += st.Messages
 		if st.SendBusy > maxSend {
 			maxSend = st.SendBusy
 		}

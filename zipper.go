@@ -13,25 +13,41 @@
 // threads. Data flows as soon as it exists; there are no barriers or
 // interlocks between time steps.
 //
-//	job, _ := zipper.NewJob(zipper.Config{Producers: 2, Consumers: 1, SpoolDir: dir})
+//	job, err := zipper.NewJob(zipper.Config{Producers: 1, Consumers: 1, SpoolDir: dir})
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	go func() {
 //	    p := job.Producer(0)
-//	    p.Write(0, 0, payload)
+//	    for step := 0; step < steps; step++ {
+//	        data := zipper.NewPayload(blockBytes) // pooled; fill it completely
+//	        fill(data, step)
+//	        p.Write(step, 0, data)
+//	    }
 //	    p.Close()
 //	}()
-//	...
 //	for {
 //	    blk, ok := job.Consumer(0).Read()
-//	    if !ok { break }
-//	    analyze(blk)
+//	    if !ok {
+//	        break
+//	    }
+//	    analyze(blk.Data)
+//	    blk.Release() // recycle the payload once the data is dead
 //	}
 //	job.Wait()
+//
+// The sender thread drains whole batches of buffered blocks into single
+// "mixed messages" when Config.MaxBatchBlocks allows it, amortizing the
+// per-message overhead of the fine-grain protocol; NewPayload and
+// Block.Release close the allocation loop so steady-state transfer reuses
+// payload buffers instead of allocating fresh ones.
 package zipper
 
 import (
 	"errors"
 	"fmt"
 
+	"zipper/internal/block"
 	"zipper/internal/core"
 	"zipper/internal/rt"
 	"zipper/internal/rt/realenv"
@@ -54,7 +70,31 @@ type Block struct {
 	// ViaDisk reports whether the block traveled the file-system path
 	// (it was stolen by the writer thread).
 	ViaDisk bool
+
+	inner *block.Block
+	owner *Consumer
 }
+
+// Release recycles the block's payload into the runtime's payload pool. Call
+// it once the analysis is completely done with Data: afterwards the payload
+// may back another producer's NewPayload at any moment, so retaining a
+// reference to Data corrupts the stream. In Preserve mode the recycle is
+// deferred until the output thread has stored the block, so Release is always
+// safe to call right after analyzing. Releasing twice is a no-op.
+func (b *Block) Release() {
+	if b.inner == nil {
+		return
+	}
+	b.Data = nil
+	b.owner.c.ReleaseBlock(b.owner.ctx, b.inner)
+}
+
+// NewPayload returns a payload slice of length n, reusing a buffer released
+// by a consumer when one is available. The contents are unspecified — fill
+// all n bytes before handing the slice to Producer.Write. Payloads that never
+// pass through the pool are also accepted by Write; the pool is an
+// optimization, not an obligation.
+func NewPayload(n int) []byte { return block.GetPayload(n) }
 
 // Config configures a Job.
 type Config struct {
@@ -70,6 +110,16 @@ type Config struct {
 	HighWater int
 	// ConsumerBufferBlocks is each consumer's buffer capacity (default 16).
 	ConsumerBufferBlocks int
+	// MaxBatchBlocks caps how many buffered blocks one mixed message may
+	// carry. The default (0 or 1) is the paper's one-block-per-message
+	// protocol; raising it lets the sender thread drain whole batches per
+	// send, cutting message count and per-message overhead when the producer
+	// runs ahead of the network.
+	MaxBatchBlocks int
+	// MaxBatchBytes caps a batch's total payload bytes (0 = unlimited). The
+	// head block of a batch is always sent, even when it alone exceeds the
+	// cap.
+	MaxBatchBytes int64
 	// Window is each consumer's receive window in messages (default 4).
 	Window int
 	// Preserve keeps every block on the file system for later validation.
@@ -115,6 +165,8 @@ func NewJob(cfg Config) (*Job, error) {
 		BufferBlocks:         cfg.BufferBlocks,
 		HighWater:            cfg.HighWater,
 		ConsumerBufferBlocks: cfg.ConsumerBufferBlocks,
+		MaxBatchBlocks:       cfg.MaxBatchBlocks,
+		MaxBatchBytes:        cfg.MaxBatchBytes,
 		DisableSteal:         cfg.DisableSteal,
 		Recorder:             cfg.Recorder,
 	}
@@ -183,6 +235,7 @@ func (p *Producer) Stats() ProducerStats {
 		BlocksWritten: s.BlocksWritten,
 		BlocksSent:    s.BlocksSent,
 		BlocksStolen:  s.BlocksStolen,
+		Messages:      s.Messages,
 		WriteStall:    s.WriteStall.Seconds(),
 	}
 }
@@ -190,9 +243,13 @@ func (p *Producer) Stats() ProducerStats {
 // ProducerStats summarizes a producer endpoint's activity.
 type ProducerStats struct {
 	BlocksWritten int64
-	BlocksSent    int64   // via the network path
-	BlocksStolen  int64   // via the file-system path (work-stealing writer)
-	WriteStall    float64 // seconds Write spent blocked on a full buffer
+	BlocksSent    int64 // via the network path
+	BlocksStolen  int64 // via the file-system path (work-stealing writer)
+	// Messages counts mixed messages sent, including the final Fin. With
+	// MaxBatchBlocks > 1 this falls below BlocksSent as batches form; the
+	// ratio Messages/BlocksSent is the batching efficiency.
+	Messages   int64
+	WriteStall float64 // seconds Write spent blocked on a full buffer
 }
 
 // Consumer is the application-facing consumer endpoint. Its methods must be
@@ -215,6 +272,8 @@ func (c *Consumer) Read() (Block, bool) {
 		Offset:  b.Offset,
 		Data:    b.Data,
 		ViaDisk: b.OnDisk,
+		inner:   b,
+		owner:   c,
 	}, true
 }
 

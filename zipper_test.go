@@ -118,6 +118,62 @@ func TestJobStealingVisibleInStats(t *testing.T) {
 	}
 }
 
+func TestJobBatchingAndPooledPayloads(t *testing.T) {
+	// The full public-API loop: pooled payloads written by the producer,
+	// batched over the network, verified and released by the consumer. The
+	// release/rewrite cycle must never corrupt a block in flight.
+	job, err := NewJob(Config{
+		Producers: 2, Consumers: 1, SpoolDir: t.TempDir(),
+		BufferBlocks: 16, MaxBatchBlocks: 8, Window: 1, DisableSteal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 200
+	const blockBytes = 1024
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := job.Producer(i)
+			for s := 0; s < steps; s++ {
+				data := NewPayload(blockBytes)
+				for j := range data {
+					data[j] = byte(i ^ s)
+				}
+				p.Write(s, 0, data)
+			}
+			p.Close()
+		}()
+	}
+	n := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		want := byte(blk.ID.Rank ^ blk.ID.Step)
+		for _, v := range blk.Data {
+			if v != want {
+				t.Fatalf("block %+v corrupted: %d != %d", blk.ID, v, want)
+			}
+		}
+		blk.Release()
+		n++
+	}
+	wg.Wait()
+	job.Wait()
+	if n != 2*steps {
+		t.Fatalf("analyzed %d blocks, want %d", n, 2*steps)
+	}
+	ps := job.Producer(0).Stats()
+	if ps.Messages == 0 || ps.Messages > ps.BlocksSent+1 {
+		t.Fatalf("message accounting off: %d messages for %d sent blocks", ps.Messages, ps.BlocksSent)
+	}
+}
+
 func TestJobPreserve(t *testing.T) {
 	dir := t.TempDir()
 	job, err := NewJob(Config{Producers: 1, Consumers: 1, SpoolDir: dir, Preserve: true})
