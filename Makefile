@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench-smoke bench-batching
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging
 
 ci: fmt vet build test
 
@@ -32,3 +32,7 @@ bench-smoke:
 # Regenerate the committed batching baseline.
 bench-batching:
 	$(GO) run ./cmd/benchbatch -o BENCH_batching.json
+
+# Regenerate the committed staging baseline (in-situ vs in-transit vs hybrid).
+bench-staging:
+	$(GO) run ./cmd/benchstaging -o BENCH_staging.json

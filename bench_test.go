@@ -378,6 +378,32 @@ func BenchmarkBatching(b *testing.B) {
 	}
 }
 
+// BenchmarkStaging runs the consumer-bound staging workload under the three
+// routing modes on the real platform. The stall/op metric is the producer
+// liberation the in-transit tier buys; viaDisk/op the file-system traffic it
+// avoids. The workload lives in internal/benchharness, shared with
+// cmd/benchstaging so the committed BENCH_staging.json baseline measures the
+// same thing.
+func BenchmarkStaging(b *testing.B) {
+	const blockBytes = 32 << 10
+	for _, v := range benchharness.StagingVariants {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			dir := b.TempDir()
+			b.SetBytes(2 * blockBytes) // two producers
+			b.ResetTimer()
+			st, err := benchharness.RunStaging(dir, v, 2, b.N, blockBytes, 50*time.Microsecond)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(st.WriteStall/float64(b.N), "stall-s/op")
+			b.ReportMetric(float64(st.BlocksStolen)/float64(b.N), "viaDisk/op")
+			b.ReportMetric(float64(st.BlocksRelayed)/float64(b.N), "relayed/op")
+		})
+	}
+}
+
 // --- Real-platform throughput of the public API ---
 
 func BenchmarkRealJobThroughput(b *testing.B) {

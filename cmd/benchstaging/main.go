@@ -1,0 +1,139 @@
+// benchstaging records the staging-tier baseline: the shared benchharness
+// consumer-bound workload (fast producers, deliberately slow consumer) run
+// in-situ (the paper's two-channel protocol), in-transit (everything through
+// the staging relay), and hybrid (per-batch routing from live backpressure),
+// on the real platform. It writes the comparison as JSON so CI and future
+// optimization PRs have a committed reference point, and fails when hybrid
+// routing stops beating in-situ on producer stall and file-system traffic.
+//
+// Usage:
+//
+//	benchstaging [-o BENCH_staging.json] [-producers P] [-blocks N]
+//	             [-blockbytes B] [-analyze D]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"zipper/internal/benchharness"
+)
+
+// Row is one routing variant's measurement.
+type Row struct {
+	Variant       string  `json:"variant"`
+	Stagers       int     `json:"stagers"`
+	Blocks        int64   `json:"blocks"`
+	Direct        int64   `json:"blocks_direct"`
+	Relayed       int64   `json:"blocks_relayed"`
+	ViaDisk       int64   `json:"blocks_via_disk"`
+	StagerSpills  int64   `json:"stager_spills"`
+	WriteStallS   float64 `json:"write_stall_s"`
+	NsPerBlock    float64 `json:"ns_per_block"`
+	ThroughputMBs float64 `json:"throughput_mb_per_s"`
+}
+
+// Report is the file layout of BENCH_staging.json.
+type Report struct {
+	Producers  int     `json:"producers"`
+	BlockBytes int64   `json:"block_bytes"`
+	BlocksRun  int     `json:"blocks_per_producer"`
+	AnalyzeUs  float64 `json:"analyze_us_per_block"`
+	GoVersion  string  `json:"go_version"`
+	Rows       []Row   `json:"rows"`
+}
+
+func run(dir string, producers, blocks int, blockBytes int64, analyze time.Duration, v benchharness.StagingVariant) (Row, error) {
+	start := time.Now()
+	st, err := benchharness.RunStaging(dir, v, producers, blocks, int(blockBytes), analyze)
+	elapsed := time.Since(start).Nanoseconds()
+	if err != nil {
+		return Row{}, err
+	}
+	total := int64(producers) * int64(blocks)
+	row := Row{
+		Variant:      v.Name,
+		Stagers:      v.Stagers,
+		Blocks:       st.BlocksWritten,
+		Direct:       st.BlocksSent,
+		Relayed:      st.BlocksRelayed,
+		ViaDisk:      st.BlocksStolen,
+		StagerSpills: st.BlocksSpilled,
+		WriteStallS:  st.WriteStall,
+		NsPerBlock:   float64(elapsed) / float64(total),
+	}
+	if elapsed > 0 {
+		row.ThroughputMBs = float64(total*blockBytes) / (float64(elapsed) / 1e9) / 1e6
+	}
+	if st.BlocksAnalyzed != total {
+		return Row{}, fmt.Errorf("%s: analyzed %d of %d blocks", v.Name, st.BlocksAnalyzed, total)
+	}
+	return row, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_staging.json", "output file")
+	producers := flag.Int("producers", 2, "producer endpoints")
+	blocks := flag.Int("blocks", 2000, "blocks per producer")
+	blockBytes := flag.Int64("blockbytes", 32<<10, "payload bytes per block")
+	analyze := flag.Duration("analyze", 250*time.Microsecond, "consumer busy time per block")
+	flag.Parse()
+	if *producers < 1 || *blocks < 1 {
+		fatal(fmt.Errorf("-producers and -blocks must be ≥ 1"))
+	}
+	if *blockBytes < 2 {
+		fatal(fmt.Errorf("-blockbytes must be ≥ 2, got %d", *blockBytes))
+	}
+
+	rep := Report{
+		Producers: *producers, BlockBytes: *blockBytes, BlocksRun: *blocks,
+		AnalyzeUs: float64(*analyze) / 1e3, GoVersion: runtime.Version(),
+	}
+	for _, v := range benchharness.StagingVariants {
+		dir, err := os.MkdirTemp("", "benchstaging")
+		if err != nil {
+			fatal(err)
+		}
+		row, err := run(dir, *producers, *blocks, *blockBytes, *analyze, v)
+		os.RemoveAll(dir)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-12s stall=%.3fs direct=%d relayed=%d viaDisk=%d spills=%d %.0f MB/s\n",
+			row.Variant, row.WriteStallS, row.Direct, row.Relayed, row.ViaDisk,
+			row.StagerSpills, row.ThroughputMBs)
+	}
+
+	// The headline claims of the staging tier: with a consumer that cannot
+	// keep up, hybrid routing stalls the producers less than pure in-situ
+	// coupling and moves fewer blocks over the file system than the
+	// steal-heavy in-situ run.
+	insitu, hybrid := rep.Rows[0], rep.Rows[2]
+	if hybrid.WriteStallS >= insitu.WriteStallS {
+		fatal(fmt.Errorf("staging regression: hybrid stalls %.3fs vs %.3fs in-situ",
+			hybrid.WriteStallS, insitu.WriteStallS))
+	}
+	if hybrid.ViaDisk >= insitu.ViaDisk {
+		fatal(fmt.Errorf("staging regression: hybrid sent %d blocks via disk vs %d in-situ",
+			hybrid.ViaDisk, insitu.ViaDisk))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchstaging:", err)
+	os.Exit(1)
+}

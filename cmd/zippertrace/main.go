@@ -9,6 +9,7 @@
 //	zippertrace dimes|flexpath|decaf            # Figures 4, 5, 6
 //	zippertrace compare-cfd [-cores N]          # Figure 17
 //	zippertrace compare-lammps [-cores N]       # Figure 19
+//	zippertrace staging [-steps N]              # in-transit stager threads
 package main
 
 import (
@@ -38,6 +39,10 @@ func main() {
 		print1(exp.RunFig5())
 	case "decaf":
 		print1(exp.RunFig6())
+	case "staging":
+		print1(exp.RunStagingTrace(*steps))
+		fmt.Println()
+		fmt.Print(exp.FormatStaging("synthetic", exp.RunStagingSweep("synthetic", 8, *steps)))
 	case "compare-cfd", "compare-lammps":
 		app, window := "cfd", 1300*time.Millisecond
 		if cmd == "compare-lammps" {
@@ -63,5 +68,5 @@ func print1(f exp.TraceFigure) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|compare-cfd|compare-lammps [-cores N] [-steps N]")
+	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|compare-cfd|compare-lammps [-cores N] [-steps N]")
 }

@@ -1,12 +1,18 @@
-// Package benchharness is the single source of truth for the batching
-// measurement workload shared by BenchmarkBatching (bench_test.go) and
-// cmd/benchbatch: one producer pushing blocks through a one-deep receive
-// window — the backpressured regime where batches form — under a given
-// protocol variant. Keeping both callers on this harness keeps the committed
-// BENCH_batching.json baseline comparable to the in-repo benchmark.
+// Package benchharness is the single source of truth for the measurement
+// workloads shared by the in-repo benchmarks (bench_test.go) and the
+// baseline tools (cmd/benchbatch, cmd/benchstaging): the batching workload
+// pushes blocks through a one-deep receive window — the backpressured
+// regime where batches form — and the staging workload couples fast
+// producers to a deliberately slow consumer — the consumer-bound regime the
+// in-transit tier exists for. Keeping all callers on this harness keeps the
+// committed BENCH_*.json baselines comparable to the in-repo benchmarks.
 package benchharness
 
-import "zipper"
+import (
+	"time"
+
+	"zipper"
+)
 
 // Variant is one batching-protocol configuration of the comparison.
 type Variant struct {
@@ -69,4 +75,75 @@ func Run(spoolDir string, v Variant, blocks, blockBytes int) (zipper.ProducerSta
 	<-done
 	job.Wait()
 	return p.Stats(), nil
+}
+
+// StagingVariant is one routing configuration of the staging comparison.
+type StagingVariant struct {
+	Name    string
+	Stagers int
+	Policy  zipper.RoutePolicy
+}
+
+// StagingVariants is the canonical three-mode comparison: the paper's
+// two-channel in-situ protocol, everything through the in-transit relay,
+// and per-batch hybrid routing.
+var StagingVariants = []StagingVariant{
+	{Name: "in-situ", Stagers: 0, Policy: zipper.RouteDirect},
+	{Name: "in-transit", Stagers: 1, Policy: zipper.RouteStaging},
+	{Name: "hybrid", Stagers: 1, Policy: zipper.RouteHybrid},
+}
+
+// RunStaging pushes `blocks` blocks of blockBytes from each of `producers`
+// producers through a fresh job whose single consumer busy-analyzes each
+// block for `analyze` — generation deliberately outruns analysis, so the
+// direct window is exhausted most of the run and the routing policy decides
+// where the overflow goes: the producer's blocking buffer (WriteStall), the
+// file-system steal path (BlocksStolen), or the staging tier
+// (BlocksRelayed). The stager buffer is sized to hold the whole burst in
+// memory — dedicated staging ranks trade RAM for producer liberation, which
+// is the tier's entire bargain — while its high-water mark still exercises
+// some spilling. Returns the job-wide aggregate stats after the stream
+// drains.
+func RunStaging(spoolDir string, v StagingVariant, producers, blocks, blockBytes int, analyze time.Duration) (zipper.JobStats, error) {
+	job, err := zipper.NewJob(zipper.Config{
+		Producers: producers, Consumers: 1, SpoolDir: spoolDir,
+		BufferBlocks: 16, Window: 2, MaxBatchBlocks: 8,
+		Stagers: v.Stagers, StagerBufferBlocks: producers * blocks,
+		RoutePolicy: v.Policy,
+	})
+	if err != nil {
+		return zipper.JobStats{}, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var sink byte
+		for {
+			blk, ok := job.Consumer(0).Read()
+			if !ok {
+				_ = sink
+				return
+			}
+			sink ^= blk.Data[0] ^ blk.Data[len(blk.Data)-1]
+			// Busy-analyze: a timer sleep would round the cost up to the
+			// scheduler's granularity and drown the comparison in noise.
+			for t0 := time.Now(); time.Since(t0) < analyze; {
+			}
+			blk.Release()
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			prod := job.Producer(p)
+			for i := 0; i < blocks; i++ {
+				data := zipper.NewPayload(blockBytes)
+				data[0], data[blockBytes-1] = byte(i), byte(i>>8)
+				prod.Write(i, 0, data)
+			}
+			prod.Close()
+		}(p)
+	}
+	<-done
+	job.Wait()
+	return job.Stats(), nil
 }

@@ -49,6 +49,37 @@ func (m Mode) String() string {
 	return "No Preserve"
 }
 
+// RoutePolicy selects how a producer's sender thread picks a channel for
+// each drained batch when an in-transit stager is assigned.
+type RoutePolicy int
+
+const (
+	// RouteDirect ignores the staging tier: blocks travel the in-memory
+	// message path, relieved by the work-stealing file-system path. This is
+	// the paper's original two-channel protocol and the zero value.
+	RouteDirect RoutePolicy = iota
+	// RouteStaging relays every batch through the assigned stager — the
+	// pure in-transit configuration of the DataSpaces-style baselines.
+	RouteStaging
+	// RouteHybrid chooses per batch from live backpressure: direct while
+	// the consumer's receive window has credit, staging relay while the
+	// stager has buffer room, and otherwise the blocking direct path (where
+	// the work-stealing writer drains the overflow to the file system).
+	RouteHybrid
+)
+
+// String names the policy for reports and sweeps.
+func (r RoutePolicy) String() string {
+	switch r {
+	case RouteStaging:
+		return "in-transit"
+	case RouteHybrid:
+		return "hybrid"
+	default:
+		return "in-situ"
+	}
+}
+
 // Config tunes one side (producer or consumer) of the runtime.
 type Config struct {
 	// BufferBlocks is the producer buffer capacity in blocks (the paper's
@@ -71,6 +102,13 @@ type Config struct {
 	MaxBatchBytes int64
 	// Mode selects Preserve or NoPreserve.
 	Mode Mode
+	// RoutePolicy picks the channel for each drained batch when the
+	// producer has a stager assigned (see NewProducer's stager argument).
+	RoutePolicy RoutePolicy
+	// StagerProbe reports the live occupancy of the stager at a transport
+	// address; nil means occupancy is unknown and the hybrid policy falls
+	// back to window credit and producer buffer depth alone.
+	StagerProbe func(addr int) (queued, capacity int)
 	// DisableSteal turns the writer thread off, yielding the
 	// message-passing-only baseline of §6.2.
 	DisableSteal bool
@@ -107,7 +145,8 @@ func (c Config) withDefaults() Config {
 // ProducerStats summarizes one producer runtime module's activity.
 type ProducerStats struct {
 	BlocksWritten int64         // blocks the application handed to Write
-	BlocksSent    int64         // blocks that left via the network path
+	BlocksSent    int64         // blocks that left directly via the network path
+	BlocksRelayed int64         // blocks that left via the in-transit staging relay
 	BlocksStolen  int64         // blocks the writer thread routed via the file system
 	Messages      int64         // mixed messages sent (including the Fin)
 	WriteStall    time.Duration // time Write blocked on a full buffer

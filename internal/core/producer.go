@@ -11,12 +11,13 @@ import (
 // thread calls Write for each fine-grain block and Close when done; the
 // module's sender and writer threads move the data asynchronously.
 type Producer struct {
-	env  rt.Env
-	cfg  Config
-	rank int
-	to   int // consumer endpoint this producer feeds
-	tr   rt.Transport
-	fs   rt.BlockStore
+	env    rt.Env
+	cfg    Config
+	rank   int
+	to     int // consumer endpoint this producer feeds
+	stager int // transport address of the assigned in-transit stager (-1 = none)
+	tr     rt.Transport
+	fs     rt.BlockStore
 
 	lk       rt.Lock
 	notEmpty rt.Cond // buffer or disk-ID list gained content, or state change
@@ -35,9 +36,23 @@ type Producer struct {
 
 // NewProducer builds the runtime module for one producer rank feeding
 // consumer endpoint `to`, and starts its sender and writer threads.
+// Producers without a staging tier pass NoStager; see NewStagedProducer.
 func NewProducer(env rt.Env, cfg Config, rank, to int, tr rt.Transport, fs rt.BlockStore) *Producer {
+	return NewStagedProducer(env, cfg, rank, to, NoStager, tr, fs)
+}
+
+// NoStager is the stager address of a producer with no staging tier.
+const NoStager = -1
+
+// NewStagedProducer is NewProducer with an assigned in-transit stager:
+// stager is the transport address (consumer count + stager index) the
+// routing policy may relay batches through, or NoStager.
+func NewStagedProducer(env rt.Env, cfg Config, rank, to, stager int, tr rt.Transport, fs rt.BlockStore) *Producer {
 	cfg = cfg.withDefaults()
-	p := &Producer{env: env, cfg: cfg, rank: rank, to: to, tr: tr, fs: fs}
+	if stager < 0 {
+		stager = NoStager
+	}
+	p := &Producer{env: env, cfg: cfg, rank: rank, to: to, stager: stager, tr: tr, fs: fs}
 	p.lk = env.NewLock(fmt.Sprintf("zprod.%d", rank))
 	p.notEmpty = p.lk.NewCond(fmt.Sprintf("zprod.%d.notEmpty", rank))
 	p.notFull = p.lk.NewCond(fmt.Sprintf("zprod.%d.notFull", rank))
@@ -151,19 +166,26 @@ func (p *Producer) senderThread(c rt.Ctx) {
 		blocks := p.drainBatchLocked()
 		ids := p.diskIDs
 		p.diskIDs = nil
+		dest := p.routeLocked()
 		p.lk.Unlock(c)
 
 		start := c.Now()
-		p.tr.Send(c, p.to, rt.Message{From: p.rank, Blocks: blocks, Disk: ids})
+		p.tr.Send(c, dest, rt.Message{From: p.rank, Dest: p.to, Blocks: blocks, Disk: ids})
 		busy := c.Now() - start
 
 		p.lk.Lock(c)
 		p.stats.SendBusy += busy
 		p.stats.Messages++
-		p.stats.BlocksSent += int64(len(blocks))
+		state := "send"
+		if dest == p.to {
+			p.stats.BlocksSent += int64(len(blocks))
+		} else {
+			p.stats.BlocksRelayed += int64(len(blocks))
+			state = "relay"
+		}
 		p.lk.Unlock(c)
 		if p.cfg.Recorder != nil {
-			p.cfg.Recorder.Add(p.traceName("sender"), "send", start, start+busy)
+			p.cfg.Recorder.Add(p.traceName("sender"), state, start, start+busy)
 		}
 	}
 	// Fin carries any last spilled IDs implicitly not needed: loop ensures
@@ -172,8 +194,19 @@ func (p *Producer) senderThread(c rt.Ctx) {
 	// Note the loop drains the buffer completely before this point, so a
 	// Close racing a partially filled batch cannot strand blocks: the exit
 	// predicate requires both the buffer and the disk-ID list to be empty.
+	//
+	// With a staging tier in play the Fin travels through the stager: the
+	// stager forwards per-producer arrivals in order, so the relayed Fin
+	// trails every relayed block, and — because each Send deposits its
+	// message before returning — every earlier direct-path message already
+	// sits in the consumer's inbox. Either way the Fin is the last message
+	// the consumer sees from this rank.
+	finDest := p.to
+	if p.stager != NoStager && p.cfg.RoutePolicy != RouteDirect {
+		finDest = p.stager
+	}
 	start := c.Now()
-	p.tr.Send(c, p.to, rt.Message{From: p.rank, Fin: true})
+	p.tr.Send(c, finDest, rt.Message{From: p.rank, Dest: p.to, Fin: true})
 	p.lk.Lock(c)
 	p.stats.Messages++
 	p.stats.SendBusy += c.Now() - start
@@ -211,6 +244,40 @@ func (p *Producer) drainBatchLocked() []*block.Block {
 		p.notFull.Signal()
 	}
 	return blocks
+}
+
+// routeLocked picks the destination endpoint for the batch the sender just
+// drained, from live backpressure. Called with the producer lock held, after
+// drainBatchLocked, so len(p.buf) is the remaining backlog.
+//
+// The cascade is direct → staging relay → (blocking) direct: the low-latency
+// path while the consumer keeps up, the in-transit stager while it has room,
+// and otherwise the blocking direct send — during which the buffer backs up
+// and the work-stealing writer drains the overflow through the file system.
+func (p *Producer) routeLocked() int {
+	if p.stager == NoStager || p.cfg.RoutePolicy == RouteDirect {
+		return p.to
+	}
+	if p.cfg.RoutePolicy == RouteStaging {
+		return p.stager
+	}
+	if ct, ok := p.tr.(rt.CreditTransport); ok {
+		if ct.Credits(p.to) > 0 {
+			return p.to
+		}
+		if p.cfg.StagerProbe != nil {
+			if queued, capacity := p.cfg.StagerProbe(p.stager); queued >= capacity {
+				return p.to // stager saturated too: block here, writer steals
+			}
+		}
+		return p.stager
+	}
+	// No credit visibility (e.g. TCP across processes): infer consumer
+	// backpressure from our own buffer depth instead.
+	if len(p.buf) >= p.cfg.HighWater {
+		return p.stager
+	}
+	return p.to
 }
 
 // writerThread is Algorithm 1: steal the oldest block whenever the buffer is

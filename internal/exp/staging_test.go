@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStagingSweepShape checks the staging comparison's headline claims on
+// a small synthetic instance: all four modes complete, the staging modes
+// carry real relay traffic, hybrid stalls producers no more than in-situ
+// while moving fewer blocks over the file system, and every Zipper mode
+// beats the DataSpaces staging-server baseline end to end.
+func TestStagingSweepShape(t *testing.T) {
+	rows := RunStagingSweep("synthetic", 8, 10)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byMode := map[string]StagingRow{}
+	for _, r := range rows {
+		if !r.OK {
+			t.Fatalf("%s failed: %s", r.Mode, r.Fail)
+		}
+		byMode[r.Mode] = r
+	}
+	insitu, intransit, hybrid := byMode["in-situ"], byMode["in-transit"], byMode["hybrid"]
+	if insitu.BlocksRelayed != 0 {
+		t.Fatalf("in-situ relayed %d blocks", insitu.BlocksRelayed)
+	}
+	if intransit.BlocksSent != 0 || intransit.BlocksRelayed == 0 {
+		t.Fatalf("in-transit split wrong: direct=%d relayed=%d", intransit.BlocksSent, intransit.BlocksRelayed)
+	}
+	if hybrid.BlocksRelayed == 0 {
+		t.Fatal("hybrid never used the staging tier under a lagging consumer")
+	}
+	if hybrid.WriteStall > insitu.WriteStall {
+		t.Fatalf("hybrid stalled %v, in-situ %v", hybrid.WriteStall, insitu.WriteStall)
+	}
+	if hybrid.ViaDisk >= insitu.ViaDisk {
+		t.Fatalf("hybrid moved %d blocks via disk, in-situ %d", hybrid.ViaDisk, insitu.ViaDisk)
+	}
+	base := byMode["DataSpaces"]
+	for _, r := range []StagingRow{insitu, intransit, hybrid} {
+		if r.E2E > base.E2E {
+			t.Fatalf("%s (%v) slower than DataSpaces baseline (%v)", r.Mode, r.E2E, base.E2E)
+		}
+	}
+	out := FormatStaging("synthetic", rows)
+	for _, want := range []string{"in-situ", "in-transit", "hybrid", "DataSpaces", "via disk"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted sweep missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStagingTraceShowsStagerThreads checks the trace figure renders the
+// stager's runtime-thread rows alongside the application rows.
+func TestStagingTraceShowsStagerThreads(t *testing.T) {
+	fig := RunStagingTrace(6)
+	if fig.Gantt == "" {
+		t.Fatalf("no gantt rendered: %s", fig.Detail)
+	}
+	for _, row := range []string{"zstage.0.receiver", "zstage.0.forwarder", "ana.0"} {
+		if !strings.Contains(fig.Gantt, row) {
+			t.Fatalf("trace missing %s row:\n%s", row, fig.Gantt)
+		}
+	}
+	if !strings.Contains(fig.Detail, "relayed") {
+		t.Fatalf("detail missing relay counts: %s", fig.Detail)
+	}
+}

@@ -70,30 +70,35 @@ func (c *cond) Wait(rt.Ctx) { c.c.Wait() }
 func (c *cond) Signal()     { c.c.Signal() }
 func (c *cond) Broadcast()  { c.c.Broadcast() }
 
-// Network is the in-process message path: one buffered channel per consumer.
-// The channel capacity is the receive window; senders block when it is full,
-// providing the backpressure the runtime's stealing logic reacts to.
+// Network is the in-process message path: one buffered channel per endpoint
+// (consumers first, then any in-transit stagers). The channel capacity is the
+// receive window; senders block when it is full, providing the backpressure
+// the runtime's stealing and routing logic react to.
 type Network struct {
 	inboxes []chan rt.Message
 }
 
-// NewNetwork creates endpoints for `consumers` consumers with the given
+// NewNetwork creates `endpoints` receive endpoints with the given
 // receive-window depth (messages).
-func NewNetwork(consumers, window int) *Network {
+func NewNetwork(endpoints, window int) *Network {
 	if window < 1 {
 		window = 1
 	}
 	n := &Network{}
-	for i := 0; i < consumers; i++ {
+	for i := 0; i < endpoints; i++ {
 		n.inboxes = append(n.inboxes, make(chan rt.Message, window))
 	}
 	return n
 }
 
-// Send delivers m to consumer `to`, blocking while its window is full.
+// Send delivers m to endpoint `to`, blocking while its window is full.
 func (n *Network) Send(c rt.Ctx, to int, m rt.Message) { n.inboxes[to] <- m }
 
-// Inbox returns consumer i's receive endpoint.
+// Credits reports how many more messages endpoint `to` can accept right now
+// — the hybrid routing policy's direct-path backpressure signal.
+func (n *Network) Credits(to int) int { return cap(n.inboxes[to]) - len(n.inboxes[to]) }
+
+// Inbox returns endpoint i's receive side.
 func (n *Network) Inbox(i int) rt.Inbox { return inbox(n.inboxes[i]) }
 
 type inbox chan rt.Message
@@ -121,6 +126,13 @@ func NewFileStore(dir string) (*FileStore, error) {
 
 // Dir returns the spool directory.
 func (s *FileStore) Dir() string { return s.dir }
+
+// Partition returns a store rooted in a subdirectory of this one — each
+// in-transit stager spills into its own partition so its private overflow
+// never collides with producer spills or preserved blocks.
+func (s *FileStore) Partition(name string) (*FileStore, error) {
+	return NewFileStore(filepath.Join(s.dir, name))
+}
 
 func (s *FileStore) path(id block.ID) string {
 	return filepath.Join(s.dir, id.String())
@@ -175,7 +187,7 @@ func (s *FileStore) RemoveBlock(c rt.Ctx, id block.ID) error {
 }
 
 var (
-	_ rt.Env        = (*Env)(nil)
-	_ rt.Transport  = (*Network)(nil)
-	_ rt.BlockStore = (*FileStore)(nil)
+	_ rt.Env             = (*Env)(nil)
+	_ rt.CreditTransport = (*Network)(nil)
+	_ rt.BlockStore      = (*FileStore)(nil)
 )

@@ -9,6 +9,7 @@ import (
 	"zipper/internal/block"
 	"zipper/internal/core"
 	"zipper/internal/rt"
+	"zipper/internal/staging"
 )
 
 func TestClockAndThreads(t *testing.T) {
@@ -157,6 +158,7 @@ func TestTCPFrameRoundTrip(t *testing.T) {
 	blk2 := block.New(block.ID{Rank: 3, Step: 14, Seq: 16}, 931, []byte{6, 7, 8})
 	tr.Send(c, 1, rt.Message{
 		From:   3,
+		Dest:   1,
 		Blocks: []*block.Block{blk, blk2},
 		Disk: []rt.DiskRef{
 			{ID: block.ID{Rank: 3, Step: 13, Seq: 9}, Bytes: 512},
@@ -168,7 +170,7 @@ func TestTCPFrameRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("no message")
 	}
-	if m.From != 3 || len(m.Blocks) != 2 || m.Blocks[0].ID != blk.ID || m.Blocks[0].Offset != 926 {
+	if m.From != 3 || m.Dest != 1 || len(m.Blocks) != 2 || m.Blocks[0].ID != blk.ID || m.Blocks[0].Offset != 926 {
 		t.Fatalf("frame mismatch: %+v", m)
 	}
 	if string(m.Blocks[0].Data) != string(blk.Data) || string(m.Blocks[1].Data) != string(blk2.Data) {
@@ -260,5 +262,96 @@ func TestTCPValidation(t *testing.T) {
 	}
 	if _, err := DialTCP("127.0.0.1:1"); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// TestTCPStagedWorkflow runs the in-transit tier over the TCP frame: the
+// producer process dials in and relays everything through a stager that
+// lives as goroutines inside the listening (consumer-side) process,
+// forwarding to the consumer through the listener's loopback transport.
+func TestTCPStagedWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	// Endpoint space: consumer 0, stager at address 1.
+	ln, err := ListenTCP("127.0.0.1:0", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	consEnv := New()
+	consFS, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := core.NewConsumer(consEnv, core.Config{}, 0, 1, ln.Inbox(0), consFS)
+	spill, err := consFS.Partition("stage0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := staging.NewStager(consEnv, staging.Config{BufferBlocks: 8, Producers: 1},
+		0, ln.Inbox(1), ln.Loopback(), spill)
+
+	prodEnv := New()
+	prodFS, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	prod := core.NewStagedProducer(prodEnv,
+		core.Config{BufferBlocks: 8, DisableSteal: true, RoutePolicy: core.RouteStaging},
+		0, 0, 1, tr, prodFS)
+
+	const n = 60
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := prodEnv.Ctx()
+		for s := 0; s < n; s++ {
+			prod.Write(c, s, int64(s), []byte{byte(s), byte(s + 1)}, 2)
+		}
+		prod.Close(c)
+		prod.Wait(c)
+	}()
+
+	c := consEnv.Ctx()
+	seq := 0
+	for {
+		b, ok := cons.Read(c)
+		if !ok {
+			break
+		}
+		if b.ID.Seq != seq || b.Data[0] != byte(b.ID.Step) {
+			t.Fatalf("relay over TCP broke block %v (seq want %d)", b.ID, seq)
+		}
+		seq++
+		time.Sleep(500 * time.Microsecond) // lag: drive the stager past high water
+	}
+	wg.Wait()
+	stage.Wait(c)
+	cons.Wait(c)
+	if err := cons.Err(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := stage.Err(c); err != nil {
+		t.Fatal(err)
+	}
+	if seq != n {
+		t.Fatalf("received %d blocks, want %d", seq, n)
+	}
+	ps := prod.Stats(c)
+	if ps.BlocksRelayed != n || ps.BlocksSent != 0 {
+		t.Fatalf("relay accounting: relayed=%d sent=%d", ps.BlocksRelayed, ps.BlocksSent)
+	}
+	st := stage.Stats(c)
+	if st.BlocksIn != n || st.BlocksForwarded != n {
+		t.Fatalf("stager moved %d/%d blocks, want %d", st.BlocksIn, st.BlocksForwarded, n)
+	}
+	if st.BlocksSpilled == 0 {
+		t.Fatal("stager never spilled despite 8-block buffer and slow consumer")
 	}
 }

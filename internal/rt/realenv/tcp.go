@@ -16,21 +16,26 @@ import (
 // consumer applications as separate OS processes, mirroring the paper's two
 // independently launched MPI applications. The consumer side listens; every
 // producer process dials in and streams framed mixed messages. Receive
-// windows are per-consumer buffered queues; when a window fills, the reader
+// windows are per-endpoint buffered queues; when a window fills, the reader
 // goroutine stops draining its connection and TCP flow control pushes the
 // backpressure to the sender — the same stall the in-memory path produces.
+// In-transit stagers run as goroutines inside the listening process: the
+// listener's endpoint space is consumers followed by stagers, and a stager
+// forwards to consumer inboxes through the listener's Loopback transport.
 
 // frame layout (little endian):
 //
-//	u32 magic | u32 flags | i64 to | i64 from
+//	u32 magic | u32 flags | i64 to | i64 from | i64 dest
 //	i64 nDisk | nDisk × (i64 rank | i64 step | i64 seq | i64 bytes)
 //	i64 nBlocks | nBlocks × (i64 rank | i64 step | i64 seq | i64 offset |
 //	                         i64 bytes | i64 onDisk | i64 dataLen | data)
 //
 // Version 2 of the frame carries a batch of data blocks so one socket write
-// (and one read on the far side) moves a whole drained batch.
+// (and one read on the far side) moves a whole drained batch; version 3 adds
+// the relay destination so a frame can address a stager endpoint while
+// naming the consumer the data is ultimately for.
 const (
-	frameMagic  = 0x5a495032 // "ZIP2"
+	frameMagic  = 0x5a495033 // "ZIP3"
 	flagFin     = 1 << 0
 	maxFrameLen = 1 << 31
 	maxBatchLen = 1 << 20 // sanity cap on per-frame block and disk-ref counts
@@ -46,10 +51,12 @@ type TCPListener struct {
 }
 
 // ListenTCP starts the consumer-side endpoint set on addr (use
-// "127.0.0.1:0" for tests) with one window-deep inbox per consumer.
-func ListenTCP(addr string, consumers, window int) (*TCPListener, error) {
-	if consumers < 1 {
-		return nil, fmt.Errorf("realenv: need ≥1 consumer, got %d", consumers)
+// "127.0.0.1:0" for tests) with one window-deep inbox per endpoint.
+// `endpoints` counts consumers plus any stager goroutines the caller will
+// run in this process (stager inboxes follow the consumer inboxes).
+func ListenTCP(addr string, endpoints, window int) (*TCPListener, error) {
+	if endpoints < 1 {
+		return nil, fmt.Errorf("realenv: need ≥1 endpoint, got %d", endpoints)
 	}
 	if window < 1 {
 		window = 1
@@ -59,7 +66,7 @@ func ListenTCP(addr string, consumers, window int) (*TCPListener, error) {
 		return nil, fmt.Errorf("realenv: listen: %w", err)
 	}
 	l := &TCPListener{ln: ln}
-	for i := 0; i < consumers; i++ {
+	for i := 0; i < endpoints; i++ {
 		l.inboxes = append(l.inboxes, make(chan rt.Message, window))
 	}
 	l.wg.Add(1)
@@ -70,8 +77,23 @@ func ListenTCP(addr string, consumers, window int) (*TCPListener, error) {
 // Addr returns the listening address to hand to producer processes.
 func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
 
-// Inbox returns consumer i's receive endpoint.
+// Inbox returns endpoint i's receive side.
 func (l *TCPListener) Inbox(i int) rt.Inbox { return inbox(l.inboxes[i]) }
+
+// Loopback returns a transport that delivers straight into this listener's
+// inboxes — the path a stager goroutine running in the listening process
+// uses to forward relayed frames to its consumers.
+func (l *TCPListener) Loopback() rt.Transport { return loopback{l} }
+
+type loopback struct{ l *TCPListener }
+
+func (lb loopback) Send(c rt.Ctx, to int, m rt.Message) { lb.l.inboxes[to] <- m }
+
+// Credits reports endpoint `to`'s remaining window, for hybrid routing
+// inside the listening process.
+func (lb loopback) Credits(to int) int {
+	return cap(lb.l.inboxes[to]) - len(lb.l.inboxes[to])
+}
 
 // Close stops accepting; established connections drain until their peers
 // close.
@@ -151,7 +173,7 @@ func writeFrame(w io.Writer, to int, m rt.Message) error {
 	hdr := make([]byte, 0, 128)
 	hdr = binary.LittleEndian.AppendUint32(hdr, frameMagic)
 	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
-	hdr = appendI64(hdr, int64(to), int64(m.From))
+	hdr = appendI64(hdr, int64(to), int64(m.From), int64(m.Dest))
 	hdr = appendI64(hdr, int64(len(m.Disk)))
 	for _, d := range m.Disk {
 		hdr = appendI64(hdr, int64(d.ID.Rank), int64(d.ID.Step), int64(d.ID.Seq), d.Bytes)
@@ -212,8 +234,13 @@ func readFrame(r io.Reader) (int, rt.Message, error) {
 	if err != nil {
 		return 0, m, err
 	}
-	from, _ := i64()
+	from, err := i64()
+	if err != nil {
+		return 0, m, err
+	}
+	dest, _ := i64()
 	m.From = int(from)
+	m.Dest = int(dest)
 	m.Fin = flags&flagFin != 0
 	nDisk, err := i64()
 	if err != nil || nDisk < 0 || nDisk > maxBatchLen {

@@ -76,6 +76,11 @@ type Message struct {
 	Blocks []*block.Block
 	Disk   []DiskRef
 	Fin    bool // the producer has sent everything
+	// Dest is the final consumer endpoint of a message routed through an
+	// in-transit staging relay: the producer addresses the send to the
+	// stager's endpoint and sets Dest to the consumer the stager must
+	// forward to. Endpoints that consume messages directly ignore it.
+	Dest int
 }
 
 // PayloadBytes sums the data-block payload sizes carried by the message.
@@ -90,8 +95,22 @@ func (m Message) PayloadBytes() int64 {
 // Transport sends mixed messages to consumer endpoints over the low-latency
 // network path. Send blocks while the destination's receive window is full —
 // the backpressure that ultimately stalls producers and triggers stealing.
+// With a staging tier the same address space carries stager endpoints after
+// the consumer endpoints (addresses Q..Q+S-1).
 type Transport interface {
 	Send(c Ctx, to int, m Message)
+}
+
+// CreditTransport is optionally implemented by transports that can report
+// the remaining receive-window credit of an endpoint without sending. The
+// producer's hybrid routing policy uses it as its first live-backpressure
+// signal: credit available means the direct path will not block. Transports
+// without credit visibility (for example TCP across processes) simply do not
+// implement it and the policy falls back to local signals.
+type CreditTransport interface {
+	Transport
+	// Credits reports how many messages endpoint `to` can accept right now.
+	Credits(to int) int
 }
 
 // Inbox is a consumer's receive endpoint.

@@ -115,9 +115,13 @@ func wireBytes(m rt.Message) int64 {
 	return n
 }
 
-// Network is the simulated low-latency message path with per-consumer
+// Network is the simulated low-latency message path with per-endpoint
 // receive windows. A sender that exhausts a window stalls, and the stall is
 // credited to its node's XmitWait counter — the paper's congestion proxy.
+// Endpoints are consumers followed by any in-transit stagers; a message
+// relayed through a stager crosses the fabric twice (producer node → staging
+// node → consumer node), which is exactly how the wire model charges the
+// extra hop.
 type Network struct {
 	fab     *fabric.Fabric
 	inboxes []*inbox
@@ -129,14 +133,14 @@ type inbox struct {
 	store   *sim.Store[rt.Message]
 }
 
-// NewNetwork creates endpoints for the given consumer nodes with a
-// window-message receive window each.
-func NewNetwork(e *sim.Engine, fab *fabric.Fabric, consumerNodes []fabric.NodeID, window int) *Network {
+// NewNetwork creates endpoints on the given nodes (consumers first, then
+// stagers) with a window-message receive window each.
+func NewNetwork(e *sim.Engine, fab *fabric.Fabric, endpointNodes []fabric.NodeID, window int) *Network {
 	if window < 1 {
 		window = 1
 	}
 	n := &Network{fab: fab}
-	for i, node := range consumerNodes {
+	for i, node := range endpointNodes {
 		n.inboxes = append(n.inboxes, &inbox{
 			node:    node,
 			credits: sim.NewSemaphore(e, fmt.Sprintf("znet.%d.credits", i), window),
@@ -159,7 +163,11 @@ func (n *Network) Send(c rt.Ctx, to int, m rt.Message) {
 	ib.store.Put(sc.P, m)
 }
 
-// Inbox returns consumer i's receive endpoint.
+// Credits reports endpoint `to`'s remaining window permits without sending
+// — the hybrid routing policy's direct-path backpressure signal.
+func (n *Network) Credits(to int) int { return n.inboxes[to].credits.Available() }
+
+// Inbox returns endpoint i's receive side.
 func (n *Network) Inbox(i int) rt.Inbox { return recvBox{n.inboxes[i]} }
 
 type recvBox struct{ ib *inbox }
@@ -210,7 +218,7 @@ func (s *Store) ReadBlock(c rt.Ctx, id block.ID, bytes int64) (*block.Block, err
 func (s *Store) RemoveBlock(c rt.Ctx, id block.ID) error { return nil }
 
 var (
-	_ rt.Env        = (*Env)(nil)
-	_ rt.Transport  = (*Network)(nil)
-	_ rt.BlockStore = (*Store)(nil)
+	_ rt.Env             = (*Env)(nil)
+	_ rt.CreditTransport = (*Network)(nil)
+	_ rt.BlockStore      = (*Store)(nil)
 )

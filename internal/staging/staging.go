@@ -1,0 +1,486 @@
+// Package staging implements the in-transit tier of the Zipper runtime: a
+// Stager is a dedicated runtime endpoint that sits between producers and
+// consumers as a third channel, next to the low-latency direct message path
+// and the work-stealing file-system path.
+//
+// A producer whose routing policy elects the relay addresses its mixed
+// message to the stager's transport endpoint and sets Message.Dest to the
+// consumer the data is for. The stager absorbs the burst into a bounded
+// in-memory buffer (its receiver thread), re-batches buffered blocks into
+// larger mixed messages and forwards them to their destination consumers
+// (its forwarder thread), and — past a high-water mark — overflows the
+// newest buffered blocks to its own spill partition of the parallel file
+// system (its spiller thread), reading them back in order once the consumer
+// catches up. Consumers drain a stager exactly like a producer: relayed
+// messages arrive in their ordinary inbox, so Preserve mode, disk-ref
+// announcements, and Fin accounting work unchanged end to end.
+//
+// The stager preserves per-producer arrival order, so a Fin routed through
+// the relay trails every block that producer relayed — the property the
+// producer's sender thread relies on when it closes a staged stream.
+//
+// Like the core producer and consumer modules, the Stager is written against
+// the rt platform interfaces and runs unchanged on the real machine
+// (goroutines, TCP or in-process channels) and inside the discrete-event
+// simulator (where the extra network hop is charged by the fabric model).
+package staging
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"zipper/internal/block"
+	"zipper/internal/rt"
+	"zipper/internal/trace"
+)
+
+// Config tunes one stager endpoint.
+type Config struct {
+	// BufferBlocks is the in-memory buffer capacity in blocks (default 64).
+	// The receiver admits a message only when its blocks fit; a producer
+	// sending to a full stager blocks on the stager's receive window, which
+	// is the backpressure the hybrid routing policy reads via Occupancy.
+	BufferBlocks int
+	// HighWater is the spill threshold in blocks (default ¾ of
+	// BufferBlocks): above it the spiller thread overflows the newest
+	// buffered blocks to the spill store so the head of the queue keeps
+	// flowing from memory.
+	HighWater int
+	// MaxBatchBlocks caps how many buffered blocks one forwarded mixed
+	// message may carry (default 16). Re-batching inside the stager is the
+	// second half of the tier's job: many small producer sends leave as few
+	// large consumer deliveries.
+	MaxBatchBlocks int
+	// MaxBatchBytes caps a forwarded batch's payload bytes (0 = unlimited);
+	// the head block is always taken so oversized blocks make progress.
+	MaxBatchBytes int64
+	// Producers is the number of upstream producers assigned to this stager
+	// (its expected Fin count). Required, ≥ 1.
+	Producers int
+	// Recorder, when non-nil, captures the stager threads' activity spans.
+	Recorder *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferBlocks <= 0 {
+		c.BufferBlocks = 64
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = c.BufferBlocks * 3 / 4
+	}
+	if c.HighWater >= c.BufferBlocks {
+		c.HighWater = c.BufferBlocks - 1
+	}
+	if c.HighWater < 1 {
+		c.HighWater = 1
+	}
+	if c.MaxBatchBlocks <= 0 {
+		c.MaxBatchBlocks = 16
+	}
+	if c.MaxBatchBytes < 0 {
+		c.MaxBatchBytes = 0
+	}
+	return c
+}
+
+// Stats summarizes one stager endpoint's activity.
+type Stats struct {
+	BlocksIn        int64         // blocks received from producers
+	BlocksForwarded int64         // blocks delivered to consumers
+	BlocksSpilled   int64         // blocks that overflowed to the spill store
+	DiskRefs        int64         // producer disk-ref announcements relayed
+	MessagesIn      int64         // mixed messages received
+	MessagesOut     int64         // mixed messages forwarded (re-batched)
+	MaxQueued       int64         // peak in-memory buffer occupancy in blocks
+	RecvBusy        time.Duration // receiver thread time in Recv
+	ForwardBusy     time.Duration // forwarder thread time in Send
+	SpillBusy       time.Duration // spiller time writing + forwarder time re-reading
+	Finished        time.Duration // when all three threads had exited
+}
+
+// relayBlock is one buffered block: resident in memory, being spilled, or
+// spilled to the store (b == nil) awaiting re-read by the forwarder.
+type relayBlock struct {
+	b        *block.Block
+	id       block.ID
+	offset   int64
+	bytes    int64
+	spilling bool
+	spilled  bool
+}
+
+// slot is one received mixed message, decomposed and queued in arrival
+// order. A slot leaves the queue only once fully forwarded, so its Fin and
+// disk refs never overtake its blocks.
+type slot struct {
+	from, dest int
+	blocks     []*relayBlock
+	disk       []rt.DiskRef
+	fin        bool
+}
+
+// Stager is one in-transit staging endpoint.
+type Stager struct {
+	env rt.Env
+	cfg Config
+	id  int
+	in  rt.Inbox
+	tr  rt.Transport
+	fs  rt.BlockStore // spill partition; nil disables spilling
+
+	lk        rt.Lock
+	work      rt.Cond // queue gained forwardable content or state change
+	space     rt.Cond // in-memory occupancy dropped
+	spillWork rt.Cond // occupancy rose above the high-water mark
+
+	done rt.Cond // a runtime thread exited
+
+	queue       []*slot
+	memBlocks   int // blocks resident in memory (mirrored in occ)
+	occ         atomic.Int64
+	finsGot     int
+	recvDone    bool
+	forwardDone bool
+	spillDone   bool
+	err         error
+	stats       Stats
+}
+
+// NewStager builds the runtime module for stager endpoint id, draining `in`
+// and forwarding over `tr` to consumer endpoints, spilling overflow through
+// fs (nil disables the spill path), and starts its receiver, forwarder, and
+// spiller threads.
+func NewStager(env rt.Env, cfg Config, id int, in rt.Inbox, tr rt.Transport, fs rt.BlockStore) *Stager {
+	cfg = cfg.withDefaults()
+	if cfg.Producers < 1 {
+		panic("staging: stager needs at least one producer")
+	}
+	s := &Stager{env: env, cfg: cfg, id: id, in: in, tr: tr, fs: fs}
+	s.lk = env.NewLock(fmt.Sprintf("zstage.%d", id))
+	s.work = s.lk.NewCond(fmt.Sprintf("zstage.%d.work", id))
+	s.space = s.lk.NewCond(fmt.Sprintf("zstage.%d.space", id))
+	s.spillWork = s.lk.NewCond(fmt.Sprintf("zstage.%d.spillWork", id))
+	s.done = s.lk.NewCond(fmt.Sprintf("zstage.%d.done", id))
+	env.Go(fmt.Sprintf("zstage.%d.receiver", id), s.receiverThread)
+	env.Go(fmt.Sprintf("zstage.%d.forwarder", id), s.forwarderThread)
+	if fs != nil {
+		env.Go(fmt.Sprintf("zstage.%d.spiller", id), s.spillerThread)
+	} else {
+		s.spillDone = true
+	}
+	return s
+}
+
+// ID returns the stager endpoint id.
+func (s *Stager) ID() int { return s.id }
+
+func (s *Stager) traceName(thread string) string {
+	return fmt.Sprintf("zstage.%d.%s", s.id, thread)
+}
+
+// Occupancy reports the live in-memory buffer fill (blocks) and its
+// capacity. It is safe to call from any thread without the stager lock —
+// producers poll it on every hybrid routing decision.
+func (s *Stager) Occupancy() (queued, capacity int) {
+	return int(s.occ.Load()), s.cfg.BufferBlocks
+}
+
+// Err reports a runtime failure (an unwritable or unreadable spill block).
+// After a failure the stager keeps forwarding what it can so streams still
+// terminate, but relayed data may be missing — callers must treat the run
+// as lost.
+func (s *Stager) Err(c rt.Ctx) error {
+	s.lk.Lock(c)
+	defer s.lk.Unlock(c)
+	return s.err
+}
+
+// Wait blocks until the receiver, forwarder, and spiller threads have
+// exited: every assigned producer sent its Fin and all relayed data was
+// delivered.
+func (s *Stager) Wait(c rt.Ctx) {
+	s.lk.Lock(c)
+	for !(s.recvDone && s.forwardDone && s.spillDone) {
+		s.done.Wait(c)
+	}
+	s.lk.Unlock(c)
+}
+
+// Stats returns a snapshot of the module's counters. Call after Wait for
+// final values.
+func (s *Stager) Stats(c rt.Ctx) Stats {
+	s.lk.Lock(c)
+	st := s.stats
+	s.lk.Unlock(c)
+	return st
+}
+
+// FinalStats returns the counters without locking. It is safe only once the
+// platform has fully stopped.
+func (s *Stager) FinalStats() Stats { return s.stats }
+
+func (s *Stager) setOccLocked(n int) {
+	s.memBlocks = n
+	s.occ.Store(int64(n))
+	if int64(n) > s.stats.MaxQueued {
+		s.stats.MaxQueued = int64(n)
+	}
+}
+
+// receiverThread admits relayed mixed messages into the queue until every
+// assigned producer has sent its Fin. Admission is whole-message: the
+// receiver waits for buffer room for all of a message's blocks (unless the
+// buffer is empty, so oversized batches still make progress), which keeps
+// partially built slots out of the forwarder's and spiller's sight.
+func (s *Stager) receiverThread(c rt.Ctx) {
+	for {
+		start := c.Now()
+		m, ok := s.in.Recv(c)
+		busy := c.Now() - start
+		s.lk.Lock(c)
+		s.stats.RecvBusy += busy
+		if !ok {
+			break // inbox closed under us: treat as end of stream
+		}
+		if s.cfg.Recorder != nil && len(m.Blocks) > 0 {
+			s.cfg.Recorder.Add(s.traceName("receiver"), "recv", start, start+busy)
+		}
+		need := len(m.Blocks)
+		for need > 0 && s.memBlocks > 0 && s.memBlocks+need > s.cfg.BufferBlocks {
+			s.space.Wait(c)
+		}
+		sl := &slot{from: m.From, dest: m.Dest, disk: m.Disk, fin: m.Fin}
+		for _, b := range m.Blocks {
+			sl.blocks = append(sl.blocks, &relayBlock{b: b, id: b.ID, offset: b.Offset, bytes: b.Bytes})
+		}
+		s.queue = append(s.queue, sl)
+		s.setOccLocked(s.memBlocks + need)
+		s.stats.MessagesIn++
+		s.stats.BlocksIn += int64(need)
+		s.stats.DiskRefs += int64(len(m.Disk))
+		s.work.Signal()
+		if s.memBlocks > s.cfg.HighWater {
+			s.spillWork.Signal()
+		}
+		if m.Fin {
+			s.finsGot++
+			if s.finsGot == s.cfg.Producers {
+				break
+			}
+		}
+		s.lk.Unlock(c)
+	}
+	s.recvDone = true
+	s.work.Broadcast()
+	s.spillWork.Broadcast()
+	s.done.Broadcast()
+	s.lk.Unlock(c)
+}
+
+// assembleLocked removes the next outgoing batch from the head of the
+// queue: blocks for a single destination, up to MaxBatchBlocks /
+// MaxBatchBytes, merging consecutive slots (re-batching) and stopping once
+// a Fin is included or a block still being spilled is reached. The head
+// block is always taken. Returns ok=false when nothing is consumable right
+// now (head block mid-spill).
+//
+// A merged message can carry blocks from several producers — blocks
+// self-identify through their IDs, so the outgoing From is informational:
+// it names the Fin's producer when the message carries one (Fin attribution
+// must stay exact) and the first merged producer otherwise.
+func (s *Stager) assembleLocked() (taken []*relayBlock, disk []rt.DiskRef, from, dest int, fin, ok bool) {
+	head := s.queue[0]
+	from, dest = head.from, head.dest
+	var bytes int64
+	freed := 0
+	for len(s.queue) > 0 && !fin {
+		sl := s.queue[0]
+		if sl.dest != dest {
+			break
+		}
+		blocked := false
+		for len(sl.blocks) > 0 {
+			rb := sl.blocks[0]
+			if rb.spilling {
+				blocked = true
+				break
+			}
+			if len(taken) > 0 && (len(taken) >= s.cfg.MaxBatchBlocks ||
+				(s.cfg.MaxBatchBytes > 0 && bytes+rb.bytes > s.cfg.MaxBatchBytes)) {
+				blocked = true
+				break
+			}
+			sl.blocks = sl.blocks[1:]
+			taken = append(taken, rb)
+			bytes += rb.bytes
+			if !rb.spilled {
+				freed++
+			}
+		}
+		if blocked {
+			break
+		}
+		// Slot fully consumed: its disk refs and Fin travel with (or after)
+		// its last block, never before.
+		disk = append(disk, sl.disk...)
+		if sl.fin {
+			fin = true
+			from = sl.from
+		}
+		s.queue = s.queue[1:]
+	}
+	if freed > 0 {
+		s.setOccLocked(s.memBlocks - freed)
+		s.space.Broadcast()
+	}
+	ok = len(taken) > 0 || len(disk) > 0 || fin
+	return
+}
+
+// forwarderThread drains the queue head, re-reads any spilled blocks, and
+// sends re-batched mixed messages to the destination consumers.
+func (s *Stager) forwarderThread(c rt.Ctx) {
+	for {
+		s.lk.Lock(c)
+		var taken []*relayBlock
+		var disk []rt.DiskRef
+		var from, dest int
+		var fin, ok bool
+		for {
+			if len(s.queue) > 0 {
+				taken, disk, from, dest, fin, ok = s.assembleLocked()
+				if ok {
+					break
+				}
+			} else if s.recvDone {
+				s.forwardDone = true
+				s.stats.Finished = c.Now()
+				s.done.Broadcast()
+				s.lk.Unlock(c)
+				return
+			}
+			s.work.Wait(c)
+		}
+		s.lk.Unlock(c)
+
+		blocks := make([]*block.Block, 0, len(taken))
+		var unspillBusy time.Duration
+		var unspillErr error
+		for _, rb := range taken {
+			if !rb.spilled {
+				blocks = append(blocks, rb.b)
+				continue
+			}
+			start := c.Now()
+			b, err := s.fs.ReadBlock(c, rb.id, rb.bytes)
+			unspillBusy += c.Now() - start
+			if err != nil {
+				unspillErr = fmt.Errorf("staging: re-reading spilled block %v: %w", rb.id, err)
+				continue // forward the rest so the stream still terminates
+			}
+			// Reclaim the spill file and hand the block on as a fresh
+			// in-memory one: the consumer must not mistake the stager's
+			// private spill copy for a preserved block.
+			_ = s.fs.RemoveBlock(c, rb.id)
+			b.Offset = rb.offset
+			b.OnDisk = false
+			blocks = append(blocks, b)
+		}
+		if s.cfg.Recorder != nil && unspillBusy > 0 {
+			s.cfg.Recorder.Add(s.traceName("forwarder"), "unspill", c.Now()-unspillBusy, c.Now())
+		}
+
+		start := c.Now()
+		s.tr.Send(c, dest, rt.Message{From: from, Dest: dest, Blocks: blocks, Disk: disk, Fin: fin})
+		busy := c.Now() - start
+		if s.cfg.Recorder != nil && len(blocks) > 0 {
+			s.cfg.Recorder.Add(s.traceName("forwarder"), "forward", start, start+busy)
+		}
+
+		s.lk.Lock(c)
+		s.stats.ForwardBusy += busy
+		s.stats.SpillBusy += unspillBusy
+		s.stats.MessagesOut++
+		s.stats.BlocksForwarded += int64(len(blocks))
+		if unspillErr != nil && s.err == nil {
+			s.err = unspillErr
+		}
+		s.lk.Unlock(c)
+	}
+}
+
+// spillerThread overflows the newest in-memory blocks to the spill store
+// while occupancy is above the high-water mark: the queue head keeps
+// streaming from memory while the tail — the data the consumer will want
+// last — rides out the burst on the parallel file system. A failed spill
+// disables the thread (data stays in memory; the buffer simply stops
+// absorbing past its capacity).
+func (s *Stager) spillerThread(c rt.Ctx) {
+	for {
+		s.lk.Lock(c)
+		var victim *relayBlock
+		for victim == nil {
+			if s.memBlocks > s.cfg.HighWater {
+				victim = s.newestResidentLocked()
+			}
+			if victim != nil {
+				break
+			}
+			if s.recvDone {
+				s.spillDone = true
+				s.done.Broadcast()
+				s.lk.Unlock(c)
+				return
+			}
+			s.spillWork.Wait(c)
+		}
+		victim.spilling = true
+		s.lk.Unlock(c)
+
+		start := c.Now()
+		err := s.fs.WriteBlock(c, victim.b)
+		busy := c.Now() - start
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.Add(s.traceName("spiller"), "spill", start, start+busy)
+		}
+
+		s.lk.Lock(c)
+		s.stats.SpillBusy += busy
+		victim.spilling = false
+		if err != nil {
+			victim.b.OnDisk = false
+			if s.err == nil {
+				s.err = fmt.Errorf("staging: spilling block %v: %w", victim.id, err)
+			}
+			s.spillDone = true
+			s.work.Broadcast()
+			s.done.Broadcast()
+			s.lk.Unlock(c)
+			return
+		}
+		victim.b.Release() // recycle the payload: the spill copy is authoritative now
+		victim.b = nil
+		victim.spilled = true
+		s.stats.BlocksSpilled++
+		s.setOccLocked(s.memBlocks - 1)
+		s.space.Broadcast()
+		s.work.Broadcast() // a forwarder parked on a mid-spill head can move again
+		s.lk.Unlock(c)
+	}
+}
+
+// newestResidentLocked finds the youngest in-memory block — the one whose
+// turn to be forwarded is farthest away.
+func (s *Stager) newestResidentLocked() *relayBlock {
+	for i := len(s.queue) - 1; i >= 0; i-- {
+		sl := s.queue[i]
+		for j := len(sl.blocks) - 1; j >= 0; j-- {
+			rb := sl.blocks[j]
+			if !rb.spilled && !rb.spilling {
+				return rb
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"zipper/internal/core"
+)
+
+// stagingTestSpec is a small consumer-bound workflow: analysis costs ~2× the
+// kernel time, so the direct window exhausts and routing matters.
+func stagingTestSpec() Spec {
+	return Spec{
+		Machine: testMachine(),
+		Workload: Workload{
+			Name:           "staged",
+			Steps:          6,
+			StepTime:       80 * time.Millisecond,
+			PhaseFrac:      [3]float64{1, 0, 0},
+			BytesPerStep:   8 << 20,
+			AnalyzePerByte: 40 * time.Nanosecond,
+			BlockBytes:     1 << 20,
+		},
+		P: 4, Q: 2,
+		ProducerProcsPerNode: 2,
+		ConsumerProcsPerNode: 2,
+		StagingNodes:         1,
+		Stagers:              1,
+		StagerBufferBlocks:   64,
+		Window:               2,
+		Zipper:               core.Config{BufferBlocks: 8, MaxBatchBlocks: 4},
+	}
+}
+
+// TestZipperStagingModes runs the three routing policies on the simulated
+// platform and checks conservation (every block leaves by exactly one
+// channel), that the relay actually carries traffic under staging policies,
+// and that hybrid routing does not stall producers more than pure in-situ.
+func TestZipperStagingModes(t *testing.T) {
+	perProducer := int64(6) * (8 << 20) / (1 << 20) // steps × blocks/step
+	total := 4 * perProducer
+
+	results := map[core.RoutePolicy]Result{}
+	for _, pol := range []core.RoutePolicy{core.RouteDirect, core.RouteStaging, core.RouteHybrid} {
+		spec := stagingTestSpec()
+		spec.Zipper.RoutePolicy = pol
+		res := RunZipper(spec)
+		if !res.OK {
+			t.Fatalf("policy %v failed: %s", pol, res.Fail)
+		}
+		if got := res.BlocksSent + res.BlocksRelayed + res.BlocksStolen; got != total {
+			t.Fatalf("policy %v: %d+%d+%d = %d blocks across channels, want %d",
+				pol, res.BlocksSent, res.BlocksRelayed, res.BlocksStolen, got, total)
+		}
+		results[pol] = res
+	}
+	if results[core.RouteDirect].BlocksRelayed != 0 {
+		t.Fatalf("in-situ relayed %d blocks", results[core.RouteDirect].BlocksRelayed)
+	}
+	if results[core.RouteStaging].BlocksSent != 0 {
+		t.Fatalf("in-transit sent %d blocks direct", results[core.RouteStaging].BlocksSent)
+	}
+	if results[core.RouteStaging].BlocksRelayed == 0 || results[core.RouteHybrid].BlocksRelayed == 0 {
+		t.Fatal("staging policies moved nothing through the relay")
+	}
+	if results[core.RouteHybrid].ProducerStall > results[core.RouteDirect].ProducerStall {
+		t.Fatalf("hybrid stalled producers %v, in-situ only %v",
+			results[core.RouteHybrid].ProducerStall, results[core.RouteDirect].ProducerStall)
+	}
+}
+
+// TestZipperStagersZeroUnchanged pins the acceptance guarantee: a Stagers: 0
+// run and a Stagers-with-RouteDirect run are the same simulation — identical
+// virtual end time, stats, and message counts.
+func TestZipperStagersZeroUnchanged(t *testing.T) {
+	base := stagingTestSpec()
+	base.Stagers = 0
+	a := RunZipper(base)
+
+	withTier := stagingTestSpec()
+	withTier.Stagers = 2
+	withTier.Zipper.RoutePolicy = core.RouteDirect
+	b := RunZipper(withTier)
+
+	if !a.OK || !b.OK {
+		t.Fatalf("runs failed: %v / %v", a.Fail, b.Fail)
+	}
+	if a.E2E != b.E2E || a.Messages != b.Messages ||
+		a.BlocksSent != b.BlocksSent || a.BlocksStolen != b.BlocksStolen ||
+		a.ProducerStall != b.ProducerStall {
+		t.Fatalf("RouteDirect with stagers diverged from Stagers:0:\n%+v\n%+v", a, b)
+	}
+	if b.BlocksRelayed != 0 || b.StagerSpills != 0 {
+		t.Fatalf("phantom staging traffic: relayed=%d spills=%d", b.BlocksRelayed, b.StagerSpills)
+	}
+}

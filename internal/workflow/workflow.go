@@ -17,6 +17,7 @@ import (
 	"zipper/internal/pfs"
 	"zipper/internal/rt/simenv"
 	"zipper/internal/sim"
+	"zipper/internal/staging"
 	"zipper/internal/trace"
 	"zipper/internal/transport"
 )
@@ -74,8 +75,16 @@ type Spec struct {
 	ConsumerProcsPerNode int
 	// StagingNodes is the node count reserved for staging servers / links.
 	StagingNodes int
-	// Zipper tunes the Zipper runtime (RunZipper only).
+	// Zipper tunes the Zipper runtime (RunZipper only); Zipper.RoutePolicy
+	// selects in-situ, in-transit, or hybrid routing when Stagers ≥ 1.
 	Zipper core.Config
+	// Stagers is the number of Zipper in-transit stager ranks (RunZipper
+	// only). They are placed round-robin on the staging nodes, so a relayed
+	// block crosses the fabric twice — the extra hop the wire model charges
+	// in-transit configurations.
+	Stagers int
+	// StagerBufferBlocks is each stager's in-memory buffer capacity.
+	StagerBufferBlocks int
 	// Window is Zipper's per-consumer receive window in messages.
 	Window int
 	// Trace enables span recording.
@@ -112,11 +121,17 @@ type Result struct {
 	ProducerWallClock time.Duration
 	// XmitWaitProducers sums the XmitWait counter over producer nodes.
 	XmitWaitProducers int64
-	// BlocksSent/BlocksStolen/Messages aggregate Zipper producer stats;
-	// Messages counts mixed messages (including Fins), so Messages/BlocksSent
-	// measures how well batching amortizes the per-message overhead.
-	BlocksSent, BlocksStolen, Messages int64
-	Rec                                *trace.Recorder
+	// BlocksSent/BlocksRelayed/BlocksStolen/Messages aggregate Zipper
+	// producer stats; Messages counts mixed messages (including Fins), so
+	// Messages/BlocksSent measures how well batching amortizes the
+	// per-message overhead. BlocksRelayed counts blocks that traveled the
+	// in-transit staging tier.
+	BlocksSent, BlocksRelayed, BlocksStolen, Messages int64
+	// StagerSpills counts blocks the staging tier overflowed to its spill
+	// partitions; StagerMaxQueued is the deepest any stager's memory
+	// buffer ran.
+	StagerSpills, StagerMaxQueued int64
+	Rec                           *trace.Recorder
 }
 
 // rig is a built machine instance.
@@ -365,11 +380,27 @@ func RunZipper(spec Spec) Result {
 	}
 	zcfg := spec.Zipper
 	zcfg.Recorder = r.rec
-	net := simenv.NewNetwork(r.eng, r.fab, r.consNodes, window)
+	// The staging tier only exists when routing can reach it; with
+	// RouteDirect the run is identical to a Stagers: 0 run. A stager with
+	// no assigned producer would never see its Fins, so the tier never
+	// outnumbers the producers.
+	nStage := spec.Stagers
+	if zcfg.RoutePolicy == core.RouteDirect {
+		nStage = 0
+	}
+	if nStage > spec.P {
+		nStage = spec.P
+	}
+	endpointNodes := append([]fabric.NodeID{}, r.consNodes...)
+	for s := 0; s < nStage; s++ {
+		endpointNodes = append(endpointNodes, r.stageNode[s%len(r.stageNode)])
+	}
+	net := simenv.NewNetwork(r.eng, r.fab, endpointNodes, window)
 	store := simenv.NewStore(r.fs, "zipper")
 
 	producers := make([]*core.Producer, spec.P)
 	consumers := make([]*core.Consumer, spec.Q)
+	stagers := make([]*staging.Stager, nStage)
 	for q := 0; q < spec.Q; q++ {
 		n := 0
 		for p := 0; p < spec.P; p++ {
@@ -380,9 +411,36 @@ func RunZipper(spec Spec) Result {
 		env := simenv.NewEnv(r.eng, r.consNodes[q], spec.Machine.MemBandwidth)
 		consumers[q] = core.NewConsumer(env, zcfg, q, n, net.Inbox(q), store)
 	}
+	for s := 0; s < nStage; s++ {
+		n := 0
+		for p := 0; p < spec.P; p++ {
+			if p%nStage == s {
+				n++
+			}
+		}
+		env := simenv.NewEnv(r.eng, r.stageNode[s%len(r.stageNode)], spec.Machine.MemBandwidth)
+		scfg := staging.Config{
+			BufferBlocks:   spec.StagerBufferBlocks,
+			MaxBatchBlocks: zcfg.MaxBatchBlocks,
+			MaxBatchBytes:  zcfg.MaxBatchBytes,
+			Producers:      n,
+			Recorder:       r.rec,
+		}
+		spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", s))
+		stagers[s] = staging.NewStager(env, scfg, s, net.Inbox(spec.Q+s), net, spill)
+	}
+	if nStage > 0 {
+		zcfg.StagerProbe = func(addr int) (int, int) {
+			return stagers[addr-spec.Q].Occupancy()
+		}
+	}
 	for p := 0; p < spec.P; p++ {
 		env := simenv.NewEnv(r.eng, r.prodNodes[p], spec.Machine.MemBandwidth)
-		producers[p] = core.NewProducer(env, zcfg, p, p*spec.Q/spec.P, net, store)
+		stager := core.NoStager
+		if nStage > 0 {
+			stager = spec.Q + p%nStage
+		}
+		producers[p] = core.NewStagedProducer(env, zcfg, p, p*spec.Q/spec.P, stager, net, store)
 	}
 
 	blockBytes := w.BlockBytes
@@ -463,6 +521,7 @@ func RunZipper(spec Spec) Result {
 	for _, p := range producers {
 		st := p.FinalStats()
 		res.BlocksSent += st.BlocksSent
+		res.BlocksRelayed += st.BlocksRelayed
 		res.BlocksStolen += st.BlocksStolen
 		res.Messages += st.Messages
 		if st.SendBusy > maxSend {
@@ -483,6 +542,13 @@ func RunZipper(spec Spec) Result {
 		st := c.FinalStats()
 		if st.StoreBusy > storeCons {
 			storeCons = st.StoreBusy
+		}
+	}
+	for _, s := range stagers {
+		st := s.FinalStats()
+		res.StagerSpills += st.BlocksSpilled
+		if st.MaxQueued > res.StagerMaxQueued {
+			res.StagerMaxQueued = st.MaxQueued
 		}
 	}
 	res.Stages = StageTimes{

@@ -4,12 +4,14 @@
 // in "Performance Analysis and Optimization of In-situ Integration of
 // Simulation with Data Analysis: Zipping Applications Up" (HPDC'18).
 //
-// A Job owns P producer endpoints and Q consumer endpoints. Producer code
-// calls Write for every fine-grain block it computes and Close when done;
-// consumer code calls Read until ok is false. Under the hood each producer
-// runs a sender thread (low-latency in-memory channel path) and a
-// work-stealing writer thread (file-system path, Algorithm 1 of the paper),
-// and each consumer runs receiver/reader — and, in Preserve mode, output —
+// A Job owns P producer endpoints, Q consumer endpoints, and optionally S
+// in-transit stager endpoints. Producer code calls Write for every
+// fine-grain block it computes and Close when done; consumer code calls
+// Read until ok is false. Under the hood each producer runs a sender thread
+// (low-latency in-memory channel path) and a work-stealing writer thread
+// (file-system path, Algorithm 1 of the paper), each stager runs
+// receiver/forwarder/spiller threads (the in-transit third channel), and
+// each consumer runs receiver/reader — and, in Preserve mode, output —
 // threads. Data flows as soon as it exists; there are no barriers or
 // interlocks between time steps.
 //
@@ -41,6 +43,12 @@
 // per-message overhead of the fine-grain protocol; NewPayload and
 // Block.Release close the allocation loop so steady-state transfer reuses
 // payload buffers instead of allocating fresh ones.
+//
+// With Config.Stagers ≥ 1 and a non-direct RoutePolicy, the job adds the
+// in-transit staging tier: the sender picks a channel per batch (direct,
+// staging relay, or — implicitly, through backpressure — the work-stealing
+// file-system path), and stagers absorb bursts in memory, re-batch, spill
+// overflow to their own SpoolDir partitions, and forward to the consumers.
 package zipper
 
 import (
@@ -51,7 +59,25 @@ import (
 	"zipper/internal/core"
 	"zipper/internal/rt"
 	"zipper/internal/rt/realenv"
+	"zipper/internal/staging"
 	"zipper/internal/trace"
+)
+
+// RoutePolicy selects the producer's per-batch channel choice when staging
+// is enabled. See the core package for the policy semantics.
+type RoutePolicy = core.RoutePolicy
+
+const (
+	// RouteDirect is the paper's two-channel protocol: the in-memory
+	// message path relieved by the work-stealing file-system path.
+	RouteDirect = core.RouteDirect
+	// RouteStaging relays everything through the in-transit staging tier.
+	RouteStaging = core.RouteStaging
+	// RouteHybrid picks per batch from live backpressure: direct while the
+	// consumer window has credit, staging while the stager has room,
+	// otherwise the blocking direct path (which the work-stealing writer
+	// relieves through the file system).
+	RouteHybrid = core.RouteHybrid
 )
 
 // BlockID identifies a block: producing rank, time step, and sequence number.
@@ -122,6 +148,19 @@ type Config struct {
 	MaxBatchBytes int64
 	// Window is each consumer's receive window in messages (default 4).
 	Window int
+	// Stagers is the number of in-transit staging endpoints — the third
+	// channel between the in-memory message path and the file-system path.
+	// Zero (the default) runs the paper's original two-channel protocol.
+	// Producer p relays through stager p mod Stagers.
+	Stagers int
+	// StagerBufferBlocks is each stager's in-memory buffer capacity in
+	// blocks (default 64). Past ¾ of it the stager spills its newest
+	// buffered blocks to its own SpoolDir partition.
+	StagerBufferBlocks int
+	// RoutePolicy picks the channel for each drained batch when Stagers ≥ 1:
+	// RouteDirect (never relay), RouteStaging (always relay), or
+	// RouteHybrid (decide per batch from live backpressure).
+	RoutePolicy RoutePolicy
 	// Preserve keeps every block on the file system for later validation.
 	Preserve bool
 	// DisableSteal turns the dual-channel optimization off
@@ -133,30 +172,74 @@ type Config struct {
 
 // Job is a running Zipper workflow.
 type Job struct {
-	env  *realenv.Env
-	cfg  Config
-	prod []*Producer
-	cons []*Consumer
+	env   *realenv.Env
+	cfg   Config
+	prod  []*Producer
+	cons  []*Consumer
+	stage []*staging.Stager
 }
 
-// NewJob validates the configuration, builds the network and file-system
-// paths, and starts the runtime threads for every endpoint.
-func NewJob(cfg Config) (*Job, error) {
+// validate rejects configurations that would otherwise hang, panic, or
+// silently misbehave deep inside the runtime.
+func (cfg Config) validate() error {
 	if cfg.Producers < 1 || cfg.Consumers < 1 {
-		return nil, errors.New("zipper: Producers and Consumers must be ≥ 1")
+		return errors.New("zipper: Producers and Consumers must be ≥ 1")
 	}
 	if cfg.Consumers > cfg.Producers {
-		return nil, fmt.Errorf("zipper: more consumers (%d) than producers (%d)", cfg.Consumers, cfg.Producers)
+		return fmt.Errorf("zipper: more consumers (%d) than producers (%d)", cfg.Consumers, cfg.Producers)
 	}
 	if cfg.SpoolDir == "" {
-		return nil, errors.New("zipper: SpoolDir is required")
+		return errors.New("zipper: SpoolDir is required")
+	}
+	if cfg.BufferBlocks < 0 {
+		return fmt.Errorf("zipper: BufferBlocks must be ≥ 0 (0 selects the default), got %d", cfg.BufferBlocks)
+	}
+	if cfg.HighWater < 0 {
+		return fmt.Errorf("zipper: HighWater must be ≥ 0 (0 selects ¾ of BufferBlocks), got %d", cfg.HighWater)
+	}
+	if cfg.BufferBlocks > 0 && cfg.HighWater > cfg.BufferBlocks {
+		return fmt.Errorf("zipper: HighWater (%d) exceeds BufferBlocks (%d): the stealing threshold would be unreachable",
+			cfg.HighWater, cfg.BufferBlocks)
+	}
+	if cfg.ConsumerBufferBlocks < 0 {
+		return fmt.Errorf("zipper: ConsumerBufferBlocks must be ≥ 0, got %d", cfg.ConsumerBufferBlocks)
+	}
+	if cfg.MaxBatchBlocks < 0 {
+		return fmt.Errorf("zipper: MaxBatchBlocks must be ≥ 0 (0 selects one block per message), got %d", cfg.MaxBatchBlocks)
+	}
+	if cfg.MaxBatchBytes < 0 {
+		return fmt.Errorf("zipper: MaxBatchBytes must be ≥ 0 (0 means unlimited), got %d", cfg.MaxBatchBytes)
+	}
+	if cfg.Window < 0 {
+		return fmt.Errorf("zipper: Window must be ≥ 0 (0 selects the default), got %d", cfg.Window)
+	}
+	if cfg.Stagers < 0 {
+		return fmt.Errorf("zipper: Stagers must be ≥ 0, got %d", cfg.Stagers)
+	}
+	if cfg.StagerBufferBlocks < 0 {
+		return fmt.Errorf("zipper: StagerBufferBlocks must be ≥ 0, got %d", cfg.StagerBufferBlocks)
+	}
+	if cfg.RoutePolicy < RouteDirect || cfg.RoutePolicy > RouteHybrid {
+		return fmt.Errorf("zipper: unknown RoutePolicy %d", cfg.RoutePolicy)
+	}
+	if cfg.RoutePolicy != RouteDirect && cfg.Stagers == 0 {
+		return fmt.Errorf("zipper: RoutePolicy %v needs Stagers ≥ 1", cfg.RoutePolicy)
+	}
+	return nil
+}
+
+// NewJob validates the configuration, builds the network, staging, and
+// file-system paths, and starts the runtime threads for every endpoint.
+func NewJob(cfg Config) (*Job, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	env := realenv.New()
 	window := cfg.Window
 	if window <= 0 {
 		window = 4
 	}
-	net := realenv.NewNetwork(cfg.Consumers, window)
+	net := realenv.NewNetwork(cfg.Consumers+cfg.Stagers, window)
 	fs, err := realenv.NewFileStore(cfg.SpoolDir)
 	if err != nil {
 		return nil, err
@@ -168,6 +251,7 @@ func NewJob(cfg Config) (*Job, error) {
 		MaxBatchBlocks:       cfg.MaxBatchBlocks,
 		MaxBatchBytes:        cfg.MaxBatchBytes,
 		DisableSteal:         cfg.DisableSteal,
+		RoutePolicy:          cfg.RoutePolicy,
 		Recorder:             cfg.Recorder,
 	}
 	if cfg.Preserve {
@@ -186,9 +270,50 @@ func NewJob(cfg Config) (*Job, error) {
 			ctx: env.Ctx(),
 		})
 	}
+	// With RouteDirect no producer would ever address a stager — its
+	// receiver would wait forever for Fins — so the tier is not built and
+	// the job is indistinguishable from a Stagers: 0 run. A stager with no
+	// assigned producer would likewise never terminate, so the tier never
+	// outnumbers the producers.
+	stagers := cfg.Stagers
+	if cfg.RoutePolicy == RouteDirect {
+		stagers = 0
+	}
+	if stagers > cfg.Producers {
+		stagers = cfg.Producers
+	}
+	for s := 0; s < stagers; s++ {
+		spill, err := fs.Partition(fmt.Sprintf("stage%d", s))
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for p := 0; p < cfg.Producers; p++ {
+			if p%stagers == s {
+				n++
+			}
+		}
+		scfg := staging.Config{
+			BufferBlocks:   cfg.StagerBufferBlocks,
+			MaxBatchBlocks: cfg.MaxBatchBlocks,
+			MaxBatchBytes:  cfg.MaxBatchBytes,
+			Producers:      n,
+			Recorder:       cfg.Recorder,
+		}
+		j.stage = append(j.stage, staging.NewStager(env, scfg, s, net.Inbox(cfg.Consumers+s), net, spill))
+	}
+	if len(j.stage) > 0 {
+		ccfg.StagerProbe = func(addr int) (int, int) {
+			return j.stage[addr-cfg.Consumers].Occupancy()
+		}
+	}
 	for p := 0; p < cfg.Producers; p++ {
+		stager := core.NoStager
+		if stagers > 0 {
+			stager = cfg.Consumers + p%stagers
+		}
 		j.prod = append(j.prod, &Producer{
-			p:   core.NewProducer(env, ccfg, p, p*cfg.Consumers/cfg.Producers, net, fs),
+			p:   core.NewStagedProducer(env, ccfg, p, p*cfg.Consumers/cfg.Producers, stager, net, fs),
 			ctx: env.Ctx(),
 		})
 	}
@@ -202,14 +327,81 @@ func (j *Job) Producer(i int) *Producer { return j.prod[i] }
 func (j *Job) Consumer(i int) *Consumer { return j.cons[i] }
 
 // Wait blocks until every runtime thread has finished: all producers closed,
-// all data delivered, and (in Preserve mode) stored.
+// all data delivered (including through the staging tier), and (in Preserve
+// mode) stored.
 func (j *Job) Wait() {
 	for _, p := range j.prod {
 		p.p.Wait(p.ctx)
 	}
+	ctx := j.env.Ctx()
+	for _, s := range j.stage {
+		s.Wait(ctx)
+	}
 	for _, c := range j.cons {
 		c.c.Wait(c.ctx)
 	}
+}
+
+// StagerStats summarizes one in-transit stager endpoint's activity.
+type StagerStats struct {
+	BlocksIn        int64 // blocks received from producers
+	BlocksForwarded int64 // blocks delivered to consumers
+	BlocksSpilled   int64 // blocks that overflowed to the stager's spill partition
+	MessagesIn      int64 // relayed mixed messages received
+	MessagesOut     int64 // re-batched mixed messages forwarded
+	MaxQueued       int64 // peak in-memory buffer occupancy in blocks
+}
+
+// JobStats aggregates every endpoint's counters in one call: per-endpoint
+// slices plus the workflow-wide totals a caller usually wants. Call after
+// Wait for final values.
+type JobStats struct {
+	Producers []ProducerStats
+	Consumers []ConsumerStats
+	Stagers   []StagerStats
+	// Totals across endpoints.
+	BlocksWritten  int64 // handed to Write by all producers
+	BlocksSent     int64 // left directly via the network path
+	BlocksRelayed  int64 // left via the in-transit staging tier
+	BlocksStolen   int64 // left via the work-stealing file-system path
+	BlocksAnalyzed int64 // delivered to the analysis applications
+	BlocksSpilled  int64 // overflowed inside stagers
+	Messages       int64 // producer mixed messages (including Fins)
+	WriteStall     float64
+}
+
+// Stats aggregates producer, consumer, and stager counters in one call.
+func (j *Job) Stats() JobStats {
+	var js JobStats
+	for _, p := range j.prod {
+		s := p.Stats()
+		js.Producers = append(js.Producers, s)
+		js.BlocksWritten += s.BlocksWritten
+		js.BlocksSent += s.BlocksSent
+		js.BlocksRelayed += s.BlocksRelayed
+		js.BlocksStolen += s.BlocksStolen
+		js.Messages += s.Messages
+		js.WriteStall += s.WriteStall
+	}
+	ctx := j.env.Ctx()
+	for _, st := range j.stage {
+		s := st.Stats(ctx)
+		js.Stagers = append(js.Stagers, StagerStats{
+			BlocksIn:        s.BlocksIn,
+			BlocksForwarded: s.BlocksForwarded,
+			BlocksSpilled:   s.BlocksSpilled,
+			MessagesIn:      s.MessagesIn,
+			MessagesOut:     s.MessagesOut,
+			MaxQueued:       s.MaxQueued,
+		})
+		js.BlocksSpilled += s.BlocksSpilled
+	}
+	for _, c := range j.cons {
+		s := c.Stats()
+		js.Consumers = append(js.Consumers, s)
+		js.BlocksAnalyzed += s.BlocksAnalyzed
+	}
+	return js
 }
 
 // Producer is the application-facing producer endpoint. Its methods must be
@@ -234,6 +426,7 @@ func (p *Producer) Stats() ProducerStats {
 	return ProducerStats{
 		BlocksWritten: s.BlocksWritten,
 		BlocksSent:    s.BlocksSent,
+		BlocksRelayed: s.BlocksRelayed,
 		BlocksStolen:  s.BlocksStolen,
 		Messages:      s.Messages,
 		WriteStall:    s.WriteStall.Seconds(),
@@ -243,7 +436,8 @@ func (p *Producer) Stats() ProducerStats {
 // ProducerStats summarizes a producer endpoint's activity.
 type ProducerStats struct {
 	BlocksWritten int64
-	BlocksSent    int64 // via the network path
+	BlocksSent    int64 // directly via the network path
+	BlocksRelayed int64 // via the in-transit staging tier
 	BlocksStolen  int64 // via the file-system path (work-stealing writer)
 	// Messages counts mixed messages sent, including the final Fin. With
 	// MaxBatchBlocks > 1 this falls below BlocksSent as batches form; the

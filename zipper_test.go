@@ -9,14 +9,56 @@ import (
 )
 
 func TestJobValidation(t *testing.T) {
-	if _, err := NewJob(Config{Producers: 0, Consumers: 1, SpoolDir: t.TempDir()}); err == nil {
-		t.Error("zero producers accepted")
+	dir := t.TempDir()
+	base := Config{Producers: 1, Consumers: 1, SpoolDir: dir}
+	bad := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero producers", func(c *Config) { c.Producers = 0 }},
+		{"more consumers than producers", func(c *Config) { c.Consumers = 2 }},
+		{"missing spool dir", func(c *Config) { c.SpoolDir = "" }},
+		{"negative BufferBlocks", func(c *Config) { c.BufferBlocks = -1 }},
+		{"negative HighWater", func(c *Config) { c.HighWater = -4 }},
+		{"HighWater above BufferBlocks", func(c *Config) { c.BufferBlocks = 8; c.HighWater = 9 }},
+		{"negative ConsumerBufferBlocks", func(c *Config) { c.ConsumerBufferBlocks = -1 }},
+		{"negative MaxBatchBlocks", func(c *Config) { c.MaxBatchBlocks = -2 }},
+		{"negative MaxBatchBytes", func(c *Config) { c.MaxBatchBytes = -1 }},
+		{"negative Window", func(c *Config) { c.Window = -1 }},
+		{"negative Stagers", func(c *Config) { c.Stagers = -1 }},
+		{"negative StagerBufferBlocks", func(c *Config) { c.StagerBufferBlocks = -1 }},
+		{"RoutePolicy out of range", func(c *Config) { c.RoutePolicy = RoutePolicy(7) }},
+		{"staging policy without stagers", func(c *Config) { c.RoutePolicy = RouteHybrid }},
 	}
-	if _, err := NewJob(Config{Producers: 1, Consumers: 2, SpoolDir: t.TempDir()}); err == nil {
-		t.Error("more consumers than producers accepted")
+	for _, tc := range bad {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := NewJob(cfg); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		} else if err.Error() == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
 	}
-	if _, err := NewJob(Config{Producers: 1, Consumers: 1}); err == nil {
-		t.Error("missing spool dir accepted")
+	// The boundary cases that must stay legal.
+	ok := []func(*Config){
+		func(c *Config) { c.BufferBlocks = 8; c.HighWater = 8 }, // clamped, not rejected
+		func(c *Config) { c.Stagers = 2; c.RoutePolicy = RouteHybrid },
+	}
+	for i, mut := range ok {
+		cfg := base
+		mut(&cfg)
+		job, err := NewJob(cfg)
+		if err != nil {
+			t.Errorf("legal config %d rejected: %v", i, err)
+			continue
+		}
+		job.Producer(0).Close()
+		for {
+			if _, open := job.Consumer(0).Read(); !open {
+				break
+			}
+		}
+		job.Wait()
 	}
 }
 
@@ -171,6 +213,155 @@ func TestJobBatchingAndPooledPayloads(t *testing.T) {
 	ps := job.Producer(0).Stats()
 	if ps.Messages == 0 || ps.Messages > ps.BlocksSent+1 {
 		t.Fatalf("message accounting off: %d messages for %d sent blocks", ps.Messages, ps.BlocksSent)
+	}
+}
+
+// TestJobStagingRoundTrip runs the public API through the in-transit tier
+// under both staging policies and checks Job.Stats ties the whole pipeline
+// together: written = direct + relayed + stolen = analyzed, with relayed
+// traffic flowing through the stager counters.
+func TestJobStagingRoundTrip(t *testing.T) {
+	for _, policy := range []RoutePolicy{RouteStaging, RouteHybrid} {
+		job, err := NewJob(Config{
+			Producers: 4, Consumers: 2, SpoolDir: t.TempDir(),
+			Stagers: 2, StagerBufferBlocks: 16, RoutePolicy: policy,
+			BufferBlocks: 8, Window: 1, MaxBatchBlocks: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const blocks = 150
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := job.Producer(i)
+				for s := 0; s < blocks; s++ {
+					data := NewPayload(256)
+					for j := range data {
+						data[j] = byte(i ^ s)
+					}
+					p.Write(s, 0, data)
+				}
+				p.Close()
+			}()
+		}
+		var mu sync.Mutex
+		n := 0
+		var cwg sync.WaitGroup
+		for q := 0; q < 2; q++ {
+			q := q
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				for {
+					blk, ok := job.Consumer(q).Read()
+					if !ok {
+						return
+					}
+					want := byte(blk.ID.Rank ^ blk.ID.Step)
+					for _, v := range blk.Data {
+						if v != want {
+							t.Errorf("policy %v: block %+v corrupted", policy, blk.ID)
+							break
+						}
+					}
+					blk.Release()
+					mu.Lock()
+					n++
+					mu.Unlock()
+					time.Sleep(50 * time.Microsecond) // lag enough to exercise relay + spill
+				}
+			}()
+		}
+		wg.Wait()
+		cwg.Wait()
+		job.Wait()
+		if n != 4*blocks {
+			t.Fatalf("policy %v: analyzed %d blocks, want %d", policy, n, 4*blocks)
+		}
+		st := job.Stats()
+		if len(st.Producers) != 4 || len(st.Consumers) != 2 || len(st.Stagers) != 2 {
+			t.Fatalf("policy %v: Stats shape %d/%d/%d", policy, len(st.Producers), len(st.Consumers), len(st.Stagers))
+		}
+		if st.BlocksWritten != 4*blocks || st.BlocksAnalyzed != 4*blocks {
+			t.Fatalf("policy %v: written=%d analyzed=%d want %d", policy, st.BlocksWritten, st.BlocksAnalyzed, 4*blocks)
+		}
+		if st.BlocksSent+st.BlocksRelayed+st.BlocksStolen != st.BlocksWritten {
+			t.Fatalf("policy %v: channel split %d+%d+%d != %d", policy,
+				st.BlocksSent, st.BlocksRelayed, st.BlocksStolen, st.BlocksWritten)
+		}
+		if policy == RouteStaging {
+			if st.BlocksSent != 0 {
+				t.Fatalf("in-transit policy sent %d blocks direct", st.BlocksSent)
+			}
+			if st.BlocksRelayed == 0 {
+				t.Fatal("in-transit policy relayed nothing")
+			}
+		}
+		var stagerIn int64
+		for _, ss := range st.Stagers {
+			stagerIn += ss.BlocksIn
+			if ss.BlocksIn != ss.BlocksForwarded {
+				t.Fatalf("stager in/out mismatch: %+v", ss)
+			}
+		}
+		if stagerIn != st.BlocksRelayed {
+			t.Fatalf("relayed %d but stagers saw %d", st.BlocksRelayed, stagerIn)
+		}
+	}
+}
+
+// TestJobStagingPreserve couples Preserve mode with the staging relay at
+// the public-API level: every block must land on the file system whichever
+// of the three channels it traveled.
+func TestJobStagingPreserve(t *testing.T) {
+	job, err := NewJob(Config{
+		Producers: 2, Consumers: 1, SpoolDir: t.TempDir(), Preserve: true,
+		Stagers: 1, StagerBufferBlocks: 8, RoutePolicy: RouteStaging,
+		BufferBlocks: 8, Window: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 40
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := job.Producer(i)
+			for s := 0; s < blocks; s++ {
+				p.Write(s, 0, []byte{byte(i), byte(s)})
+			}
+			p.Close()
+		}()
+	}
+	n := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		blk.Release()
+		n++
+	}
+	wg.Wait()
+	job.Wait()
+	if err := job.Consumer(0).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2*blocks {
+		t.Fatalf("analyzed %d blocks, want %d", n, 2*blocks)
+	}
+	st := job.Stats()
+	cs := st.Consumers[0]
+	if cs.BlocksStored+st.BlocksStolen != 2*blocks {
+		t.Fatalf("preserve through relay persisted %d+%d blocks, want %d",
+			cs.BlocksStored, st.BlocksStolen, 2*blocks)
 	}
 }
 
