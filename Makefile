@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive
 
 ci: fmt vet build test
 
@@ -36,3 +36,7 @@ bench-batching:
 # Regenerate the committed staging baseline (in-situ vs in-transit vs hybrid).
 bench-staging:
 	$(GO) run ./cmd/benchstaging -o BENCH_staging.json
+
+# Regenerate the committed adaptive-routing baseline (hybrid vs closed-loop).
+bench-adaptive:
+	$(GO) run ./cmd/benchadaptive -o BENCH_adaptive.json

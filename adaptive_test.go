@@ -1,0 +1,220 @@
+package zipper
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRoutePolicyNames pins the policy names, including the descriptive
+// rendering of out-of-range values (which used to read as "in-situ").
+func TestRoutePolicyNames(t *testing.T) {
+	cases := map[RoutePolicy]string{
+		RouteDirect:     "in-situ",
+		RouteStaging:    "in-transit",
+		RouteHybrid:     "hybrid",
+		RouteAdaptive:   "adaptive",
+		RoutePolicy(7):  "unknown(7)",
+		RoutePolicy(-3): "unknown(-3)",
+	}
+	for pol, want := range cases {
+		if got := pol.String(); got != want {
+			t.Errorf("RoutePolicy(%d).String() = %q, want %q", int(pol), got, want)
+		}
+	}
+}
+
+// TestAdaptiveConfigValidation covers the new knobs: RouteAdaptive needs a
+// staging tier, unknown policies are rejected with the descriptive name, and
+// nonsensical controller tuning is refused.
+func TestAdaptiveConfigValidation(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{Producers: 1, Consumers: 1, SpoolDir: dir}
+
+	cfg := base
+	cfg.RoutePolicy = RouteAdaptive
+	if _, err := NewJob(cfg); err == nil {
+		t.Error("RouteAdaptive without stagers accepted")
+	}
+	cfg = base
+	cfg.RoutePolicy = RoutePolicy(9)
+	if _, err := NewJob(cfg); err == nil || !strings.Contains(err.Error(), "unknown(9)") {
+		t.Errorf("unknown policy error %v, want it to name unknown(9)", err)
+	}
+	cfg = base
+	cfg.Stagers = 1
+	cfg.RoutePolicy = RouteAdaptive
+	cfg.Adaptive.MaxShare = 1.5
+	if _, err := NewJob(cfg); err == nil {
+		t.Error("MaxShare > 1 accepted")
+	}
+	cfg.Adaptive = AdaptiveTuning{Tau: -time.Second}
+	if _, err := NewJob(cfg); err == nil {
+		t.Error("negative Tau accepted")
+	}
+	cfg.Adaptive = AdaptiveTuning{MinShare: 0.9, MaxShare: 0.5}
+	if _, err := NewJob(cfg); err == nil {
+		t.Error("MinShare > MaxShare accepted (would be silently clamped)")
+	}
+
+	cfg = base
+	cfg.Stagers = 1
+	cfg.RoutePolicy = RouteAdaptive
+	job, err := NewJob(cfg)
+	if err != nil {
+		t.Fatalf("legal adaptive config rejected: %v", err)
+	}
+	job.Producer(0).Close()
+	for {
+		if _, ok := job.Consumer(0).Read(); !ok {
+			break
+		}
+	}
+	job.Wait()
+}
+
+// TestJobAdaptiveRoundTrip runs the closed-loop policy end to end on the
+// real platform under a lagging consumer (with -race in CI this doubles as
+// the concurrency test for the shared flow gauges: producers, stagers, and
+// the stats reader all touch them at once). It also covers the new
+// observability surface: stager occupancy in StagerStats and live EWMA
+// rates in JobStats.
+func TestJobAdaptiveRoundTrip(t *testing.T) {
+	job, err := NewJob(Config{
+		Producers: 2, Consumers: 1, SpoolDir: t.TempDir(),
+		Stagers: 1, StagerBufferBlocks: 64, RoutePolicy: RouteAdaptive,
+		BufferBlocks: 8, Window: 1, MaxBatchBlocks: 4,
+		Adaptive: AdaptiveTuning{Tau: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 200
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := job.Producer(i)
+			for s := 0; s < blocks; s++ {
+				data := NewPayload(256)
+				for j := range data {
+					data[j] = byte(i ^ s)
+				}
+				p.Write(s, 0, data)
+			}
+			p.Close()
+		}()
+	}
+	// A stats poller races the runtime threads mid-flight: under -race this
+	// proves Job.Stats' live gauges are safe while data moves.
+	stop := make(chan struct{})
+	var poller sync.WaitGroup
+	poller.Add(1)
+	go func() {
+		defer poller.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := job.Stats()
+			if len(st.Stagers) == 1 {
+				ss := st.Stagers[0]
+				if ss.Queued < 0 || ss.Queued > ss.Capacity {
+					t.Errorf("stager occupancy out of range: %d/%d", ss.Queued, ss.Capacity)
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	n := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		want := byte(blk.ID.Rank ^ blk.ID.Step)
+		for _, v := range blk.Data {
+			if v != want {
+				t.Fatalf("block %+v corrupted", blk.ID)
+			}
+		}
+		blk.Release()
+		n++
+		time.Sleep(100 * time.Microsecond) // the lag that engages the controller
+	}
+	close(stop)
+	poller.Wait()
+	wg.Wait()
+	job.Wait()
+	if n != 2*blocks {
+		t.Fatalf("analyzed %d blocks, want %d", n, 2*blocks)
+	}
+	st := job.Stats()
+	if st.BlocksSent+st.BlocksRelayed+st.BlocksStolen != st.BlocksWritten {
+		t.Fatalf("channel split %d+%d+%d != %d",
+			st.BlocksSent, st.BlocksRelayed, st.BlocksStolen, st.BlocksWritten)
+	}
+	if st.BlocksRelayed == 0 {
+		t.Fatal("adaptive routing never engaged the staging tier under a lagging consumer")
+	}
+	ss := st.Stagers[0]
+	if ss.Capacity != 64 {
+		t.Fatalf("stager capacity %d, want 64", ss.Capacity)
+	}
+	if ss.Queued != 0 {
+		t.Fatalf("stager still holds %d blocks after drain", ss.Queued)
+	}
+	if st.WriteRate < 0 || st.AnalyzeRate < 0 || st.DeliverRate < 0 {
+		t.Fatalf("negative live rates: %+v", st)
+	}
+}
+
+// TestJobStatsLiveRates checks the mid-run observability the flow gauges
+// added: while a stream is moving, Job.Stats reports nonzero EWMA rates,
+// not just terminal totals.
+func TestJobStatsLiveRates(t *testing.T) {
+	job, err := NewJob(Config{
+		Producers: 1, Consumers: 1, SpoolDir: t.TempDir(),
+		BufferBlocks: 8, Window: 2, DisableSteal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 400
+	go func() {
+		p := job.Producer(0)
+		for s := 0; s < blocks; s++ {
+			p.Write(s, 0, NewPayload(512))
+			time.Sleep(200 * time.Microsecond)
+		}
+		p.Close()
+	}()
+	var midWrite, midAnalyze float64
+	n := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		blk.Release()
+		n++
+		if n == blocks/2 {
+			st := job.Stats()
+			midWrite, midAnalyze = st.WriteRate, st.AnalyzeRate
+		}
+	}
+	job.Wait()
+	if n != blocks {
+		t.Fatalf("analyzed %d blocks, want %d", n, blocks)
+	}
+	// ~5000 blocks/s are flowing at mid-stream; the EWMAs must see them.
+	if midWrite < 100 || midAnalyze < 100 {
+		t.Fatalf("mid-run rates write=%.0f analyze=%.0f blocks/s, want ≫ 0", midWrite, midAnalyze)
+	}
+}

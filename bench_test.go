@@ -404,6 +404,34 @@ func BenchmarkStaging(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptive runs the bursty flow scenario under the reactive hybrid
+// policy and the closed-loop adaptive controller. The workload lives in
+// internal/benchharness, shared with cmd/benchadaptive so the committed
+// BENCH_adaptive.json baseline measures the same thing. (The benchmark uses
+// the bursty scenario scaled to b.N; the slow-consumer gate scenario runs at
+// its committed size in the baseline tool only.)
+func BenchmarkAdaptive(b *testing.B) {
+	sc := benchharness.FlowScenarios[1] // bursty
+	for _, v := range benchharness.AdaptiveVariants {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			dir := b.TempDir()
+			run := sc
+			run.Blocks = b.N
+			b.SetBytes(int64(run.Producers) * int64(run.BlockBytes))
+			b.ResetTimer()
+			st, err := benchharness.RunFlow(dir, v, run)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(st.WriteStall/float64(b.N), "stall-s/op")
+			b.ReportMetric(float64(st.BlocksStolen)/float64(b.N), "viaDisk/op")
+			b.ReportMetric(float64(st.BlocksRelayed)/float64(b.N), "relayed/op")
+		})
+	}
+}
+
 // --- Real-platform throughput of the public API ---
 
 func BenchmarkRealJobThroughput(b *testing.B) {

@@ -1,0 +1,153 @@
+// benchadaptive records the closed-loop routing baseline: the shared
+// benchharness flow scenarios (a steadily lagging consumer in front of a
+// RAM-provisioned staging tier, and a bursty producer pair in front of a
+// bounded one) run under the reactive hybrid policy and the adaptive flow
+// controller, on the real platform. It writes the comparison as JSON so CI
+// and future optimization PRs have a committed reference point, and fails
+// when the controller stops earning its keep: adaptive routing must beat
+// hybrid on producer write-stall in the slow-consumer scenario and must not
+// regress it materially in the bursty one.
+//
+// Usage:
+//
+//	benchadaptive [-o BENCH_adaptive.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"zipper/internal/benchharness"
+)
+
+// Row is one routing variant's measurement within a scenario.
+type Row struct {
+	Variant       string  `json:"variant"`
+	Blocks        int64   `json:"blocks"`
+	Direct        int64   `json:"blocks_direct"`
+	Relayed       int64   `json:"blocks_relayed"`
+	ViaDisk       int64   `json:"blocks_via_disk"`
+	StagerSpills  int64   `json:"stager_spills"`
+	WriteStallS   float64 `json:"write_stall_s"`
+	ThroughputMBs float64 `json:"throughput_mb_per_s"`
+}
+
+// Scenario is one workload's comparison.
+type Scenario struct {
+	Name               string  `json:"name"`
+	AnalyzeUs          float64 `json:"analyze_us_per_block"`
+	StagerBufferBlocks int     `json:"stager_buffer_blocks"`
+	DisableSteal       bool    `json:"disable_steal"`
+	Rows               []Row   `json:"rows"`
+}
+
+// Report is the file layout of BENCH_adaptive.json.
+type Report struct {
+	Producers  int        `json:"producers"`
+	BlockBytes int        `json:"block_bytes"`
+	BlocksRun  int        `json:"blocks_per_producer"`
+	GoVersion  string     `json:"go_version"`
+	Scenarios  []Scenario `json:"scenarios"`
+}
+
+func run(sc benchharness.FlowScenario, v benchharness.StagingVariant) (Row, error) {
+	dir, err := os.MkdirTemp("", "benchadaptive")
+	if err != nil {
+		return Row{}, err
+	}
+	defer os.RemoveAll(dir)
+	start := time.Now()
+	st, err := benchharness.RunFlow(dir, v, sc)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Row{}, err
+	}
+	total := int64(sc.Producers) * int64(sc.Blocks)
+	if st.BlocksAnalyzed != total {
+		return Row{}, fmt.Errorf("%s/%s: analyzed %d of %d blocks", sc.Name, v.Name, st.BlocksAnalyzed, total)
+	}
+	row := Row{
+		Variant:      v.Name,
+		Blocks:       st.BlocksWritten,
+		Direct:       st.BlocksSent,
+		Relayed:      st.BlocksRelayed,
+		ViaDisk:      st.BlocksStolen,
+		StagerSpills: st.BlocksSpilled,
+		WriteStallS:  st.WriteStall,
+	}
+	if ns := elapsed.Nanoseconds(); ns > 0 {
+		row.ThroughputMBs = float64(total*int64(sc.BlockBytes)) / (float64(ns) / 1e9) / 1e6
+	}
+	return row, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_adaptive.json", "output file")
+	flag.Parse()
+
+	base := benchharness.FlowScenarios[0]
+	rep := Report{
+		Producers: base.Producers, BlockBytes: base.BlockBytes, BlocksRun: base.Blocks,
+		GoVersion: runtime.Version(),
+	}
+	byName := map[string]map[string]Row{}
+	for _, sc := range benchharness.FlowScenarios {
+		s := Scenario{
+			Name:               sc.Name,
+			AnalyzeUs:          float64(sc.Analyze) / 1e3,
+			StagerBufferBlocks: sc.StagerBufferBlocks,
+			DisableSteal:       sc.DisableSteal,
+		}
+		byName[sc.Name] = map[string]Row{}
+		for _, v := range benchharness.AdaptiveVariants {
+			row, err := run(sc, v)
+			if err != nil {
+				fatal(err)
+			}
+			s.Rows = append(s.Rows, row)
+			byName[sc.Name][v.Name] = row
+			fmt.Printf("%-14s %-9s stall=%.3fs direct=%d relayed=%d viaDisk=%d spills=%d %.0f MB/s\n",
+				sc.Name, row.Variant, row.WriteStallS, row.Direct, row.Relayed,
+				row.ViaDisk, row.StagerSpills, row.ThroughputMBs)
+		}
+		rep.Scenarios = append(rep.Scenarios, s)
+	}
+
+	// The headline claim of the closed loop: with a lagging consumer and a
+	// provisioned staging tier, the controller sheds the stream into the
+	// tier and stalls the producers far less than the reactive policy,
+	// whose window-credit polls look healthy at every decision instant.
+	slow := byName["slow-consumer"]
+	if a, h := slow["adaptive"], slow["hybrid"]; a.WriteStallS >= h.WriteStallS {
+		fatal(fmt.Errorf("adaptive regression: slow-consumer stall %.3fs vs %.3fs hybrid",
+			a.WriteStallS, h.WriteStallS))
+	}
+	if a := slow["adaptive"]; a.Relayed == 0 {
+		fatal(fmt.Errorf("adaptive never engaged the staging tier under a lagging consumer"))
+	}
+	// Bursty is noisier (the steal path competes on shared disk); gate on
+	// non-regression with headroom rather than a strict win.
+	bursty := byName["bursty"]
+	if a, h := bursty["adaptive"], bursty["hybrid"]; a.WriteStallS > h.WriteStallS*1.5 {
+		fatal(fmt.Errorf("adaptive regression: bursty stall %.3fs vs %.3fs hybrid (>1.5x)",
+			a.WriteStallS, h.WriteStallS))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchadaptive:", err)
+	os.Exit(1)
+}

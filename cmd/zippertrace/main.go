@@ -42,7 +42,9 @@ func main() {
 	case "staging":
 		print1(exp.RunStagingTrace(*steps))
 		fmt.Println()
-		fmt.Print(exp.FormatStaging("synthetic", exp.RunStagingSweep("synthetic", 8, *steps)))
+		print1(exp.RunAdaptiveTrace(*steps))
+		fmt.Println()
+		fmt.Print(exp.FormatStaging("synthetic", exp.RunAdaptiveSweep("synthetic", 8, *steps)))
 	case "compare-cfd", "compare-lammps":
 		app, window := "cfd", 1300*time.Millisecond
 		if cmd == "compare-lammps" {

@@ -93,6 +93,105 @@ var StagingVariants = []StagingVariant{
 	{Name: "hybrid", Stagers: 1, Policy: zipper.RouteHybrid},
 }
 
+// AdaptiveVariants is the canonical closed-loop comparison: the reactive
+// hybrid policy against the adaptive flow controller, on the same
+// saturation-prone workloads.
+var AdaptiveVariants = []StagingVariant{
+	{Name: "hybrid", Stagers: 1, Policy: zipper.RouteHybrid},
+	{Name: "adaptive", Stagers: 1, Policy: zipper.RouteAdaptive},
+}
+
+// FlowScenario shapes one adaptive-routing measurement.
+type FlowScenario struct {
+	Name       string
+	Producers  int
+	Blocks     int // per producer
+	BlockBytes int
+	// Analyze is the consumer's busy time per block.
+	Analyze time.Duration
+	// StagerBufferBlocks sizes the stager's in-memory buffer.
+	StagerBufferBlocks int
+	// DisableSteal turns the work-stealing writer off (the paper's
+	// message-passing-only baseline), isolating the routing decision.
+	DisableSteal bool
+	// BurstBlocks/BurstPause, when nonzero, make generation bursty: after
+	// every BurstBlocks writes each producer idles for BurstPause.
+	BurstBlocks int
+	BurstPause  time.Duration
+}
+
+// FlowScenarios is the canonical pair.
+//
+// slow-consumer is the regime the ROADMAP's closed-loop item names: the
+// consumer lags steadily, the staging tier has the RAM to absorb the whole
+// stream (dedicated staging ranks trading memory for producer liberation),
+// and stealing is off so routing is the only relief valve. The reactive
+// hybrid policy polls window credit, which looks healthy at every decision
+// instant even though the pipeline is backlogged, so it keeps sending
+// direct and the producers eat the whole consumer-bound backlog as Write
+// stall. The adaptive controller's stall EWMA sees the backlog and shifts
+// the split into the staging tier, which drains the producers at memory
+// speed.
+//
+// bursty keeps the work-stealing writer on (so the ViaDisk comparison is
+// live) and slams a moderately provisioned stager with bursts: both
+// channels saturate transiently and the controller must rebalance each
+// burst and relax between bursts.
+var FlowScenarios = []FlowScenario{
+	{Name: "slow-consumer", Producers: 2, Blocks: 1500, BlockBytes: 32 << 10,
+		Analyze: 250 * time.Microsecond, StagerBufferBlocks: 3000, DisableSteal: true},
+	{Name: "bursty", Producers: 2, Blocks: 1500, BlockBytes: 32 << 10,
+		Analyze: 150 * time.Microsecond, StagerBufferBlocks: 128,
+		BurstBlocks: 250, BurstPause: 25 * time.Millisecond},
+}
+
+// RunFlow runs one routing variant against one flow scenario and returns
+// the job-wide aggregate stats after the stream drains.
+func RunFlow(spoolDir string, v StagingVariant, sc FlowScenario) (zipper.JobStats, error) {
+	job, err := zipper.NewJob(zipper.Config{
+		Producers: sc.Producers, Consumers: 1, SpoolDir: spoolDir,
+		BufferBlocks: 16, Window: 2, MaxBatchBlocks: 8,
+		Stagers: v.Stagers, StagerBufferBlocks: sc.StagerBufferBlocks,
+		RoutePolicy: v.Policy, DisableSteal: sc.DisableSteal,
+	})
+	if err != nil {
+		return zipper.JobStats{}, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var sink byte
+		for {
+			blk, ok := job.Consumer(0).Read()
+			if !ok {
+				_ = sink
+				return
+			}
+			sink ^= blk.Data[0] ^ blk.Data[len(blk.Data)-1]
+			for t0 := time.Now(); time.Since(t0) < sc.Analyze; {
+			}
+			blk.Release()
+		}
+	}()
+	for p := 0; p < sc.Producers; p++ {
+		go func(p int) {
+			prod := job.Producer(p)
+			for i := 0; i < sc.Blocks; i++ {
+				if sc.BurstBlocks > 0 && i > 0 && i%sc.BurstBlocks == 0 {
+					time.Sleep(sc.BurstPause)
+				}
+				data := zipper.NewPayload(sc.BlockBytes)
+				data[0], data[sc.BlockBytes-1] = byte(i), byte(i>>8)
+				prod.Write(i, 0, data)
+			}
+			prod.Close()
+		}(p)
+	}
+	<-done
+	job.Wait()
+	return job.Stats(), nil
+}
+
 // RunStaging pushes `blocks` blocks of blockBytes from each of `producers`
 // producers through a fresh job whose single consumer busy-analyzes each
 // block for `analyze` — generation deliberately outruns analysis, so the

@@ -56,11 +56,12 @@ func TestSimBatchingReducesMessages(t *testing.T) {
 		r := newSimRig(cfg, 2, 1, 2)
 		runSimWorkflow(t, r, 10, 8, 1<<20, 200*time.Microsecond, 5*time.Millisecond)
 		for _, p := range r.prod {
-			msgs += p.stats.Messages
-			sent += p.stats.BlocksSent
+			st := p.FinalStats()
+			msgs += st.Messages
+			sent += st.BlocksSent
 		}
 		for _, c := range r.cons {
-			analyzed += c.stats.BlocksAnalyzed
+			analyzed += c.FinalStats().BlocksAnalyzed
 		}
 		return
 	}

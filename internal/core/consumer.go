@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"zipper/internal/block"
+	"zipper/internal/flow"
 	"zipper/internal/rt"
 )
 
@@ -43,7 +45,8 @@ type Consumer struct {
 	readerDone   bool
 	outputDone   bool
 	err          error
-	stats        ConsumerStats
+	finished     time.Duration
+	fl           flow.ConsumerFlows
 }
 
 // pendingRead is a spilled block awaiting the reader thread.
@@ -96,9 +99,9 @@ func (c *Consumer) Read(x rt.Ctx) (*block.Block, bool) {
 			if !e.analyzed {
 				e.analyzed = true
 				b := e.b
-				c.stats.BlocksAnalyzed++
+				c.fl.Analyzed.Add(x.Now(), 1)
 				if stall := x.Now() - stallStart; stall > 0 {
-					c.stats.ReadStall += stall
+					c.fl.ReadStall.AddDur(x.Now(), stall)
 					if c.cfg.Recorder != nil {
 						c.cfg.Recorder.Add(c.traceName("app"), "stall", stallStart, x.Now())
 					}
@@ -110,7 +113,7 @@ func (c *Consumer) Read(x rt.Ctx) (*block.Block, bool) {
 		}
 		if c.drainedLocked() || c.err != nil {
 			if stall := x.Now() - stallStart; stall > 0 {
-				c.stats.ReadStall += stall
+				c.fl.ReadStall.AddDur(x.Now(), stall)
 			}
 			c.lk.Unlock(x)
 			return nil, false
@@ -209,19 +212,46 @@ func (c *Consumer) Wait(x rt.Ctx) {
 	c.lk.Unlock(x)
 }
 
-// Stats returns a snapshot of the module's counters. Call after Wait for
-// final values.
+// Flows exposes the module's live flow gauges.
+func (c *Consumer) Flows() *flow.ConsumerFlows { return &c.fl }
+
+// snapshot assembles a stats snapshot with rates evaluated at `now`.
+func (c *Consumer) snapshot(now time.Duration, live bool) ConsumerStats {
+	s := ConsumerStats{
+		BlocksReceived: c.fl.Received.Total(),
+		BlocksRead:     c.fl.Read.Total(),
+		BlocksAnalyzed: c.fl.Analyzed.Total(),
+		BlocksStored:   c.fl.Stored.Total(),
+		ReadStall:      c.fl.ReadStall.TotalDur(),
+		RecvBusy:       c.fl.RecvBusy.TotalDur(),
+		DiskBusy:       c.fl.DiskBusy.TotalDur(),
+		StoreBusy:      c.fl.StoreBusy.TotalDur(),
+		Finished:       c.finished,
+	}
+	if live {
+		s.AnalyzeRate = c.fl.Analyzed.Rate(now)
+		s.StallFrac = c.fl.ReadStall.Frac(now)
+	} else {
+		s.AnalyzeRate = c.fl.Analyzed.LastRate()
+		s.StallFrac = c.fl.ReadStall.LastRate() / float64(time.Second)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the module's flow gauges: totals plus live
+// EWMA rates as of the calling thread's clock. Call after Wait for final
+// totals.
 func (c *Consumer) Stats(x rt.Ctx) ConsumerStats {
 	c.lk.Lock(x)
-	s := c.stats
+	s := c.snapshot(x.Now(), true)
 	c.lk.Unlock(x)
 	return s
 }
 
-// FinalStats returns the counters without locking. It is safe only once the
-// platform has fully stopped (for example, after the simulation engine's Run
-// returned).
-func (c *Consumer) FinalStats() ConsumerStats { return c.stats }
+// FinalStats returns the counters without a platform clock. It is safe only
+// once the platform has fully stopped (for example, after the simulation
+// engine's Run returned); rates are reported as of each gauge's last event.
+func (c *Consumer) FinalStats() ConsumerStats { return c.snapshot(0, false) }
 
 // receiverThread splits mixed messages into buffer entries and disk work
 // until every upstream producer has sent Fin.
@@ -231,7 +261,7 @@ func (c *Consumer) receiverThread(x rt.Ctx) {
 		m, ok := c.in.Recv(x)
 		busy := x.Now() - start
 		c.lk.Lock(x)
-		c.stats.RecvBusy += busy
+		c.fl.RecvBusy.AddDur(x.Now(), busy)
 		if !ok {
 			break // inbox closed under us: treat as end of stream
 		}
@@ -245,7 +275,7 @@ func (c *Consumer) receiverThread(x rt.Ctx) {
 			c.diskWork.Broadcast()
 		}
 		for _, b := range m.Blocks {
-			c.stats.BlocksReceived++
+			c.fl.Received.Add(x.Now(), 1)
 			c.insertLocked(x, b)
 		}
 		if m.Fin {
@@ -257,6 +287,7 @@ func (c *Consumer) receiverThread(x rt.Ctx) {
 		c.lk.Unlock(x)
 	}
 	c.recvDone = true
+	c.finished = x.Now()
 	c.diskWork.Broadcast()
 	c.storeWork.Broadcast()
 	c.avail.Broadcast()
@@ -293,15 +324,16 @@ func (c *Consumer) readerThread(x rt.Ctx) {
 		}
 
 		c.lk.Lock(x)
-		c.stats.DiskBusy += busy
+		c.fl.DiskBusy.AddDur(x.Now(), busy)
 		if err != nil {
 			c.err = fmt.Errorf("core: reading spilled block %v: %w", pr.id, err)
 			break
 		}
-		c.stats.BlocksRead++
+		c.fl.Read.Add(x.Now(), 1)
 		c.insertLocked(x, b)
 	}
 	c.readerDone = true
+	c.finished = x.Now()
 	c.avail.Broadcast()
 	c.storeWork.Broadcast()
 	c.space.Broadcast() // on error, free a receiver stuck in insertLocked
@@ -337,19 +369,20 @@ func (c *Consumer) outputThread(x rt.Ctx) {
 		}
 
 		c.lk.Lock(x)
-		c.stats.StoreBusy += busy
+		c.fl.StoreBusy.AddDur(x.Now(), busy)
 		if err != nil {
 			c.err = fmt.Errorf("core: preserving block %v: %w", target.b.ID, err)
 			break
 		}
 		target.stored = true
-		c.stats.BlocksStored++
+		c.fl.Stored.Add(x.Now(), 1)
 		if target.release {
 			target.b.Release()
 		}
 		c.reapLocked()
 	}
 	c.outputDone = true
+	c.finished = x.Now()
 	c.space.Broadcast()
 	c.done.Broadcast()
 	c.lk.Unlock(x)

@@ -25,8 +25,10 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
+	"zipper/internal/flow"
 	"zipper/internal/trace"
 )
 
@@ -66,17 +68,29 @@ const (
 	// stager has buffer room, and otherwise the blocking direct path (where
 	// the work-stealing writer drains the overflow to the file system).
 	RouteHybrid
+	// RouteAdaptive closes the loop that RouteHybrid only reacts to: a
+	// flow.Adaptive controller tracks per-channel delivered-throughput and
+	// producer-stall EWMAs and continuously rebalances the direct/staging
+	// split so the producer never stalls while the consumer and stagers
+	// run at their service rates. Tune it with Config.Adaptive.
+	RouteAdaptive
 )
 
-// String names the policy for reports and sweeps.
+// String names the policy for reports and sweeps. Out-of-range values render
+// as "unknown(N)" so a misconfigured policy is visible instead of silently
+// reading as in-situ.
 func (r RoutePolicy) String() string {
 	switch r {
+	case RouteDirect:
+		return "in-situ"
 	case RouteStaging:
 		return "in-transit"
 	case RouteHybrid:
 		return "hybrid"
+	case RouteAdaptive:
+		return "adaptive"
 	default:
-		return "in-situ"
+		return fmt.Sprintf("unknown(%d)", int(r))
 	}
 }
 
@@ -105,10 +119,20 @@ type Config struct {
 	// RoutePolicy picks the channel for each drained batch when the
 	// producer has a stager assigned (see NewProducer's stager argument).
 	RoutePolicy RoutePolicy
-	// StagerProbe reports the live occupancy of the stager at a transport
-	// address; nil means occupancy is unknown and the hybrid policy falls
-	// back to window credit and producer buffer depth alone.
-	StagerProbe func(addr int) (queued, capacity int)
+	// Adaptive tunes the RouteAdaptive controller; the zero value selects
+	// the flow package's defaults.
+	Adaptive flow.Tuning
+	// NewRouter, when non-nil, overrides the policy-based router: each
+	// producer gets its own instance from this factory, making any routing
+	// strategy a plug-in rather than another branch in the sender thread.
+	// It is consulted only when a stager is assigned. The producer routes
+	// its Fin through the stager whenever the router relayed any batch, so
+	// a custom policy cannot strand relayed blocks behind a direct Fin.
+	NewRouter func() flow.Router
+	// StagerLevel exposes the live occupancy gauge of the stager at a
+	// transport address; nil means occupancy is unknown and the routing
+	// policies fall back to window credit and producer buffer depth alone.
+	StagerLevel func(addr int) *flow.Level
 	// DisableSteal turns the writer thread off, yielding the
 	// message-passing-only baseline of §6.2.
 	DisableSteal bool
@@ -142,7 +166,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ProducerStats summarizes one producer runtime module's activity.
+// router builds the flow-control router a producer's sender thread consults
+// for each drained batch.
+func (c Config) router() flow.Router {
+	if c.NewRouter != nil {
+		return c.NewRouter()
+	}
+	switch c.RoutePolicy {
+	case RouteStaging:
+		return flow.Static(flow.Relay)
+	case RouteHybrid:
+		return flow.Reactive()
+	case RouteAdaptive:
+		return flow.NewAdaptive(c.Adaptive)
+	default:
+		return flow.Static(flow.Direct)
+	}
+}
+
+// ProducerStats is a snapshot of one producer runtime module's flow gauges:
+// lifetime totals plus the live EWMA rates at snapshot time. Snapshots taken
+// via Stats mid-run report the current delivery rates; after Wait the totals
+// are final and the rates reflect the end of the stream.
 type ProducerStats struct {
 	BlocksWritten int64         // blocks the application handed to Write
 	BlocksSent    int64         // blocks that left directly via the network path
@@ -153,9 +198,14 @@ type ProducerStats struct {
 	SendBusy      time.Duration // sender thread time spent in Send
 	StealBusy     time.Duration // writer thread time spent spilling
 	Finished      time.Duration // when both threads had exited
+
+	// Live EWMA gauges at snapshot time.
+	WriteRate   float64 // blocks/s the application is writing
+	DeliverRate float64 // blocks/s leaving by any channel (sent+relayed+stolen)
+	StallFrac   float64 // fraction of recent time Write sat blocked
 }
 
-// ConsumerStats summarizes one consumer runtime module's activity.
+// ConsumerStats is a snapshot of one consumer runtime module's flow gauges.
 type ConsumerStats struct {
 	BlocksReceived int64         // blocks that arrived via the network path
 	BlocksRead     int64         // blocks fetched from the file system path
@@ -166,4 +216,8 @@ type ConsumerStats struct {
 	DiskBusy       time.Duration // reader thread time in ReadBlock
 	StoreBusy      time.Duration // output thread time in WriteBlock
 	Finished       time.Duration // when all threads had exited
+
+	// Live EWMA gauges at snapshot time.
+	AnalyzeRate float64 // blocks/s delivered to the analysis application
+	StallFrac   float64 // fraction of recent time Read sat blocked
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"zipper/internal/block"
+	"zipper/internal/flow"
 	"zipper/internal/rt"
 )
 
@@ -18,6 +20,7 @@ type Producer struct {
 	stager int // transport address of the assigned in-transit stager (-1 = none)
 	tr     rt.Transport
 	fs     rt.BlockStore
+	router flow.Router
 
 	lk       rt.Lock
 	notEmpty rt.Cond // buffer or disk-ID list gained content, or state change
@@ -31,7 +34,8 @@ type Producer struct {
 	closed     bool
 	senderDone bool
 	writerDone bool
-	stats      ProducerStats
+	finished   time.Duration
+	fl         flow.ProducerFlows
 }
 
 // NewProducer builds the runtime module for one producer rank feeding
@@ -53,6 +57,7 @@ func NewStagedProducer(env rt.Env, cfg Config, rank, to, stager int, tr rt.Trans
 		stager = NoStager
 	}
 	p := &Producer{env: env, cfg: cfg, rank: rank, to: to, stager: stager, tr: tr, fs: fs}
+	p.router = cfg.router()
 	p.lk = env.NewLock(fmt.Sprintf("zprod.%d", rank))
 	p.notEmpty = p.lk.NewCond(fmt.Sprintf("zprod.%d.notEmpty", rank))
 	p.notFull = p.lk.NewCond(fmt.Sprintf("zprod.%d.notFull", rank))
@@ -101,13 +106,14 @@ func (p *Producer) Write(c rt.Ctx, step int, offset int64, data []byte, bytes in
 		p.notFull.Wait(c)
 	}
 	if stall := c.Now() - stallStart; stall > 0 {
-		p.stats.WriteStall += stall
+		p.fl.WriteStall.AddDur(c.Now(), stall)
+		p.router.ObserveStall(c.Now(), stall)
 		if p.cfg.Recorder != nil {
 			p.cfg.Recorder.Add(p.traceName("app"), "stall", stallStart, c.Now())
 		}
 	}
 	p.buf = append(p.buf, b)
-	p.stats.BlocksWritten++
+	p.fl.Written.Add(c.Now(), 1)
 	p.notEmpty.Signal()
 	if len(p.buf) > p.cfg.HighWater {
 		p.aboveHW.Signal()
@@ -136,19 +142,50 @@ func (p *Producer) Wait(c rt.Ctx) {
 	p.lk.Unlock(c)
 }
 
-// Stats returns a snapshot of the module's counters. Call after Wait for
-// final values.
+// Flows exposes the module's live flow gauges: totals plus EWMA rates that
+// the flow-control plane (and any external observer) can read while the run
+// is in flight.
+func (p *Producer) Flows() *flow.ProducerFlows { return &p.fl }
+
+// snapshot assembles a stats snapshot with rates evaluated at `now`.
+func (p *Producer) snapshot(now time.Duration, live bool) ProducerStats {
+	s := ProducerStats{
+		BlocksWritten: p.fl.Written.Total(),
+		BlocksSent:    p.fl.Sent.Total(),
+		BlocksRelayed: p.fl.Relayed.Total(),
+		BlocksStolen:  p.fl.Stolen.Total(),
+		Messages:      p.fl.Messages.Total(),
+		WriteStall:    p.fl.WriteStall.TotalDur(),
+		SendBusy:      p.fl.SendBusy.TotalDur(),
+		StealBusy:     p.fl.StealBusy.TotalDur(),
+		Finished:      p.finished,
+	}
+	if live {
+		s.WriteRate = p.fl.Written.Rate(now)
+		s.DeliverRate = p.fl.Sent.Rate(now) + p.fl.Relayed.Rate(now) + p.fl.Stolen.Rate(now)
+		s.StallFrac = p.fl.WriteStall.Frac(now)
+	} else {
+		s.WriteRate = p.fl.Written.LastRate()
+		s.DeliverRate = p.fl.Sent.LastRate() + p.fl.Relayed.LastRate() + p.fl.Stolen.LastRate()
+		s.StallFrac = p.fl.WriteStall.LastRate() / float64(time.Second)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the module's flow gauges: totals plus live
+// EWMA rates as of the calling thread's clock. Call after Wait for final
+// totals.
 func (p *Producer) Stats(c rt.Ctx) ProducerStats {
 	p.lk.Lock(c)
-	s := p.stats
+	s := p.snapshot(c.Now(), true)
 	p.lk.Unlock(c)
 	return s
 }
 
-// FinalStats returns the counters without locking. It is safe only once the
-// platform has fully stopped (for example, after the simulation engine's Run
-// returned).
-func (p *Producer) FinalStats() ProducerStats { return p.stats }
+// FinalStats returns the counters without a platform clock. It is safe only
+// once the platform has fully stopped (for example, after the simulation
+// engine's Run returned); rates are reported as of each gauge's last event.
+func (p *Producer) FinalStats() ProducerStats { return p.snapshot(0, false) }
 
 // senderThread drains the producer buffer to the network in batches of up to
 // MaxBatchBlocks / MaxBatchBytes, piggybacking the IDs of spilled blocks, and
@@ -166,26 +203,29 @@ func (p *Producer) senderThread(c rt.Ctx) {
 		blocks := p.drainBatchLocked()
 		ids := p.diskIDs
 		p.diskIDs = nil
-		dest := p.routeLocked()
+		dest, route := p.routeLocked(c, len(blocks))
 		p.lk.Unlock(c)
 
+		var payload int64
+		for _, b := range blocks {
+			payload += b.Bytes
+		}
 		start := c.Now()
 		p.tr.Send(c, dest, rt.Message{From: p.rank, Dest: p.to, Blocks: blocks, Disk: ids})
 		busy := c.Now() - start
+		p.router.ObserveSend(route, c.Now(), busy, len(blocks), payload)
 
 		p.lk.Lock(c)
-		p.stats.SendBusy += busy
-		p.stats.Messages++
-		state := "send"
-		if dest == p.to {
-			p.stats.BlocksSent += int64(len(blocks))
+		p.fl.SendBusy.AddDur(c.Now(), busy)
+		p.fl.Messages.Add(c.Now(), 1)
+		if route == flow.Relay {
+			p.fl.Relayed.Add(c.Now(), int64(len(blocks)))
 		} else {
-			p.stats.BlocksRelayed += int64(len(blocks))
-			state = "relay"
+			p.fl.Sent.Add(c.Now(), int64(len(blocks)))
 		}
 		p.lk.Unlock(c)
 		if p.cfg.Recorder != nil {
-			p.cfg.Recorder.Add(p.traceName("sender"), state, start, start+busy)
+			p.cfg.Recorder.Add(p.traceName("sender"), route.String(), start, start+busy)
 		}
 	}
 	// Fin carries any last spilled IDs implicitly not needed: loop ensures
@@ -201,17 +241,21 @@ func (p *Producer) senderThread(c rt.Ctx) {
 	// message before returning — every earlier direct-path message already
 	// sits in the consumer's inbox. Either way the Fin is the last message
 	// the consumer sees from this rank.
+	//
+	// The relayed-anything clause makes that ordering a mechanism rather
+	// than a convention: even a custom NewRouter paired with a RouteDirect
+	// policy cannot strand relayed blocks behind a direct Fin.
 	finDest := p.to
-	if p.stager != NoStager && p.cfg.RoutePolicy != RouteDirect {
+	if p.stager != NoStager && (p.cfg.RoutePolicy != RouteDirect || p.fl.Relayed.Total() > 0) {
 		finDest = p.stager
 	}
 	start := c.Now()
 	p.tr.Send(c, finDest, rt.Message{From: p.rank, Dest: p.to, Fin: true})
 	p.lk.Lock(c)
-	p.stats.Messages++
-	p.stats.SendBusy += c.Now() - start
+	p.fl.Messages.Add(c.Now(), 1)
+	p.fl.SendBusy.AddDur(c.Now(), c.Now()-start)
 	p.senderDone = true
-	p.stats.Finished = c.Now()
+	p.finished = c.Now()
 	p.done.Broadcast()
 	p.lk.Unlock(c)
 }
@@ -247,37 +291,48 @@ func (p *Producer) drainBatchLocked() []*block.Block {
 }
 
 // routeLocked picks the destination endpoint for the batch the sender just
-// drained, from live backpressure. Called with the producer lock held, after
-// drainBatchLocked, so len(p.buf) is the remaining backlog.
-//
-// The cascade is direct → staging relay → (blocking) direct: the low-latency
-// path while the consumer keeps up, the in-transit stager while it has room,
-// and otherwise the blocking direct send — during which the buffer backs up
-// and the work-stealing writer drains the overflow through the file system.
-func (p *Producer) routeLocked() int {
-	if p.stager == NoStager || p.cfg.RoutePolicy == RouteDirect {
-		return p.to
+// drained: it assembles the live backpressure signals — window credit from
+// the transport, stager occupancy from its flow gauge, and the remaining
+// buffer backlog — and lets the configured flow.Router elect the channel.
+// Called with the producer lock held, after drainBatchLocked, so len(p.buf)
+// is the remaining backlog.
+func (p *Producer) routeLocked(c rt.Ctx, batch int) (dest int, route flow.Route) {
+	if p.stager == NoStager {
+		return p.to, flow.Direct
 	}
-	if p.cfg.RoutePolicy == RouteStaging {
-		return p.stager
+	// Fixed policies ignore every signal: skip the credit probes and the
+	// occupancy gauge read so RouteDirect and RouteStaging keep their
+	// zero-probe hot path.
+	if r, ok := flow.StaticRoute(p.router); ok {
+		if r == flow.Relay {
+			return p.stager, flow.Relay
+		}
+		return p.to, flow.Direct
+	}
+	sig := flow.Signals{
+		Now:            c.Now(),
+		Backlog:        len(p.buf),
+		Capacity:       p.cfg.BufferBlocks,
+		HighWater:      p.cfg.HighWater,
+		Credits:        flow.CreditsUnknown,
+		StagerCredits:  flow.CreditsUnknown,
+		StagerQueued:   flow.OccupancyUnknown,
+		StagerCapacity: flow.OccupancyUnknown,
+		Batch:          batch,
 	}
 	if ct, ok := p.tr.(rt.CreditTransport); ok {
-		if ct.Credits(p.to) > 0 {
-			return p.to
-		}
-		if p.cfg.StagerProbe != nil {
-			if queued, capacity := p.cfg.StagerProbe(p.stager); queued >= capacity {
-				return p.to // stager saturated too: block here, writer steals
-			}
-		}
-		return p.stager
+		sig.Credits = ct.Credits(p.to)
+		sig.StagerCredits = ct.Credits(p.stager)
 	}
-	// No credit visibility (e.g. TCP across processes): infer consumer
-	// backpressure from our own buffer depth instead.
-	if len(p.buf) >= p.cfg.HighWater {
-		return p.stager
+	if p.cfg.StagerLevel != nil {
+		if lv := p.cfg.StagerLevel(p.stager); lv != nil {
+			sig.StagerQueued, sig.StagerCapacity = lv.Get()
+		}
 	}
-	return p.to
+	if p.router.Route(sig) == flow.Relay {
+		return p.stager, flow.Relay
+	}
+	return p.to, flow.Direct
 }
 
 // writerThread is Algorithm 1: steal the oldest block whenever the buffer is
@@ -292,7 +347,7 @@ func (p *Producer) writerThread(c rt.Ctx) {
 		}
 		if p.closed {
 			p.writerDone = true
-			p.stats.Finished = c.Now()
+			p.finished = c.Now()
 			p.notEmpty.Broadcast()
 			p.done.Broadcast()
 			p.lk.Unlock(c)
@@ -308,7 +363,7 @@ func (p *Producer) writerThread(c rt.Ctx) {
 		busy := c.Now() - start
 
 		p.lk.Lock(c)
-		p.stats.StealBusy += busy
+		p.fl.StealBusy.AddDur(c.Now(), busy)
 		if err != nil {
 			// Put the block back at the front: order within the network path
 			// is not load-bearing, but data must not be lost.
@@ -319,7 +374,7 @@ func (p *Producer) writerThread(c rt.Ctx) {
 			p.lk.Unlock(c)
 			return
 		}
-		p.stats.BlocksStolen++
+		p.fl.Stolen.Add(c.Now(), 1)
 		p.diskIDs = append(p.diskIDs, rt.DiskRef{ID: b.ID, Bytes: b.Bytes})
 		p.notEmpty.Signal() // the ID list alone is worth announcing
 		p.lk.Unlock(c)

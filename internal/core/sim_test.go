@@ -111,17 +111,15 @@ func runSimWorkflow(t testing.TB, r *simRig, steps, blocksPerStep int, blockByte
 func TestSimDeliveryCounts(t *testing.T) {
 	r := newSimRig(Config{BufferBlocks: 8}, 4, 2, 4)
 	runSimWorkflow(t, r, 10, 3, 1<<20, time.Millisecond, 100*time.Microsecond)
-	ctxDummy := simenv.NewEnv(r.eng, 0, 0)
-	_ = ctxDummy
 	var analyzed, written int64
 	for _, cons := range r.cons {
-		analyzed += cons.stats.BlocksAnalyzed
+		analyzed += cons.FinalStats().BlocksAnalyzed
 		if cons.err != nil {
 			t.Fatal(cons.err)
 		}
 	}
 	for _, p := range r.prod {
-		written += p.stats.BlocksWritten
+		written += p.FinalStats().BlocksWritten
 	}
 	if written != 4*10*3 || analyzed != written {
 		t.Fatalf("written %d analyzed %d, want both %d", written, analyzed, 4*10*3)
@@ -135,8 +133,9 @@ func TestSimStealingRelievesStall(t *testing.T) {
 		r := newSimRig(cfg, 2, 1, 2)
 		runSimWorkflow(t, r, 20, 4, 4<<20, 500*time.Microsecond, 30*time.Millisecond)
 		for _, p := range r.prod {
-			stall += p.stats.WriteStall
-			stolen += p.stats.BlocksStolen
+			st := p.FinalStats()
+			stall += st.WriteStall
+			stolen += st.BlocksStolen
 		}
 		return
 	}
@@ -160,8 +159,8 @@ func TestSimFastConsumerNeverSteals(t *testing.T) {
 	r := newSimRig(cfg, 2, 2, 8)
 	runSimWorkflow(t, r, 10, 2, 1<<20, 5*time.Millisecond, 10*time.Microsecond)
 	for _, p := range r.prod {
-		if p.stats.BlocksStolen != 0 {
-			t.Fatalf("producer %d stole %d blocks with a fast consumer", p.rank, p.stats.BlocksStolen)
+		if stolen := p.FinalStats().BlocksStolen; stolen != 0 {
+			t.Fatalf("producer %d stole %d blocks with a fast consumer", p.rank, stolen)
 		}
 	}
 }
@@ -190,10 +189,10 @@ func TestSimPreserveStoresAll(t *testing.T) {
 	runSimWorkflow(t, r, 5, 2, 1<<20, time.Millisecond, 100*time.Microsecond)
 	var stored, stolen int64
 	for _, cons := range r.cons {
-		stored += cons.stats.BlocksStored
+		stored += cons.FinalStats().BlocksStored
 	}
 	for _, p := range r.prod {
-		stolen += p.stats.BlocksStolen
+		stolen += p.FinalStats().BlocksStolen
 	}
 	if stored+stolen != 2*5*2 {
 		t.Fatalf("stored %d + spilled %d != %d blocks", stored, stolen, 2*5*2)
@@ -210,7 +209,7 @@ func TestSimDeterministic(t *testing.T) {
 		d := runSimWorkflow(t, r, 8, 3, 2<<20, 300*time.Microsecond, 2*time.Millisecond)
 		var stolen int64
 		for _, p := range r.prod {
-			stolen += p.stats.BlocksStolen
+			stolen += p.FinalStats().BlocksStolen
 		}
 		return d, stolen
 	}
@@ -229,7 +228,7 @@ func TestSimTraceRecorderCapturesThreadActivity(t *testing.T) {
 	if rec.Total("zprod.0.sender", "send") == 0 {
 		t.Fatal("no send spans recorded")
 	}
-	if r.prod[0].stats.BlocksStolen > 0 && rec.Total("zprod.0.writer", "steal") == 0 {
+	if r.prod[0].FinalStats().BlocksStolen > 0 && rec.Total("zprod.0.writer", "steal") == 0 {
 		t.Fatal("steals happened but no steal spans recorded")
 	}
 	if rec.CountSpans("zcons.0.receiver", "recv") == 0 {

@@ -63,13 +63,28 @@ func stagingSpec(app string, producers, steps int) workflow.Spec {
 	return spec
 }
 
-// RunStagingSweep compares the three Zipper routing modes and the
+// RunStagingSweep compares the three original Zipper routing modes and the
 // DataSpaces baseline on one consumer-bound workload ("synthetic" or
 // "lbm"). Hybrid routing should show in-situ's throughput with a fraction
 // of its WriteStall and far fewer ViaDisk blocks than the steal-heavy
 // in-situ run — while pure in-transit pays the extra hop for everything.
 func RunStagingSweep(app string, producers, steps int) []StagingRow {
-	modes := []core.RoutePolicy{core.RouteDirect, core.RouteStaging, core.RouteHybrid}
+	return routingSweep(app, producers, steps,
+		[]core.RoutePolicy{core.RouteDirect, core.RouteStaging, core.RouteHybrid})
+}
+
+// RunAdaptiveSweep is RunStagingSweep plus the closed-loop adaptive
+// controller: the same consumer-bound workload run in-situ, in-transit,
+// hybrid, adaptive, and on the DataSpaces staging-server baseline. Adaptive
+// routing should match or beat hybrid on producer stall — it shifts the
+// split before the window credit runs dry instead of reacting send by send.
+func RunAdaptiveSweep(app string, producers, steps int) []StagingRow {
+	return routingSweep(app, producers, steps,
+		[]core.RoutePolicy{core.RouteDirect, core.RouteStaging, core.RouteHybrid, core.RouteAdaptive})
+}
+
+// routingSweep runs one row per routing mode plus the DataSpaces baseline.
+func routingSweep(app string, producers, steps int, modes []core.RoutePolicy) []StagingRow {
 	var rows []StagingRow
 	for _, mode := range modes {
 		spec := stagingSpec(app, producers, steps)
@@ -103,6 +118,58 @@ func RunStagingSweep(app string, producers, steps int) []StagingRow {
 		ProducerWall: base.E2E,
 	})
 	return rows
+}
+
+// RoutingSplitTimeline renders the direct/staging split over time from a
+// recorded trace: the run is cut into `buckets` equal slices and each cell
+// shows, as a decile digit, the share of producer sender batches that took
+// the staging relay in that slice. It is the zippertrace view of the flow
+// controller's behavior — a reactive policy flips cell to cell where the
+// closed loop holds a plateau and relaxes after the burst.
+func RoutingSplitTimeline(spans []trace.Span, buckets int) string {
+	if buckets < 1 {
+		buckets = 32
+	}
+	var end time.Duration
+	for _, sp := range spans {
+		if strings.HasPrefix(sp.Proc, "zprod.") && sp.End > end {
+			end = sp.End
+		}
+	}
+	if end == 0 {
+		return "routing split: no sender activity recorded"
+	}
+	direct := make([]int, buckets)
+	relay := make([]int, buckets)
+	for _, sp := range spans {
+		if !strings.HasPrefix(sp.Proc, "zprod.") || !strings.HasSuffix(sp.Proc, ".sender") {
+			continue
+		}
+		b := int(int64(sp.Start) * int64(buckets) / int64(end))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		switch sp.State {
+		case "send":
+			direct[b]++
+		case "relay":
+			relay[b]++
+		}
+	}
+	var cells strings.Builder
+	for b := 0; b < buckets; b++ {
+		if direct[b]+relay[b] == 0 {
+			cells.WriteByte('-')
+			continue
+		}
+		d := 10 * relay[b] / (direct[b] + relay[b])
+		if d > 9 {
+			d = 9
+		}
+		cells.WriteByte(byte('0' + d))
+	}
+	return fmt.Sprintf("routing split over time (staging share per %.0fms slice, 0=all direct, 9=all relay, -=idle):\n  [%s]",
+		float64(end)/float64(buckets)/1e6, cells.String())
 }
 
 // FormatStaging renders the staging sweep.
@@ -150,8 +217,43 @@ func RunStagingTrace(steps int) TraceFigure {
 		},
 	})
 	det := fmt.Sprintf(
-		"hybrid routing: %d direct, %d relayed, %d via disk, %d stager spills within e2e %.2fs (stall %.2fs)",
+		"hybrid routing: %d direct, %d relayed, %d via disk, %d stager spills within e2e %.2fs (stall %.2fs)\n%s",
 		res.BlocksSent, res.BlocksRelayed, res.BlocksStolen, res.StagerSpills,
-		res.E2E.Seconds(), res.ProducerStall.Seconds())
+		res.E2E.Seconds(), res.ProducerStall.Seconds(),
+		RoutingSplitTimeline(res.Rec.Spans(), 48))
 	return TraceFigure{Title: "Staging tier: hybrid routing trace", Gantt: g, Detail: det}
+}
+
+// RunAdaptiveTrace is RunStagingTrace with the closed-loop controller in
+// charge: the routing-split timeline shows the staging share rising as the
+// consumer falls behind and relaxing back to the direct path.
+func RunAdaptiveTrace(steps int) TraceFigure {
+	spec := stagingSpec("cfd", 8, steps)
+	spec.P, spec.Q = 2, 1
+	spec.Stagers = 1
+	spec.Zipper.RoutePolicy = core.RouteAdaptive
+	spec.Trace = true
+	res := workflow.RunZipper(spec)
+	if !res.OK {
+		return TraceFigure{Title: "Adaptive routing trace", Detail: "crash: " + res.Fail}
+	}
+	g := res.Rec.Gantt(trace.GanttOptions{
+		Width: 96,
+		Procs: []string{
+			"sim.0", "zprod.0.sender",
+			"zstage.0.receiver", "zstage.0.forwarder", "zstage.0.spiller",
+			"ana.0",
+		},
+		Symbols: map[string]rune{
+			"compute": 'C', "send": 's', "relay": 'R',
+			"recv": 'r', "forward": 'F', "spill": 'S', "unspill": 'u',
+			"analyze": 'A', "stall": '#', "step": ' ', "MPI_Sendrecv": 'm',
+		},
+	})
+	det := fmt.Sprintf(
+		"adaptive routing: %d direct, %d relayed, %d via disk, %d stager spills within e2e %.2fs (stall %.2fs)\n%s",
+		res.BlocksSent, res.BlocksRelayed, res.BlocksStolen, res.StagerSpills,
+		res.E2E.Seconds(), res.ProducerStall.Seconds(),
+		RoutingSplitTimeline(res.Rec.Spans(), 48))
+	return TraceFigure{Title: "Staging tier: adaptive routing trace", Gantt: g, Detail: det}
 }

@@ -1,0 +1,200 @@
+// Package flow is the Zipper runtime's flow-control plane: the gauges that
+// turn raw counter increments into live delivered-throughput and stall
+// signals, and the routers that consult those signals to pick a channel for
+// every batch a producer's sender thread drains.
+//
+// Everything here is clocked by caller-supplied timestamps — rt.Ctx.Now()
+// virtual time under simenv, wall time since the platform epoch under
+// realenv — so the same controller runs deterministically inside the
+// discrete-event simulator and live on the real machine. No gauge ever reads
+// a wall clock of its own.
+//
+// Gauges are individually thread-safe (producer, stager, and application
+// threads update them concurrently) and are leaves in the lock order: they
+// take no other lock while held, so callers may update them under their own
+// module locks.
+package flow
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultTau is the EWMA time constant a zero-value gauge uses.
+const DefaultTau = 50 * time.Millisecond
+
+// Meter is a monotonically increasing counter (events, blocks, bytes, or
+// stalled nanoseconds) paired with an exponentially weighted moving average
+// of its rate. The zero value is ready to use with DefaultTau.
+type Meter struct {
+	mu      sync.Mutex
+	tau     time.Duration
+	total   int64
+	rate    float64 // units per second, folded up to `last`
+	pending int64   // units observed at (or since) `last`, not yet folded
+	last    time.Duration
+	started bool
+}
+
+// NewMeter returns a meter with the given EWMA time constant (0 selects
+// DefaultTau). The returned value must not be copied after first use.
+func NewMeter(tau time.Duration) Meter { return Meter{tau: tau} }
+
+func (m *Meter) tauSeconds() float64 {
+	if m.tau <= 0 {
+		return DefaultTau.Seconds()
+	}
+	return m.tau.Seconds()
+}
+
+// Add records n units at time now. Timestamps may repeat (several events in
+// the same instant) but must not go backwards; a stale now is treated as the
+// latest fold time.
+func (m *Meter) Add(now time.Duration, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total += n
+	if !m.started {
+		m.started = true
+		m.last = now
+	}
+	m.pending += n
+	if now > m.last {
+		m.foldLocked(now)
+	}
+}
+
+// foldLocked blends the pending window (last, now] into the rate EWMA.
+func (m *Meter) foldLocked(now time.Duration) {
+	dt := (now - m.last).Seconds()
+	inst := float64(m.pending) / dt
+	alpha := 1 - math.Exp(-dt/m.tauSeconds())
+	m.rate += alpha * (inst - m.rate)
+	m.pending = 0
+	m.last = now
+}
+
+// Total returns the lifetime count.
+func (m *Meter) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Rate returns the EWMA rate in units per second as of now: it decays toward
+// zero while no events arrive, without mutating the meter.
+func (m *Meter) Rate(now time.Duration) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started || now <= m.last {
+		return m.rate
+	}
+	dt := (now - m.last).Seconds()
+	inst := float64(m.pending) / dt
+	alpha := 1 - math.Exp(-dt/m.tauSeconds())
+	return m.rate + alpha*(inst-m.rate)
+}
+
+// LastRate returns the EWMA rate as of the last recorded event, with no
+// decay applied — the value FinalStats-style callers want once the platform
+// has stopped and there is no live clock to decay against.
+func (m *Meter) LastRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rate
+}
+
+// AddDur records a duration (stall or busy time) as nanoseconds.
+func (m *Meter) AddDur(now, d time.Duration) { m.Add(now, int64(d)) }
+
+// TotalDur returns the lifetime total as a duration.
+func (m *Meter) TotalDur() time.Duration { return time.Duration(m.Total()) }
+
+// Frac interprets the meter as accumulated nanoseconds and returns the EWMA
+// fraction of recent time spent accumulating (1.0 = permanently stalled).
+func (m *Meter) Frac(now time.Duration) float64 {
+	return m.Rate(now) / float64(time.Second)
+}
+
+// Level tracks an instantaneous occupancy (a queue depth) together with its
+// capacity, peak, and a time-weighted EWMA. The zero value is ready to use;
+// set the capacity with SetCapacity before readers consult it.
+type Level struct {
+	mu       sync.Mutex
+	tau      time.Duration
+	capacity int
+	cur      int
+	avg      float64
+	max      int64
+	last     time.Duration
+	started  bool
+}
+
+// NewLevel returns a level gauge with the given capacity and EWMA time
+// constant (0 selects DefaultTau). The returned value must not be copied
+// after first use.
+func NewLevel(capacity int, tau time.Duration) Level {
+	return Level{capacity: capacity, tau: tau}
+}
+
+func (l *Level) tauSeconds() float64 {
+	if l.tau <= 0 {
+		return DefaultTau.Seconds()
+	}
+	return l.tau.Seconds()
+}
+
+// SetCapacity declares the gauge's capacity (for zero-value embedding).
+func (l *Level) SetCapacity(c int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.capacity = c
+}
+
+// Set records the occupancy v at time now.
+func (l *Level) Set(now time.Duration, v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.started {
+		l.started = true
+		l.last = now
+		l.avg = float64(v)
+	} else if now > l.last {
+		dt := (now - l.last).Seconds()
+		alpha := 1 - math.Exp(-dt/l.tauSeconds())
+		l.avg += alpha * (float64(l.cur) - l.avg)
+		l.last = now
+	}
+	l.cur = v
+	if int64(v) > l.max {
+		l.max = int64(v)
+	}
+}
+
+// Get returns the current occupancy and the capacity. It is the probe the
+// routing policies poll on every decision.
+func (l *Level) Get() (queued, capacity int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cur, l.capacity
+}
+
+// Avg returns the time-weighted EWMA occupancy as of now.
+func (l *Level) Avg(now time.Duration) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.started || now <= l.last {
+		return l.avg
+	}
+	dt := (now - l.last).Seconds()
+	alpha := 1 - math.Exp(-dt/l.tauSeconds())
+	return l.avg + alpha*(float64(l.cur)-l.avg)
+}
+
+// Max returns the peak occupancy ever recorded.
+func (l *Level) Max() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max
+}

@@ -1,0 +1,134 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterTotalAndRate(t *testing.T) {
+	m := NewMeter(100 * time.Millisecond)
+	// 10 events per 10ms = 1000 events/s, sustained for 40 taus.
+	for i := 1; i <= 400; i++ {
+		m.Add(time.Duration(i)*10*time.Millisecond, 10)
+	}
+	if m.Total() != 4000 {
+		t.Fatalf("total %d, want 4000", m.Total())
+	}
+	now := 400 * 10 * time.Millisecond
+	if r := m.Rate(now); r < 900 || r > 1100 {
+		t.Fatalf("steady-state rate %.1f, want ≈1000", r)
+	}
+	// After 5 time constants of silence the rate must have decayed hard.
+	later := now + 500*time.Millisecond
+	if r := m.Rate(later); r > 50 {
+		t.Fatalf("rate %.1f after 5τ of silence, want ≈0", r)
+	}
+	if m.Rate(later) != m.Rate(later) || m.Total() != 4000 {
+		t.Fatal("Rate must not mutate the meter")
+	}
+}
+
+func TestMeterSameInstantEvents(t *testing.T) {
+	var m Meter // zero value: DefaultTau
+	for i := 0; i < 5; i++ {
+		m.Add(time.Millisecond, 2) // several events in the same instant
+	}
+	m.Add(2*time.Millisecond, 2)
+	if m.Total() != 12 {
+		t.Fatalf("total %d, want 12", m.Total())
+	}
+	if m.Rate(2*time.Millisecond) <= 0 {
+		t.Fatal("rate should be positive once time advances")
+	}
+}
+
+func TestMeterDurationHelpers(t *testing.T) {
+	m := NewMeter(50 * time.Millisecond)
+	// Stalled 5ms out of every 10ms: a 50% stall fraction.
+	for i := 1; i <= 100; i++ {
+		m.AddDur(time.Duration(i)*10*time.Millisecond, 5*time.Millisecond)
+	}
+	if m.TotalDur() != 500*time.Millisecond {
+		t.Fatalf("total %v, want 500ms", m.TotalDur())
+	}
+	if f := m.Frac(time.Second); f < 0.4 || f > 0.6 {
+		t.Fatalf("stall fraction %.2f, want ≈0.5", f)
+	}
+}
+
+func TestLevelTracksOccupancy(t *testing.T) {
+	l := NewLevel(64, 100*time.Millisecond)
+	l.Set(0, 10)
+	l.Set(10*time.Millisecond, 40)
+	l.Set(20*time.Millisecond, 20)
+	if cur, cap := l.Get(); cur != 20 || cap != 64 {
+		t.Fatalf("Get = (%d,%d), want (20,64)", cur, cap)
+	}
+	if l.Max() != 40 {
+		t.Fatalf("Max %d, want 40", l.Max())
+	}
+	// Hold at 20 for a long time: the average must converge to 20.
+	if avg := l.Avg(5 * time.Second); avg < 19 || avg > 21 {
+		t.Fatalf("Avg %.1f, want ≈20", avg)
+	}
+}
+
+func TestLevelZeroValue(t *testing.T) {
+	var l Level
+	l.SetCapacity(8)
+	l.Set(time.Millisecond, 3)
+	if cur, cap := l.Get(); cur != 3 || cap != 8 {
+		t.Fatalf("Get = (%d,%d), want (3,8)", cur, cap)
+	}
+}
+
+// TestGaugesConcurrent is the race test for the flow-control plane: meters
+// and levels are updated by producer, stager, and application threads
+// concurrently while routers read them, so every method must be safe without
+// any outer lock. Run under -race (the CI fast lane does).
+func TestGaugesConcurrent(t *testing.T) {
+	var fl StagerFlows
+	fl.Queue.SetCapacity(64)
+	ad := NewAdaptive(Tuning{Tau: time.Millisecond})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 2000; i++ {
+				now := time.Duration(g*2000+i) * time.Microsecond
+				fl.In.Add(now, 1)
+				fl.Queue.Set(now, i%64)
+				fl.SpillBusy.AddDur(now, time.Microsecond)
+				ad.ObserveStall(now, 10*time.Microsecond)
+				ad.ObserveSend(Relay, now, time.Microsecond, 1, 1024)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 2000; i++ {
+				now := time.Duration(g*2000+i) * time.Microsecond
+				_ = fl.In.Rate(now)
+				_ = fl.In.Total()
+				q, c := fl.Queue.Get()
+				_ = fl.Queue.Avg(now)
+				_ = fl.Queue.Max()
+				_ = ad.Route(Signals{Now: now, Credits: i % 3, StagerQueued: q, StagerCapacity: c})
+				_ = ad.Share()
+				_ = ad.StallFrac(now)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if fl.In.Total() != 8000 {
+		t.Fatalf("lost updates: total %d, want 8000", fl.In.Total())
+	}
+}

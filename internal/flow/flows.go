@@ -1,0 +1,57 @@
+package flow
+
+// The three runtime modules — producer, consumer, stager — used to keep
+// three parallel structs of plain int64/time.Duration counters, each guarded
+// by its module lock and readable only as terminal totals. The flows structs
+// below replace them with one shared gauge vocabulary: every counter is a
+// Meter (total + live EWMA rate) and every occupancy is a Level, so
+// Job.Stats() can report delivered throughput and stall fractions while the
+// run is still in flight, and the adaptive router can read the same gauges
+// it steers.
+//
+// A flows struct embeds Meters by value and therefore must not be copied
+// after first use; modules hold it as a field and hand out pointers.
+
+// ProducerFlows gauges one producer runtime module.
+type ProducerFlows struct {
+	Written  Meter // blocks the application handed to Write
+	Sent     Meter // blocks that left directly via the network path
+	Relayed  Meter // blocks that left via the in-transit staging relay
+	Stolen   Meter // blocks the writer thread routed via the file system
+	Messages Meter // mixed messages sent (including the Fin)
+
+	WriteStall Meter // ns Write sat blocked on a full buffer
+	SendBusy   Meter // ns the sender thread spent in Send
+	StealBusy  Meter // ns the writer thread spent spilling
+}
+
+// ConsumerFlows gauges one consumer runtime module.
+type ConsumerFlows struct {
+	Received Meter // blocks that arrived via the network path
+	Read     Meter // blocks fetched from the file-system path
+	Analyzed Meter // blocks handed to the analysis application
+	Stored   Meter // blocks persisted by the output thread
+
+	ReadStall Meter // ns Read sat blocked waiting for data
+	RecvBusy  Meter // ns the receiver thread spent in Recv
+	DiskBusy  Meter // ns the reader thread spent in ReadBlock
+	StoreBusy Meter // ns the output thread spent in WriteBlock
+}
+
+// StagerFlows gauges one in-transit stager endpoint. Queue is the live
+// in-memory buffer occupancy the routing policies poll — the gauge that
+// replaced the ad-hoc occupancy probe func.
+type StagerFlows struct {
+	In          Meter // blocks received from producers
+	Forwarded   Meter // blocks delivered to consumers
+	Spilled     Meter // blocks that overflowed to the spill store
+	DiskRefs    Meter // producer disk-ref announcements relayed
+	MessagesIn  Meter // mixed messages received
+	MessagesOut Meter // mixed messages forwarded (re-batched)
+
+	RecvBusy    Meter // ns the receiver thread spent in Recv
+	ForwardBusy Meter // ns the forwarder thread spent in Send
+	SpillBusy   Meter // ns spent writing + re-reading spilled blocks
+
+	Queue Level // in-memory buffer fill in blocks, with capacity and peak
+}

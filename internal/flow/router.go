@@ -1,0 +1,438 @@
+package flow
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Route is the channel a Router elects for one drained batch.
+type Route int
+
+const (
+	// Direct sends straight to the consumer endpoint over the low-latency
+	// message path.
+	Direct Route = iota
+	// Relay sends through the assigned in-transit stager.
+	Relay
+)
+
+// String names the route as the trace states do.
+func (r Route) String() string {
+	if r == Relay {
+		return "relay"
+	}
+	return "send"
+}
+
+// CreditsUnknown and OccupancyUnknown mark Signals fields for which the
+// platform offers no visibility (for example, window credit over TCP).
+const (
+	CreditsUnknown   = -1
+	OccupancyUnknown = -1
+)
+
+// Signals is the live backpressure state visible at one routing decision.
+// The producer's sender thread assembles it, with the producer lock held,
+// immediately after draining a batch.
+type Signals struct {
+	// Now is the platform clock (virtual time under simenv).
+	Now time.Duration
+	// Backlog is the number of blocks still queued in the producer buffer
+	// after the drain; Capacity and HighWater are the buffer's limits.
+	Backlog   int
+	Capacity  int
+	HighWater int
+	// Credits is the consumer receive window's remaining credit, or
+	// CreditsUnknown without credit visibility.
+	Credits int
+	// StagerCredits is the stager endpoint's remaining receive-window
+	// credit, or CreditsUnknown. A free slot means a relay send deposits
+	// and returns immediately even while the stager's admission is
+	// working through a backlog — the most direct "would a relay block?"
+	// signal the platform offers.
+	StagerCredits int
+	// StagerQueued / StagerCapacity are the assigned stager's live buffer
+	// occupancy, or OccupancyUnknown without an occupancy gauge.
+	StagerQueued   int
+	StagerCapacity int
+	// Batch is the number of blocks in the batch being routed. The stager
+	// admits a message only when all of its blocks fit, so Batch lets a
+	// router predict an admission wait the bare occupancy hides.
+	Batch int
+}
+
+// directBlocked reports whether a direct send would (likely) block: the
+// window is out of credit, or — without credit visibility — the producer's
+// own buffer depth says the consumer is not keeping up.
+func (s Signals) directBlocked() bool {
+	if s.Credits != CreditsUnknown {
+		return s.Credits == 0
+	}
+	return s.Backlog >= s.HighWater
+}
+
+// stagerFull reports whether the stager's in-memory buffer is at capacity —
+// the reactive policy's (deliberately batch-blind, legacy-exact) predicate.
+func (s Signals) stagerFull() bool {
+	return s.StagerQueued != OccupancyUnknown && s.StagerQueued >= s.StagerCapacity
+}
+
+// relayBlocked reports whether a relay send would (likely) block: with
+// credit visibility, an exhausted stager window means the send waits for a
+// slot; without it, a buffer too full to admit the whole batch predicts an
+// admission wait (the stager admits a message only when every block fits).
+func (s Signals) relayBlocked() bool {
+	if s.StagerCredits != CreditsUnknown {
+		return s.StagerCredits == 0
+	}
+	if s.StagerQueued == OccupancyUnknown {
+		return false
+	}
+	need := s.Batch
+	if need < 1 {
+		need = 1
+	}
+	return s.StagerQueued+need > s.StagerCapacity
+}
+
+// Router elects a channel for each drained batch and absorbs the feedback
+// the producer reports afterwards. Implementations must be safe for
+// concurrent use: Route and ObserveSend run on the sender thread while
+// ObserveStall runs on the application thread.
+type Router interface {
+	// Route picks the channel for the batch the sender just drained.
+	Route(sig Signals) Route
+	// ObserveSend reports a completed send: the channel it took, when it
+	// finished, how long the Send call blocked plus transferred, and the
+	// batch shape.
+	ObserveSend(route Route, now, busy time.Duration, blocks int, bytes int64)
+	// ObserveStall reports that the application's Write sat blocked on a
+	// full producer buffer for `stall`, ending at now.
+	ObserveStall(now, stall time.Duration)
+}
+
+// Static returns the fixed-choice router behind RouteDirect and
+// RouteStaging: every batch takes the same channel regardless of load.
+func Static(r Route) Router { return staticRouter(r) }
+
+// StaticRoute reports whether r is a fixed-choice router and, if so, its
+// constant election. Producers use it to skip backpressure-signal assembly
+// (credit probes, occupancy gauge reads) on the hot path of the fixed
+// policies.
+func StaticRoute(r Router) (Route, bool) {
+	if s, ok := r.(staticRouter); ok {
+		return Route(s), true
+	}
+	return Direct, false
+}
+
+type staticRouter Route
+
+func (s staticRouter) Route(Signals) Route                                       { return Route(s) }
+func (staticRouter) ObserveSend(Route, time.Duration, time.Duration, int, int64) {}
+func (staticRouter) ObserveStall(time.Duration, time.Duration)                   {}
+
+// Reactive returns the hybrid policy: a stateless per-batch cascade over the
+// instantaneous backpressure signals — direct while the consumer's receive
+// window has credit, staging relay while the stager has buffer room, and
+// otherwise the blocking direct path (during which the work-stealing writer
+// drains the overflow through the file system).
+func Reactive() Router { return reactiveRouter{} }
+
+type reactiveRouter struct{}
+
+func (reactiveRouter) Route(s Signals) Route {
+	if s.Credits != CreditsUnknown {
+		if s.Credits > 0 {
+			return Direct
+		}
+		if s.stagerFull() {
+			return Direct // stager saturated too: block here, the writer steals
+		}
+		return Relay
+	}
+	// No credit visibility (e.g. TCP across processes): infer consumer
+	// backpressure from the producer's own buffer depth instead.
+	if s.Backlog >= s.HighWater {
+		return Relay
+	}
+	return Direct
+}
+
+func (reactiveRouter) ObserveSend(Route, time.Duration, time.Duration, int, int64) {}
+func (reactiveRouter) ObserveStall(time.Duration, time.Duration)                   {}
+
+// Tuning parameterizes the adaptive controller. The zero value selects the
+// defaults noted on each field.
+type Tuning struct {
+	// Tau is the EWMA time constant of the controller's stall and
+	// throughput gauges (default 20ms — virtual time under simenv).
+	Tau time.Duration
+	// Decay is the relaxation time constant of the staging share: while the
+	// producer runs stall-free the share falls toward MinShare with this
+	// half-life-ish constant, handing traffic back to the lower-latency
+	// direct path (default 10×Tau).
+	Decay time.Duration
+	// MinShare and MaxShare clamp the staging share (defaults 0 and 1).
+	MinShare, MaxShare float64
+	// ProbeInterval is how often, in decisions, the controller probes the
+	// minority channel while both channels are saturated, so a recovery on
+	// the idle channel is noticed (default every 16th decision).
+	ProbeInterval int
+}
+
+func (t Tuning) withDefaults() Tuning {
+	if t.Tau <= 0 {
+		t.Tau = 20 * time.Millisecond
+	}
+	if t.Decay <= 0 {
+		t.Decay = 10 * t.Tau
+	}
+	if t.MaxShare <= 0 || t.MaxShare > 1 {
+		t.MaxShare = 1
+	}
+	if t.MinShare < 0 {
+		t.MinShare = 0
+	}
+	if t.MinShare > t.MaxShare {
+		t.MinShare = t.MaxShare
+	}
+	if t.ProbeInterval <= 0 {
+		t.ProbeInterval = 16
+	}
+	return t
+}
+
+// stallEps is the stall fraction below which the producer counts as healthy
+// and the staging share is allowed to relax.
+const stallEps = 0.01
+
+// costAlpha is the per-sample weight of the channel cost EWMAs, and
+// shareBeta the per-decision tracking speed of the staging share under
+// pressure. Both are per-event (not per-second) constants, so the controller
+// behaves identically at any timescale.
+const (
+	costAlpha = 0.2
+	shareBeta = 0.2
+)
+
+// costEWMA is a sample-weighted average of a channel's delivery cost in
+// ns/byte, fed by every completed send on that channel.
+type costEWMA struct {
+	v    float64
+	seen bool
+}
+
+func (e *costEWMA) add(x float64) {
+	if !e.seen {
+		e.v, e.seen = x, true
+		return
+	}
+	e.v += costAlpha * (x - e.v)
+}
+
+// Adaptive is the closed-loop controller behind RouteAdaptive. It watches
+// three families of gauges — a producer-stall EWMA, per-channel congestion
+// fractions (how often each channel's window was exhausted at decision
+// time), and per-channel blocked-delivery costs — and continuously
+// rebalances the direct/staging split with an AIMD law:
+//
+//   - climb: while the producer is stalling and the relay shows no more
+//     congestion than the direct path, the staging share climbs (additive,
+//     scaled by the stall fraction) — this is what a reactive policy cannot
+//     do: window credit alone looks healthy at poll instants even while the
+//     pipeline as a whole is backlogged, so the reactive policy never sheds
+//     load and the producer eats the whole backlog as stall;
+//   - back off: when the relay congests more than the direct path the share
+//     falls multiplicatively harder than it climbs, so the split hovers at
+//     the staging tier's actual service capacity instead of funneling;
+//   - relax: while healthy the share decays toward MinShare with time
+//     constant Decay, handing traffic back to the low-latency direct path;
+//   - work conservation: a batch never blocks on its elected channel while
+//     the other channel has a free window slot, and when both are exhausted
+//     it waits on the one with the lower measured blocked-delivery cost,
+//     probing the other every ProbeInterval-th saturated decision.
+//
+// All state is clocked by Signals.Now / the observation timestamps, so the
+// controller is deterministic under simenv and shared unchanged by realenv.
+type Adaptive struct {
+	mu        sync.Mutex
+	tun       Tuning
+	share     float64 // current staging share in [MinShare, MaxShare]
+	acc       float64 // deterministic weighted-interleave accumulator
+	lastRelax time.Duration
+	pressured int // pressured decisions, for the probing cadence
+
+	stall Meter    // ns the producer's Write sat blocked
+	dBlk  costEWMA // fraction of decisions that found the direct window exhausted
+	rBlk  costEWMA // fraction of decisions that found the stager window exhausted
+	dCost costEWMA // direct-channel blocked-delivery cost, ns/byte
+	rCost costEWMA // relay-channel blocked-delivery cost, ns/byte
+}
+
+// NewAdaptive returns an adaptive router with the given tuning.
+func NewAdaptive(t Tuning) *Adaptive {
+	t = t.withDefaults()
+	return &Adaptive{tun: t, stall: NewMeter(t.Tau)}
+}
+
+// costLocked reports a channel's measured blocked-delivery cost; an
+// unmeasured channel reads as free so exploration is never blocked by
+// ignorance.
+func (a *Adaptive) costLocked(r Route) float64 {
+	if r == Relay {
+		if !a.rCost.seen {
+			return 0
+		}
+		return a.rCost.v
+	}
+	if !a.dCost.seen {
+		return 0
+	}
+	return a.dCost.v
+}
+
+// minActiveShare is the share below which healthy traffic runs purely
+// direct (and the interleave accumulator resets). congestionMargin is how
+// much more often the relay may block than the direct path before the
+// controller counts it as the more congested channel.
+const (
+	minActiveShare   = 0.02
+	congestionMargin = 0.05
+)
+
+func other(r Route) Route {
+	if r == Relay {
+		return Direct
+	}
+	return Relay
+}
+
+// Route implements Router.
+func (a *Adaptive) Route(s Signals) Route {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	blocked, relayBlk := s.directBlocked(), s.relayBlocked()
+	a.dBlk.add(b2f(blocked))
+	a.rBlk.add(b2f(relayBlk))
+	stallFrac := a.stall.Frac(s.Now)
+	pressure := blocked || stallFrac > stallEps
+	if !pressure {
+		// Healthy: the share relaxes toward MinShare and traffic follows
+		// it home to the low-latency direct path.
+		a.relaxLocked(s.Now)
+		if a.share < minActiveShare {
+			a.acc = 0
+			return Direct
+		}
+		return a.interleaveLocked()
+	}
+	// The AIMD share update — the closed loop. Climb speed scales with how
+	// badly the producer is stalling; back-off is a hard multiplicative cut
+	// so an oversubscribed relay sheds load quickly.
+	a.lastRelax = s.Now
+	if a.rBlk.v > a.dBlk.v+congestionMargin {
+		a.share = a.tun.MinShare + (a.share-a.tun.MinShare)*0.7
+	} else {
+		climb := 0.01 + 0.1*math.Min(1, stallFrac)
+		a.share = math.Min(a.tun.MaxShare, a.share+climb)
+	}
+	a.pressured++
+	probe := a.pressured%a.tun.ProbeInterval == 0
+	switch {
+	case blocked && !relayBlk:
+		// Work conservation: never block on the direct window while the
+		// stager can take the batch immediately.
+		return Relay
+	case relayBlk && !blocked:
+		return Direct
+	case blocked && relayBlk:
+		// Both windows exhausted: wait on the channel with the lower
+		// measured blocked-delivery cost, probing the other periodically
+		// so a recovery there is noticed.
+		relay := a.costLocked(Relay) <= a.costLocked(Direct)
+		if probe {
+			relay = !relay
+		}
+		if relay {
+			return Relay
+		}
+		return Direct
+	}
+	// Both channels have a free slot: deal batches in the ratio of the
+	// staging share; probes keep the minority channel's gauges fresh.
+	if probe {
+		if a.share >= 0.5 {
+			return Direct
+		}
+		return Relay
+	}
+	return a.interleaveLocked()
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// interleaveLocked deals batches Direct/Relay in the ratio of the staging
+// share, deterministically (an error accumulator, not a coin flip).
+func (a *Adaptive) interleaveLocked() Route {
+	a.acc += a.share
+	if a.acc >= 1 {
+		a.acc--
+		return Relay
+	}
+	return Direct
+}
+
+// relaxLocked decays the staging share toward MinShare while the producer is
+// healthy (no recent stall).
+func (a *Adaptive) relaxLocked(now time.Duration) {
+	if !(now > a.lastRelax) {
+		return
+	}
+	dt := now - a.lastRelax
+	a.lastRelax = now
+	f := math.Exp(-dt.Seconds() / a.tun.Decay.Seconds())
+	a.share = a.tun.MinShare + (a.share-a.tun.MinShare)*f
+}
+
+// ObserveSend implements Router: it feeds the per-channel cost gauges with
+// the busy time (blocking included) per payload byte of every data send.
+func (a *Adaptive) ObserveSend(route Route, now, busy time.Duration, blocks int, bytes int64) {
+	if bytes <= 0 {
+		return // Fins and ID-only sends carry no payload cost signal
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := float64(busy) / float64(bytes)
+	if route == Relay {
+		a.rCost.add(c)
+	} else {
+		a.dCost.add(c)
+	}
+}
+
+// ObserveStall implements Router: it feeds the stall gauge whose EWMA keeps
+// the controller in pressure-tracking mode.
+func (a *Adaptive) ObserveStall(now, stall time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stall.AddDur(now, stall)
+}
+
+// Share returns the controller's current staging share target.
+func (a *Adaptive) Share() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.share
+}
+
+// StallFrac returns the stall gauge's EWMA fraction as of now.
+func (a *Adaptive) StallFrac(now time.Duration) float64 {
+	return a.stall.Frac(now)
+}

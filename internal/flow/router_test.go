@@ -1,0 +1,231 @@
+package flow
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStaticRouters pins the fixed policies.
+func TestStaticRouters(t *testing.T) {
+	sig := Signals{Credits: 0, Backlog: 99, HighWater: 6}
+	if Static(Direct).Route(sig) != Direct {
+		t.Fatal("Static(Direct) relayed")
+	}
+	if Static(Relay).Route(sig) != Relay {
+		t.Fatal("Static(Relay) went direct")
+	}
+}
+
+// TestReactiveRouterMatchesLegacyCascade pins the hybrid policy to the exact
+// decision table the producer's routeLocked used to hard-code, so the
+// refactor is behavior-preserving for RouteHybrid.
+func TestReactiveRouterMatchesLegacyCascade(t *testing.T) {
+	r := Reactive()
+	cases := []struct {
+		name string
+		sig  Signals
+		want Route
+	}{
+		{"credit available", Signals{Credits: 2, StagerQueued: 0, StagerCapacity: 64}, Direct},
+		{"no credit, stager room", Signals{Credits: 0, StagerQueued: 10, StagerCapacity: 64}, Relay},
+		{"no credit, stager full", Signals{Credits: 0, StagerQueued: 64, StagerCapacity: 64}, Direct},
+		{"no credit, occupancy unknown", Signals{Credits: 0, StagerQueued: OccupancyUnknown, StagerCapacity: OccupancyUnknown}, Relay},
+		{"no visibility, shallow buffer", Signals{Credits: CreditsUnknown, Backlog: 2, HighWater: 6}, Direct},
+		{"no visibility, deep buffer", Signals{Credits: CreditsUnknown, Backlog: 6, HighWater: 6}, Relay},
+	}
+	for _, tc := range cases {
+		if got := r.Route(tc.sig); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// adaptiveHarness drives an Adaptive controller through scripted decision
+// rounds: each round advances the clock by `step`, reports any stall, asks
+// for a route under the given signals, and reports the send back with a
+// route-dependent cost (directBusy / relayBusy model the two channels'
+// service rates).
+type adaptiveHarness struct {
+	a                     *Adaptive
+	now                   time.Duration
+	directBusy, relayBusy time.Duration
+}
+
+func (h *adaptiveHarness) round(step, stall time.Duration, sig Signals) Route {
+	h.now += step
+	if stall > 0 {
+		h.a.ObserveStall(h.now, stall)
+	}
+	sig.Now = h.now
+	r := h.a.Route(sig)
+	busy := h.directBusy
+	if r == Relay {
+		busy = h.relayBusy
+	}
+	h.a.ObserveSend(r, h.now, busy, 1, 1<<15)
+	return r
+}
+
+// TestAdaptiveConvergence is the controller's step-response test: a healthy
+// phase must keep traffic direct, a consumer slowdown (stalls + exhausted
+// credit) must shift the split toward staging within a bounded number of
+// batches, and a recovery must hand the traffic back to the direct path —
+// all deterministic, clocked by scripted timestamps.
+func TestAdaptiveConvergence(t *testing.T) {
+	// The direct channel costs 10× the relay per byte once the consumer
+	// lags — the regime where the staging tier earns its keep.
+	h := &adaptiveHarness{
+		a:          NewAdaptive(Tuning{Tau: 2 * time.Millisecond, Decay: 10 * time.Millisecond}),
+		directBusy: 2 * time.Millisecond,
+		relayBusy:  200 * time.Microsecond,
+	}
+	healthy := Signals{Credits: 3, StagerCredits: 2, StagerQueued: 0, StagerCapacity: 64}
+	step := time.Millisecond
+
+	// Phase A — healthy: no stalls, credit available. All direct.
+	for i := 0; i < 50; i++ {
+		if r := h.round(step, 0, healthy); r != Direct {
+			t.Fatalf("healthy decision %d routed %v", i, r)
+		}
+	}
+	if s := h.a.Share(); s != 0 {
+		t.Fatalf("healthy share %.3f, want 0", s)
+	}
+
+	// Phase B — slowdown: the consumer lags, Write stalls and the window is
+	// out of credit. The split must shift to staging within 10 batches.
+	congested := Signals{Credits: 0, StagerCredits: 2, StagerQueued: 8, StagerCapacity: 64}
+	relays := 0
+	for i := 0; i < 10; i++ {
+		if h.round(step, 3*time.Millisecond, congested) == Relay {
+			relays++
+		}
+	}
+	if relays < 8 {
+		t.Fatalf("slowdown: only %d/10 batches relayed", relays)
+	}
+	if s := h.a.Share(); s < 0.5 {
+		t.Fatalf("share %.3f after sustained stalls, want > 0.5", s)
+	}
+	// Even when credit reappears briefly, a raised share keeps most batches
+	// on the relay — the proactive behavior the reactive policy lacks.
+	borrowed := Signals{Credits: 1, StagerCredits: 2, StagerQueued: 8, StagerCapacity: 64}
+	relays = 0
+	for i := 0; i < 10; i++ {
+		if h.round(step, 2*time.Millisecond, borrowed) == Relay {
+			relays++
+		}
+	}
+	if relays < 5 {
+		t.Fatalf("raised share relayed only %d/10 batches with credit available", relays)
+	}
+
+	// Phase C — recovery: stalls stop, credit returns. Within a bounded
+	// number of batches (a few Decay constants) the split must come back.
+	for i := 0; i < 100; i++ {
+		h.round(step, 0, healthy)
+	}
+	if s := h.a.Share(); s > 0.05 {
+		t.Fatalf("share %.3f after recovery, want < 0.05", s)
+	}
+	for i := 0; i < 10; i++ {
+		if r := h.round(step, 0, healthy); r != Direct {
+			t.Fatalf("post-recovery decision %d routed %v", i, r)
+		}
+	}
+}
+
+// TestAdaptiveShedsACongestedRelay is the other half of the closed loop:
+// when the staging tier is the congested channel (its receive window keeps
+// exhausting), stalls must NOT funnel traffic into it — the AIMD back-off
+// keeps the split on the direct path, where the work-stealing writer can
+// help.
+func TestAdaptiveShedsACongestedRelay(t *testing.T) {
+	h := &adaptiveHarness{
+		a:          NewAdaptive(Tuning{Tau: 2 * time.Millisecond, Decay: 10 * time.Millisecond}),
+		directBusy: 100 * time.Microsecond,
+		relayBusy:  4 * time.Millisecond,
+	}
+	// The stager's window is exhausted on most decisions (an oversubscribed
+	// or serialized staging tier) while the direct path keeps a free slot.
+	// The producer stalls throughout, which would naively argue for MORE
+	// relaying — the congestion differential must override that.
+	relaysWhenOpen, open := 0, 0
+	for i := 0; i < 200; i++ {
+		sig := Signals{Credits: 1, StagerCredits: 0, StagerQueued: 64, StagerCapacity: 64}
+		if i%4 == 3 { // the stager frees a slot every 4th decision
+			sig.StagerCredits = 1
+		}
+		r := h.round(time.Millisecond, time.Millisecond, sig)
+		if sig.StagerCredits > 0 {
+			open++
+			if r == Relay {
+				relaysWhenOpen++
+			}
+		} else if r == Relay {
+			t.Fatalf("decision %d relayed into an exhausted stager window with direct free", i)
+		}
+	}
+	if relaysWhenOpen*3 > open {
+		t.Fatalf("%d/%d open-slot batches still funneled into the congested relay", relaysWhenOpen, open)
+	}
+	if s := h.a.Share(); s > 0.3 {
+		t.Fatalf("share %.3f despite a congested relay, want ≈0", s)
+	}
+}
+
+// TestAdaptiveSaturationPrefersCheaperChannel checks the both-saturated
+// arbitration: where the reactive policy hard-codes the blocking direct
+// path, the adaptive controller drains through whichever channel has been
+// delivering more cheaply, and probes the minority channel periodically.
+func TestAdaptiveSaturationPrefersCheaperChannel(t *testing.T) {
+	a := NewAdaptive(Tuning{Tau: 2 * time.Millisecond, ProbeInterval: 8})
+	now := time.Duration(0)
+	// Teach the controller that the relay delivers ~10× cheaper per byte.
+	for i := 0; i < 50; i++ {
+		now += time.Millisecond
+		a.ObserveSend(Relay, now, 200*time.Microsecond, 1, 1<<15)
+		a.ObserveSend(Direct, now, 2*time.Millisecond, 1, 1<<15)
+	}
+	sat := Signals{Credits: 0, StagerCredits: 0, StagerQueued: 64, StagerCapacity: 64}
+	relays, probes := 0, 0
+	for i := 0; i < 32; i++ {
+		now += time.Millisecond
+		sat.Now = now
+		if a.Route(sat) == Relay {
+			relays++
+		} else {
+			probes++
+		}
+	}
+	if relays < 20 {
+		t.Fatalf("saturated: only %d/32 took the cheaper relay channel", relays)
+	}
+	if probes == 0 {
+		t.Fatal("saturated: the more expensive channel was never probed")
+	}
+}
+
+// TestAdaptiveDeterministic: two controllers fed the same script must make
+// identical decisions — the property that keeps simenv runs reproducible.
+func TestAdaptiveDeterministic(t *testing.T) {
+	script := func() []Route {
+		h := &adaptiveHarness{a: NewAdaptive(Tuning{})}
+		var out []Route
+		for i := 0; i < 200; i++ {
+			stall := time.Duration(0)
+			if i%7 == 3 {
+				stall = time.Duration(i%5) * time.Millisecond
+			}
+			sig := Signals{Credits: i % 3, StagerCredits: (i + 1) % 3, StagerQueued: i % 70, StagerCapacity: 64}
+			out = append(out, h.round(time.Millisecond, stall, sig))
+		}
+		return out
+	}
+	a, b := script(), script()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

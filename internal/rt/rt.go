@@ -21,7 +21,11 @@ import (
 // Ctx is a per-thread handle. Real threads share a trivial implementation;
 // simulated threads wrap their engine process.
 type Ctx interface {
-	// Now reports elapsed time since the platform epoch.
+	// Now reports elapsed time since the platform epoch. This is the only
+	// clock the runtime reads: the flow-control plane's EWMA gauges and the
+	// adaptive routing controller are driven entirely by these timestamps
+	// (virtual time under simenv), never by a wall clock of their own, so
+	// control behavior is identical — and deterministic — on both platforms.
 	Now() time.Duration
 	// Sleep pauses the calling thread for d.
 	Sleep(d time.Duration)

@@ -27,10 +27,10 @@ package staging
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"zipper/internal/block"
+	"zipper/internal/flow"
 	"zipper/internal/rt"
 	"zipper/internal/trace"
 )
@@ -84,7 +84,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats summarizes one stager endpoint's activity.
+// Stats is a snapshot of one stager endpoint's flow gauges: lifetime totals
+// plus the live buffer occupancy and EWMA forwarding rate at snapshot time.
 type Stats struct {
 	BlocksIn        int64         // blocks received from producers
 	BlocksForwarded int64         // blocks delivered to consumers
@@ -96,7 +97,12 @@ type Stats struct {
 	RecvBusy        time.Duration // receiver thread time in Recv
 	ForwardBusy     time.Duration // forwarder thread time in Send
 	SpillBusy       time.Duration // spiller time writing + forwarder time re-reading
-	Finished        time.Duration // when all three threads had exited
+	Finished        time.Duration // when the forwarder delivered the last batch
+
+	// Live gauges at snapshot time.
+	Queued      int     // blocks currently resident in the in-memory buffer
+	Capacity    int     // the buffer's capacity in blocks
+	ForwardRate float64 // blocks/s the forwarder is delivering (EWMA)
 }
 
 // relayBlock is one buffered block: resident in memory, being spilled, or
@@ -137,14 +143,14 @@ type Stager struct {
 	done rt.Cond // a runtime thread exited
 
 	queue       []*slot
-	memBlocks   int // blocks resident in memory (mirrored in occ)
-	occ         atomic.Int64
+	memBlocks   int // blocks resident in memory (mirrored in fl.Queue)
 	finsGot     int
 	recvDone    bool
 	forwardDone bool
 	spillDone   bool
 	err         error
-	stats       Stats
+	finished    time.Duration
+	fl          flow.StagerFlows
 }
 
 // NewStager builds the runtime module for stager endpoint id, draining `in`
@@ -157,6 +163,7 @@ func NewStager(env rt.Env, cfg Config, id int, in rt.Inbox, tr rt.Transport, fs 
 		panic("staging: stager needs at least one producer")
 	}
 	s := &Stager{env: env, cfg: cfg, id: id, in: in, tr: tr, fs: fs}
+	s.fl.Queue.SetCapacity(cfg.BufferBlocks)
 	s.lk = env.NewLock(fmt.Sprintf("zstage.%d", id))
 	s.work = s.lk.NewCond(fmt.Sprintf("zstage.%d.work", id))
 	s.space = s.lk.NewCond(fmt.Sprintf("zstage.%d.space", id))
@@ -181,10 +188,18 @@ func (s *Stager) traceName(thread string) string {
 
 // Occupancy reports the live in-memory buffer fill (blocks) and its
 // capacity. It is safe to call from any thread without the stager lock —
-// producers poll it on every hybrid routing decision.
+// producers poll it on every routing decision.
 func (s *Stager) Occupancy() (queued, capacity int) {
-	return int(s.occ.Load()), s.cfg.BufferBlocks
+	return s.fl.Queue.Get()
 }
+
+// Level exposes the buffer-occupancy gauge itself so the flow-control plane
+// can read both the instantaneous fill and its time-weighted average. This
+// is what core.Config.StagerLevel should return.
+func (s *Stager) Level() *flow.Level { return &s.fl.Queue }
+
+// Flows exposes the module's live flow gauges.
+func (s *Stager) Flows() *flow.StagerFlows { return &s.fl }
 
 // Err reports a runtime failure (an unwritable or unreadable spill block).
 // After a failure the stager keeps forwarding what it can so streams still
@@ -207,25 +222,48 @@ func (s *Stager) Wait(c rt.Ctx) {
 	s.lk.Unlock(c)
 }
 
-// Stats returns a snapshot of the module's counters. Call after Wait for
-// final values.
+// snapshot assembles a stats snapshot with rates evaluated at `now`.
+func (s *Stager) snapshot(now time.Duration, live bool) Stats {
+	st := Stats{
+		BlocksIn:        s.fl.In.Total(),
+		BlocksForwarded: s.fl.Forwarded.Total(),
+		BlocksSpilled:   s.fl.Spilled.Total(),
+		DiskRefs:        s.fl.DiskRefs.Total(),
+		MessagesIn:      s.fl.MessagesIn.Total(),
+		MessagesOut:     s.fl.MessagesOut.Total(),
+		MaxQueued:       s.fl.Queue.Max(),
+		RecvBusy:        s.fl.RecvBusy.TotalDur(),
+		ForwardBusy:     s.fl.ForwardBusy.TotalDur(),
+		SpillBusy:       s.fl.SpillBusy.TotalDur(),
+		Finished:        s.finished,
+	}
+	st.Queued, st.Capacity = s.fl.Queue.Get()
+	if live {
+		st.ForwardRate = s.fl.Forwarded.Rate(now)
+	} else {
+		st.ForwardRate = s.fl.Forwarded.LastRate()
+	}
+	return st
+}
+
+// Stats returns a snapshot of the module's flow gauges: totals plus the live
+// buffer occupancy and forwarding rate as of the calling thread's clock.
+// Call after Wait for final totals.
 func (s *Stager) Stats(c rt.Ctx) Stats {
 	s.lk.Lock(c)
-	st := s.stats
+	st := s.snapshot(c.Now(), true)
 	s.lk.Unlock(c)
 	return st
 }
 
-// FinalStats returns the counters without locking. It is safe only once the
-// platform has fully stopped.
-func (s *Stager) FinalStats() Stats { return s.stats }
+// FinalStats returns the counters without a platform clock. It is safe only
+// once the platform has fully stopped; rates are reported as of each gauge's
+// last event.
+func (s *Stager) FinalStats() Stats { return s.snapshot(0, false) }
 
-func (s *Stager) setOccLocked(n int) {
+func (s *Stager) setOccLocked(c rt.Ctx, n int) {
 	s.memBlocks = n
-	s.occ.Store(int64(n))
-	if int64(n) > s.stats.MaxQueued {
-		s.stats.MaxQueued = int64(n)
-	}
+	s.fl.Queue.Set(c.Now(), n)
 }
 
 // receiverThread admits relayed mixed messages into the queue until every
@@ -239,7 +277,7 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 		m, ok := s.in.Recv(c)
 		busy := c.Now() - start
 		s.lk.Lock(c)
-		s.stats.RecvBusy += busy
+		s.fl.RecvBusy.AddDur(c.Now(), busy)
 		if !ok {
 			break // inbox closed under us: treat as end of stream
 		}
@@ -255,10 +293,10 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 			sl.blocks = append(sl.blocks, &relayBlock{b: b, id: b.ID, offset: b.Offset, bytes: b.Bytes})
 		}
 		s.queue = append(s.queue, sl)
-		s.setOccLocked(s.memBlocks + need)
-		s.stats.MessagesIn++
-		s.stats.BlocksIn += int64(need)
-		s.stats.DiskRefs += int64(len(m.Disk))
+		s.setOccLocked(c, s.memBlocks+need)
+		s.fl.MessagesIn.Add(c.Now(), 1)
+		s.fl.In.Add(c.Now(), int64(need))
+		s.fl.DiskRefs.Add(c.Now(), int64(len(m.Disk)))
 		s.work.Signal()
 		if s.memBlocks > s.cfg.HighWater {
 			s.spillWork.Signal()
@@ -289,7 +327,7 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 // self-identify through their IDs, so the outgoing From is informational:
 // it names the Fin's producer when the message carries one (Fin attribution
 // must stay exact) and the first merged producer otherwise.
-func (s *Stager) assembleLocked() (taken []*relayBlock, disk []rt.DiskRef, from, dest int, fin, ok bool) {
+func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRef, from, dest int, fin, ok bool) {
 	head := s.queue[0]
 	from, dest = head.from, head.dest
 	var bytes int64
@@ -331,7 +369,7 @@ func (s *Stager) assembleLocked() (taken []*relayBlock, disk []rt.DiskRef, from,
 		s.queue = s.queue[1:]
 	}
 	if freed > 0 {
-		s.setOccLocked(s.memBlocks - freed)
+		s.setOccLocked(c, s.memBlocks-freed)
 		s.space.Broadcast()
 	}
 	ok = len(taken) > 0 || len(disk) > 0 || fin
@@ -349,13 +387,13 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 		var fin, ok bool
 		for {
 			if len(s.queue) > 0 {
-				taken, disk, from, dest, fin, ok = s.assembleLocked()
+				taken, disk, from, dest, fin, ok = s.assembleLocked(c)
 				if ok {
 					break
 				}
 			} else if s.recvDone {
 				s.forwardDone = true
-				s.stats.Finished = c.Now()
+				s.finished = c.Now()
 				s.done.Broadcast()
 				s.lk.Unlock(c)
 				return
@@ -399,10 +437,10 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 		}
 
 		s.lk.Lock(c)
-		s.stats.ForwardBusy += busy
-		s.stats.SpillBusy += unspillBusy
-		s.stats.MessagesOut++
-		s.stats.BlocksForwarded += int64(len(blocks))
+		s.fl.ForwardBusy.AddDur(c.Now(), busy)
+		s.fl.SpillBusy.AddDur(c.Now(), unspillBusy)
+		s.fl.MessagesOut.Add(c.Now(), 1)
+		s.fl.Forwarded.Add(c.Now(), int64(len(blocks)))
 		if unspillErr != nil && s.err == nil {
 			s.err = unspillErr
 		}
@@ -446,7 +484,7 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 		}
 
 		s.lk.Lock(c)
-		s.stats.SpillBusy += busy
+		s.fl.SpillBusy.AddDur(c.Now(), busy)
 		victim.spilling = false
 		if err != nil {
 			victim.b.OnDisk = false
@@ -462,8 +500,8 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 		victim.b.Release() // recycle the payload: the spill copy is authoritative now
 		victim.b = nil
 		victim.spilled = true
-		s.stats.BlocksSpilled++
-		s.setOccLocked(s.memBlocks - 1)
+		s.fl.Spilled.Add(c.Now(), 1)
+		s.setOccLocked(c, s.memBlocks-1)
 		s.space.Broadcast()
 		s.work.Broadcast() // a forwarder parked on a mid-spill head can move again
 		s.lk.Unlock(c)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"zipper/internal/core"
+	"zipper/internal/flow"
 	"zipper/internal/rt/realenv"
 )
 
@@ -58,7 +59,7 @@ func newRig(t *testing.T, producers, consumers, stagers int, ccfg core.Config, s
 		r.stage = append(r.stage, NewStager(env, cfg, s, net.Inbox(consumers+s), net, spill))
 	}
 	if stagers > 0 {
-		ccfg.StagerProbe = func(addr int) (int, int) { return r.stage[addr-consumers].Occupancy() }
+		ccfg.StagerLevel = func(addr int) *flow.Level { return r.stage[addr-consumers].Level() }
 	}
 	for p := 0; p < producers; p++ {
 		addr := core.NoStager

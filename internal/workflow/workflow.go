@@ -13,6 +13,7 @@ import (
 
 	"zipper/internal/core"
 	"zipper/internal/fabric"
+	"zipper/internal/flow"
 	"zipper/internal/mpi"
 	"zipper/internal/pfs"
 	"zipper/internal/rt/simenv"
@@ -430,8 +431,8 @@ func RunZipper(spec Spec) Result {
 		stagers[s] = staging.NewStager(env, scfg, s, net.Inbox(spec.Q+s), net, spill)
 	}
 	if nStage > 0 {
-		zcfg.StagerProbe = func(addr int) (int, int) {
-			return stagers[addr-spec.Q].Occupancy()
+		zcfg.StagerLevel = func(addr int) *flow.Level {
+			return stagers[addr-spec.Q].Level()
 		}
 	}
 	for p := 0; p < spec.P; p++ {

@@ -57,6 +57,7 @@ import (
 
 	"zipper/internal/block"
 	"zipper/internal/core"
+	"zipper/internal/flow"
 	"zipper/internal/rt"
 	"zipper/internal/rt/realenv"
 	"zipper/internal/staging"
@@ -78,7 +79,16 @@ const (
 	// otherwise the blocking direct path (which the work-stealing writer
 	// relieves through the file system).
 	RouteHybrid = core.RouteHybrid
+	// RouteAdaptive runs the closed-loop flow controller: per-channel
+	// delivered-throughput and stall EWMAs continuously rebalance the
+	// direct/staging split so the producer never stalls while the consumer
+	// and stagers run at their service rates. Tune it with Config.Adaptive.
+	RouteAdaptive = core.RouteAdaptive
 )
+
+// AdaptiveTuning parameterizes the RouteAdaptive controller; the zero value
+// selects sensible defaults (see the flow package).
+type AdaptiveTuning = flow.Tuning
 
 // BlockID identifies a block: producing rank, time step, and sequence number.
 type BlockID struct {
@@ -158,9 +168,12 @@ type Config struct {
 	// buffered blocks to its own SpoolDir partition.
 	StagerBufferBlocks int
 	// RoutePolicy picks the channel for each drained batch when Stagers ≥ 1:
-	// RouteDirect (never relay), RouteStaging (always relay), or
-	// RouteHybrid (decide per batch from live backpressure).
+	// RouteDirect (never relay), RouteStaging (always relay), RouteHybrid
+	// (react per batch to live backpressure), or RouteAdaptive (the
+	// closed-loop controller).
 	RoutePolicy RoutePolicy
+	// Adaptive tunes the RouteAdaptive controller (ignored otherwise).
+	Adaptive AdaptiveTuning
 	// Preserve keeps every block on the file system for later validation.
 	Preserve bool
 	// DisableSteal turns the dual-channel optimization off
@@ -219,11 +232,27 @@ func (cfg Config) validate() error {
 	if cfg.StagerBufferBlocks < 0 {
 		return fmt.Errorf("zipper: StagerBufferBlocks must be ≥ 0, got %d", cfg.StagerBufferBlocks)
 	}
-	if cfg.RoutePolicy < RouteDirect || cfg.RoutePolicy > RouteHybrid {
-		return fmt.Errorf("zipper: unknown RoutePolicy %d", cfg.RoutePolicy)
+	switch cfg.RoutePolicy {
+	case RouteDirect, RouteStaging, RouteHybrid, RouteAdaptive:
+	default:
+		// RoutePolicy.String renders out-of-range values as "unknown(N)".
+		return fmt.Errorf("zipper: %v RoutePolicy (valid: %v, %v, %v, %v)",
+			cfg.RoutePolicy, RouteDirect, RouteStaging, RouteHybrid, RouteAdaptive)
 	}
 	if cfg.RoutePolicy != RouteDirect && cfg.Stagers == 0 {
 		return fmt.Errorf("zipper: RoutePolicy %v needs Stagers ≥ 1", cfg.RoutePolicy)
+	}
+	if cfg.Adaptive.MinShare < 0 || cfg.Adaptive.MaxShare < 0 ||
+		cfg.Adaptive.MinShare > 1 || cfg.Adaptive.MaxShare > 1 {
+		return fmt.Errorf("zipper: Adaptive shares must lie in [0,1], got min %v max %v",
+			cfg.Adaptive.MinShare, cfg.Adaptive.MaxShare)
+	}
+	if cfg.Adaptive.MaxShare > 0 && cfg.Adaptive.MinShare > cfg.Adaptive.MaxShare {
+		return fmt.Errorf("zipper: Adaptive.MinShare (%v) exceeds MaxShare (%v)",
+			cfg.Adaptive.MinShare, cfg.Adaptive.MaxShare)
+	}
+	if cfg.Adaptive.Tau < 0 || cfg.Adaptive.Decay < 0 {
+		return fmt.Errorf("zipper: Adaptive time constants must be ≥ 0 (0 selects the default)")
 	}
 	return nil
 }
@@ -252,6 +281,7 @@ func NewJob(cfg Config) (*Job, error) {
 		MaxBatchBytes:        cfg.MaxBatchBytes,
 		DisableSteal:         cfg.DisableSteal,
 		RoutePolicy:          cfg.RoutePolicy,
+		Adaptive:             cfg.Adaptive,
 		Recorder:             cfg.Recorder,
 	}
 	if cfg.Preserve {
@@ -303,8 +333,8 @@ func NewJob(cfg Config) (*Job, error) {
 		j.stage = append(j.stage, staging.NewStager(env, scfg, s, net.Inbox(cfg.Consumers+s), net, spill))
 	}
 	if len(j.stage) > 0 {
-		ccfg.StagerProbe = func(addr int) (int, int) {
-			return j.stage[addr-cfg.Consumers].Occupancy()
+		ccfg.StagerLevel = func(addr int) *flow.Level {
+			return j.stage[addr-cfg.Consumers].Level()
 		}
 	}
 	for p := 0; p < cfg.Producers; p++ {
@@ -342,7 +372,9 @@ func (j *Job) Wait() {
 	}
 }
 
-// StagerStats summarizes one in-transit stager endpoint's activity.
+// StagerStats summarizes one in-transit stager endpoint's activity,
+// including the live buffer occupancy so callers can observe fill without
+// reaching into internals.
 type StagerStats struct {
 	BlocksIn        int64 // blocks received from producers
 	BlocksForwarded int64 // blocks delivered to consumers
@@ -350,11 +382,17 @@ type StagerStats struct {
 	MessagesIn      int64 // relayed mixed messages received
 	MessagesOut     int64 // re-batched mixed messages forwarded
 	MaxQueued       int64 // peak in-memory buffer occupancy in blocks
+
+	Queued      int     // blocks currently resident in the in-memory buffer
+	Capacity    int     // the buffer's capacity in blocks
+	ForwardRate float64 // blocks/s the forwarder is delivering (live EWMA)
 }
 
-// JobStats aggregates every endpoint's counters in one call: per-endpoint
-// slices plus the workflow-wide totals a caller usually wants. Call after
-// Wait for final values.
+// JobStats aggregates every endpoint's flow gauges in one call: per-endpoint
+// slices plus the workflow-wide totals and live rates a caller usually
+// wants. It may be called mid-run — the rates are EWMAs of the current
+// delivered throughput, not averages over terminal totals. Call after Wait
+// for final totals.
 type JobStats struct {
 	Producers []ProducerStats
 	Consumers []ConsumerStats
@@ -368,6 +406,10 @@ type JobStats struct {
 	BlocksSpilled  int64 // overflowed inside stagers
 	Messages       int64 // producer mixed messages (including Fins)
 	WriteStall     float64
+	// Live EWMA rates summed across endpoints (blocks/s at snapshot time).
+	WriteRate   float64 // application write rate across producers
+	DeliverRate float64 // delivery rate across producers, all channels
+	AnalyzeRate float64 // analysis rate across consumers
 }
 
 // Stats aggregates producer, consumer, and stager counters in one call.
@@ -382,6 +424,8 @@ func (j *Job) Stats() JobStats {
 		js.BlocksStolen += s.BlocksStolen
 		js.Messages += s.Messages
 		js.WriteStall += s.WriteStall
+		js.WriteRate += s.WriteRate
+		js.DeliverRate += s.DeliverRate
 	}
 	ctx := j.env.Ctx()
 	for _, st := range j.stage {
@@ -393,6 +437,9 @@ func (j *Job) Stats() JobStats {
 			MessagesIn:      s.MessagesIn,
 			MessagesOut:     s.MessagesOut,
 			MaxQueued:       s.MaxQueued,
+			Queued:          s.Queued,
+			Capacity:        s.Capacity,
+			ForwardRate:     s.ForwardRate,
 		})
 		js.BlocksSpilled += s.BlocksSpilled
 	}
@@ -400,6 +447,7 @@ func (j *Job) Stats() JobStats {
 		s := c.Stats()
 		js.Consumers = append(js.Consumers, s)
 		js.BlocksAnalyzed += s.BlocksAnalyzed
+		js.AnalyzeRate += s.AnalyzeRate
 	}
 	return js
 }
@@ -420,7 +468,8 @@ func (p *Producer) Write(step int, offset int64, data []byte) {
 // Close declares the stream finished. Write must not be called afterwards.
 func (p *Producer) Close() { p.p.Close(p.ctx) }
 
-// Stats returns the producer runtime module's counters.
+// Stats returns the producer runtime module's flow gauges: totals plus the
+// live EWMA rates at call time.
 func (p *Producer) Stats() ProducerStats {
 	s := p.p.Stats(p.ctx)
 	return ProducerStats{
@@ -430,6 +479,9 @@ func (p *Producer) Stats() ProducerStats {
 		BlocksStolen:  s.BlocksStolen,
 		Messages:      s.Messages,
 		WriteStall:    s.WriteStall.Seconds(),
+		WriteRate:     s.WriteRate,
+		DeliverRate:   s.DeliverRate,
+		StallFrac:     s.StallFrac,
 	}
 }
 
@@ -444,6 +496,10 @@ type ProducerStats struct {
 	// ratio Messages/BlocksSent is the batching efficiency.
 	Messages   int64
 	WriteStall float64 // seconds Write spent blocked on a full buffer
+	// Live EWMA gauges at snapshot time.
+	WriteRate   float64 // blocks/s the application is writing
+	DeliverRate float64 // blocks/s leaving by any channel
+	StallFrac   float64 // fraction of recent time Write sat blocked
 }
 
 // Consumer is the application-facing consumer endpoint. Its methods must be
@@ -474,7 +530,8 @@ func (c *Consumer) Read() (Block, bool) {
 // Err reports a runtime failure, if any.
 func (c *Consumer) Err() error { return c.c.Err(c.ctx) }
 
-// Stats returns the consumer runtime module's counters.
+// Stats returns the consumer runtime module's flow gauges: totals plus the
+// live EWMA analysis rate at call time.
 func (c *Consumer) Stats() ConsumerStats {
 	s := c.c.Stats(c.ctx)
 	return ConsumerStats{
@@ -482,6 +539,7 @@ func (c *Consumer) Stats() ConsumerStats {
 		BlocksRead:     s.BlocksRead,
 		BlocksAnalyzed: s.BlocksAnalyzed,
 		BlocksStored:   s.BlocksStored,
+		AnalyzeRate:    s.AnalyzeRate,
 	}
 }
 
@@ -490,5 +548,6 @@ type ConsumerStats struct {
 	BlocksReceived int64 // via the network path
 	BlocksRead     int64 // via the file-system path
 	BlocksAnalyzed int64
-	BlocksStored   int64 // persisted by the Preserve-mode output thread
+	BlocksStored   int64   // persisted by the Preserve-mode output thread
+	AnalyzeRate    float64 // blocks/s delivered to the analysis (live EWMA)
 }
