@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic
 
 ci: fmt vet build test
 
@@ -40,3 +40,8 @@ bench-staging:
 # Regenerate the committed adaptive-routing baseline (hybrid vs closed-loop).
 bench-adaptive:
 	$(GO) run ./cmd/benchadaptive -o BENCH_adaptive.json
+
+# Regenerate the committed elastic-staging baseline (fixed-small vs
+# fixed-large vs autoscaled pool).
+bench-elastic:
+	$(GO) run ./cmd/benchelastic -o BENCH_elastic.json

@@ -432,6 +432,38 @@ func BenchmarkAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkElastic runs the bursty elastic-staging scenario under the three
+// pool-sizing variants on the real platform. The stall/op metric is the
+// producer liberation the pool buys; node-s/op the stager provisioning it
+// costs — elastic should land between the fixed pools on neither axis's bad
+// side. The workload lives in internal/benchharness, shared with
+// cmd/benchelastic so the committed BENCH_elastic.json baseline measures
+// the same thing. (The benchmark scales burst length to b.N; the committed
+// gate runs at the baseline size in the tool only.)
+func BenchmarkElastic(b *testing.B) {
+	sc := benchharness.ElasticScenarioDefault
+	sc.Bursts = 2
+	sc.BurstPause = 50 * time.Millisecond
+	for _, v := range benchharness.ElasticVariants {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			run := sc
+			run.BurstBlocks = (b.N + run.Bursts - 1) / run.Bursts
+			total := run.Producers * run.Bursts * run.BurstBlocks
+			b.SetBytes(int64(run.Producers) * int64(run.BlockBytes))
+			b.ResetTimer()
+			st, err := benchharness.RunElastic(b.TempDir(), v, run)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(st.WriteStall/float64(total), "stall-s/op")
+			b.ReportMetric(st.StagerNodeSeconds/float64(total), "node-s/op")
+			b.ReportMetric(float64(st.BlocksRelayed)/float64(total), "relayed/op")
+		})
+	}
+}
+
 // --- Real-platform throughput of the public API ---
 
 func BenchmarkRealJobThroughput(b *testing.B) {

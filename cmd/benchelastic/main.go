@@ -1,0 +1,153 @@
+// benchelastic records the elastic-staging baseline: the shared bursty
+// benchharness scenario run against a fixed pool sized for the average load
+// (fixed-small), a fixed pool sized for the peak (fixed-large), and the
+// autoscaled pool (elastic), on the real platform. It writes the comparison
+// as JSON so CI and future optimization PRs have a committed reference
+// point, and fails when the autoscaler stops earning its keep on either
+// axis: elastic must stall producers less than the under-provisioned fixed
+// pool AND bill fewer stager node-seconds than the peak-provisioned one.
+//
+// Usage:
+//
+//	benchelastic [-o BENCH_elastic.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"zipper/internal/benchharness"
+)
+
+// Row is one pool-sizing variant's measurement.
+type Row struct {
+	Variant           string  `json:"variant"`
+	Stagers           int     `json:"stagers_ceiling"`
+	Blocks            int64   `json:"blocks"`
+	Relayed           int64   `json:"blocks_relayed"`
+	StagerSpills      int64   `json:"stager_spills"`
+	WriteStallS       float64 `json:"write_stall_s"`
+	StagerNodeSeconds float64 `json:"stager_node_seconds"`
+	ScaleGrows        int     `json:"scale_grows"`
+	ScaleDrains       int     `json:"scale_drains"`
+	PoolPeak          int     `json:"pool_peak"`
+	ThroughputMBs     float64 `json:"throughput_mb_per_s"`
+}
+
+// Report is the file layout of BENCH_elastic.json.
+type Report struct {
+	Producers   int     `json:"producers"`
+	Bursts      int     `json:"bursts"`
+	BurstBlocks int     `json:"burst_blocks_per_producer"`
+	BurstPauseS float64 `json:"burst_pause_s"`
+	BlockBytes  int     `json:"block_bytes"`
+	AnalyzeUs   float64 `json:"analyze_us_per_block"`
+	GoVersion   string  `json:"go_version"`
+	Rows        []Row   `json:"rows"`
+}
+
+func run(sc benchharness.ElasticScenario, v benchharness.ElasticVariant) (Row, error) {
+	dir, err := os.MkdirTemp("", "benchelastic")
+	if err != nil {
+		return Row{}, err
+	}
+	defer os.RemoveAll(dir)
+	start := time.Now()
+	st, err := benchharness.RunElastic(dir, v, sc)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Row{}, err
+	}
+	total := int64(sc.Producers) * int64(sc.Bursts) * int64(sc.BurstBlocks)
+	if st.BlocksAnalyzed != total {
+		return Row{}, fmt.Errorf("%s: analyzed %d of %d blocks", v.Name, st.BlocksAnalyzed, total)
+	}
+	row := Row{
+		Variant: v.Name, Stagers: v.Stagers,
+		Blocks: st.BlocksWritten, Relayed: st.BlocksRelayed,
+		StagerSpills: st.BlocksSpilled, WriteStallS: st.WriteStall,
+		StagerNodeSeconds: st.StagerNodeSeconds,
+	}
+	pool := 0
+	if v.Elastic.Enabled {
+		pool = v.Elastic.MinStagers
+	} else {
+		pool = v.Stagers
+	}
+	row.PoolPeak = pool
+	for _, ev := range st.ScaleEvents {
+		switch ev.Action {
+		case "grow":
+			row.ScaleGrows++
+		case "drain":
+			row.ScaleDrains++
+		}
+		if ev.PoolSize > row.PoolPeak {
+			row.PoolPeak = ev.PoolSize
+		}
+	}
+	if ns := elapsed.Nanoseconds(); ns > 0 {
+		row.ThroughputMBs = float64(total*int64(sc.BlockBytes)) / (float64(ns) / 1e9) / 1e6
+	}
+	return row, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_elastic.json", "output file")
+	flag.Parse()
+
+	sc := benchharness.ElasticScenarioDefault
+	rep := Report{
+		Producers: sc.Producers, Bursts: sc.Bursts, BurstBlocks: sc.BurstBlocks,
+		BurstPauseS: sc.BurstPause.Seconds(), BlockBytes: sc.BlockBytes,
+		AnalyzeUs: float64(sc.Analyze) / 1e3, GoVersion: runtime.Version(),
+	}
+	rows := map[string]Row{}
+	for _, v := range benchharness.ElasticVariants {
+		row, err := run(sc, v)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		rows[v.Name] = row
+		fmt.Printf("%-12s stall=%.3fs node-s=%.2f relayed=%d spills=%d pool-peak=%d grows=%d drains=%d %.0f MB/s\n",
+			row.Variant, row.WriteStallS, row.StagerNodeSeconds, row.Relayed,
+			row.StagerSpills, row.PoolPeak, row.ScaleGrows, row.ScaleDrains, row.ThroughputMBs)
+	}
+
+	// The elastic bargain, gated on both axes: under bursts the autoscaled
+	// pool must liberate producers better than the average-sized fixed pool
+	// (it grows into the ceiling when the burst lands) while billing fewer
+	// stager node-seconds than the peak-sized fixed pool (it drains between
+	// bursts instead of idling four nodes all run long).
+	e, small, large := rows["elastic"], rows["fixed-small"], rows["fixed-large"]
+	if e.WriteStallS >= small.WriteStallS {
+		fatal(fmt.Errorf("elastic regression: write stall %.3fs vs %.3fs fixed-small",
+			e.WriteStallS, small.WriteStallS))
+	}
+	if e.StagerNodeSeconds >= large.StagerNodeSeconds {
+		fatal(fmt.Errorf("elastic regression: %.2f stager node-seconds vs %.2f fixed-large",
+			e.StagerNodeSeconds, large.StagerNodeSeconds))
+	}
+	if e.ScaleGrows == 0 || e.ScaleDrains == 0 {
+		fatal(fmt.Errorf("the scaler never cycled: %d grows, %d drains", e.ScaleGrows, e.ScaleDrains))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchelastic:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 //	zippertrace compare-cfd [-cores N]          # Figure 17
 //	zippertrace compare-lammps [-cores N]       # Figure 19
 //	zippertrace staging [-steps N]              # in-transit stager threads
+//	zippertrace elastic [-steps N]              # autoscaled stager pool
 package main
 
 import (
@@ -45,6 +46,8 @@ func main() {
 		print1(exp.RunAdaptiveTrace(*steps))
 		fmt.Println()
 		fmt.Print(exp.FormatStaging("synthetic", exp.RunAdaptiveSweep("synthetic", 8, *steps)))
+	case "elastic":
+		print1(exp.RunElasticTrace(*steps))
 	case "compare-cfd", "compare-lammps":
 		app, window := "cfd", 1300*time.Millisecond
 		if cmd == "compare-lammps" {
@@ -70,5 +73,5 @@ func print1(f exp.TraceFigure) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|compare-cfd|compare-lammps [-cores N] [-steps N]")
+	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|elastic|compare-cfd|compare-lammps [-cores N] [-steps N]")
 }

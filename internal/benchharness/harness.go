@@ -192,6 +192,109 @@ func RunFlow(spoolDir string, v StagingVariant, sc FlowScenario) (zipper.JobStat
 	return job.Stats(), nil
 }
 
+// ElasticScenario shapes the bursty workload of the elastic-staging
+// comparison: each producer emits Bursts bursts of BurstBlocks blocks at
+// memory speed, idling BurstPause between them, against a consumer that
+// analyzes steadily. The bursts need the whole stager ceiling; the pauses
+// need almost none of it — exactly the regime where a fixed pool must choose
+// between stalling producers (sized for the average) and idling nodes
+// (sized for the peak), and an elastic pool does neither.
+type ElasticScenario struct {
+	Producers   int
+	Bursts      int
+	BurstBlocks int // per producer per burst
+	BurstPause  time.Duration
+	BlockBytes  int
+	// Analyze is the consumer's busy time per block.
+	Analyze time.Duration
+	// StagerBufferBlocks sizes each stager endpoint's in-memory buffer.
+	StagerBufferBlocks int
+}
+
+// ElasticScenarioDefault is the committed-baseline workload.
+var ElasticScenarioDefault = ElasticScenario{
+	Producers: 4, Bursts: 4, BurstBlocks: 300, BurstPause: 400 * time.Millisecond,
+	BlockBytes: 32 << 10, Analyze: 100 * time.Microsecond, StagerBufferBlocks: 256,
+}
+
+// ElasticVariant is one pool-sizing configuration of the elastic comparison.
+type ElasticVariant struct {
+	Name    string
+	Stagers int // reserved endpoint ceiling
+	Elastic zipper.ElasticConfig
+}
+
+// ElasticVariants is the canonical three-way comparison: a fixed pool sized
+// for the average load (cheap but stalls under bursts), a fixed pool sized
+// for the peak (smooth but pays four nodes all run long), and the elastic
+// pool that grows into the ceiling during bursts and drains between them.
+var ElasticVariants = []ElasticVariant{
+	{Name: "fixed-small", Stagers: 1},
+	{Name: "fixed-large", Stagers: 4},
+	{Name: "elastic", Stagers: 4, Elastic: zipper.ElasticConfig{
+		Enabled: true, MinStagers: 1, MaxStagers: 4,
+		Interval: time.Millisecond, Cooldown: 4 * time.Millisecond,
+	}},
+}
+
+// RunElastic runs one pool-sizing variant against the bursty scenario on the
+// real platform and returns the job-wide aggregate stats (including the
+// scaling timeline and stager node-seconds) after the stream drains.
+// Stealing is disabled so the producers' only relief is the staging tier —
+// the pool size is the variable under test — and routing is the adaptive
+// controller, which sheds each burst into the tier as the stall EWMA rises
+// (PR 3's closed loop; a credit-polling reactive policy would barely touch
+// the tier and hide the pool size entirely).
+func RunElastic(spoolDir string, v ElasticVariant, sc ElasticScenario) (zipper.JobStats, error) {
+	job, err := zipper.NewJob(zipper.Config{
+		Producers: sc.Producers, Consumers: 1, SpoolDir: spoolDir,
+		BufferBlocks: 16, Window: 2, MaxBatchBlocks: 8,
+		Stagers: v.Stagers, StagerBufferBlocks: sc.StagerBufferBlocks,
+		RoutePolicy: zipper.RouteAdaptive, DisableSteal: true,
+		Elastic: v.Elastic,
+	})
+	if err != nil {
+		return zipper.JobStats{}, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var sink byte
+		for {
+			blk, ok := job.Consumer(0).Read()
+			if !ok {
+				_ = sink
+				return
+			}
+			sink ^= blk.Data[0] ^ blk.Data[len(blk.Data)-1]
+			for t0 := time.Now(); time.Since(t0) < sc.Analyze; {
+			}
+			blk.Release()
+		}
+	}()
+	for p := 0; p < sc.Producers; p++ {
+		go func(p int) {
+			prod := job.Producer(p)
+			i := 0
+			for b := 0; b < sc.Bursts; b++ {
+				if b > 0 {
+					time.Sleep(sc.BurstPause)
+				}
+				for k := 0; k < sc.BurstBlocks; k++ {
+					data := zipper.NewPayload(sc.BlockBytes)
+					data[0], data[sc.BlockBytes-1] = byte(i), byte(i>>8)
+					prod.Write(i, 0, data)
+					i++
+				}
+			}
+			prod.Close()
+		}(p)
+	}
+	<-done
+	job.Wait()
+	return job.Stats(), nil
+}
+
 // RunStaging pushes `blocks` blocks of blockBytes from each of `producers`
 // producers through a fresh job whose single consumer busy-analyzes each
 // block for `analyze` — generation deliberately outruns analysis, so the

@@ -41,12 +41,23 @@ type Consumer struct {
 	pendingDisk  []pendingRead
 	finsExpected int
 	finsGot      int
-	recvDone     bool
-	readerDone   bool
-	outputDone   bool
-	err          error
-	finished     time.Duration
-	fl           flow.ConsumerFlows
+	// Counted termination: Fins declare how many network blocks and disk
+	// refs each producer emitted; the receiver holds the stream open until
+	// the declared deliveries have arrived, so relayed blocks trailing a Fin
+	// through an elastic stager pool are never dropped. Fixed configurations
+	// satisfy the counts exactly when the last Fin arrives. seenLost counts
+	// blocks an upstream relay declared dropped (spill-store failure) — they
+	// satisfy the declared totals so a lossy stream still terminates.
+	declaredBlocks int64
+	declaredDisk   int64
+	seenDisk       int64
+	seenLost       int64
+	recvDone       bool
+	readerDone     bool
+	outputDone     bool
+	err            error
+	finished       time.Duration
+	fl             flow.ConsumerFlows
 }
 
 // pendingRead is a spilled block awaiting the reader thread.
@@ -271,6 +282,7 @@ func (c *Consumer) receiverThread(x rt.Ctx) {
 		for _, ref := range m.Disk {
 			c.pendingDisk = append(c.pendingDisk, pendingRead{id: ref.ID, bytes: ref.Bytes})
 		}
+		c.seenDisk += int64(len(m.Disk))
 		if len(m.Disk) > 0 {
 			c.diskWork.Broadcast()
 		}
@@ -278,11 +290,20 @@ func (c *Consumer) receiverThread(x rt.Ctx) {
 			c.fl.Received.Add(x.Now(), 1)
 			c.insertLocked(x, b)
 		}
+		c.seenLost += m.Lost
 		if m.Fin {
 			c.finsGot++
-			if c.finsGot == c.finsExpected {
-				break
-			}
+			c.declaredBlocks += m.FinBlocks
+			c.declaredDisk += m.FinDisk
+		}
+		// End of stream once every producer's Fin arrived AND their declared
+		// deliveries are all in (blocks a relay declared dropped count too —
+		// they can never arrive). Fins that declare nothing (legacy senders,
+		// hand-built test messages) trivially satisfy the count, reproducing
+		// the pure Fin-counted termination exactly.
+		if c.finsGot == c.finsExpected &&
+			c.fl.Received.Total()+c.seenLost >= c.declaredBlocks && c.seenDisk >= c.declaredDisk {
+			break
 		}
 		c.lk.Unlock(x)
 	}

@@ -133,6 +133,14 @@ type Config struct {
 	// transport address; nil means occupancy is unknown and the routing
 	// policies fall back to window credit and producer buffer depth alone.
 	StagerLevel func(addr int) *flow.Level
+	// Directory, when non-nil, replaces the fixed per-producer stager
+	// assignment with an epoch-versioned pool: the sender thread resolves
+	// its stager from the live membership for every drained batch, so the
+	// staging tier can grow and drain endpoints mid-run without touching the
+	// producer. With a Directory the Fin always travels the direct path and
+	// counted termination (Message.FinBlocks/FinDisk) covers relayed blocks
+	// still in flight. The stager argument of NewStagedProducer is ignored.
+	Directory StagerDirectory
 	// DisableSteal turns the writer thread off, yielding the
 	// message-passing-only baseline of §6.2.
 	DisableSteal bool
@@ -182,6 +190,27 @@ func (c Config) router() flow.Router {
 	default:
 		return flow.Static(flow.Direct)
 	}
+}
+
+// StagerDirectory is the epoch-versioned stager pool a producer consults
+// when Config.Directory is set (the elastic package provides the
+// implementation). Peek is a read-only resolution for assembling routing
+// signals; Claim atomically resolves the rank's stager in the current
+// membership AND registers the send as in flight, which is what lets the
+// pool quiesce an endpoint before retiring it — a claimed address stays
+// receivable until the matching Done. Implementations must be safe for
+// concurrent use from many sender threads; on the simulated platform they
+// must not block (the scaler's quiesce is the only waiting side).
+type StagerDirectory interface {
+	// Peek returns the stager address rank currently resolves to, without
+	// claiming it. ok=false means the pool is empty (route direct).
+	Peek(rank int) (addr int, ok bool)
+	// Claim resolves rank's stager in the live membership and counts the
+	// upcoming relay send as in flight at that address. Every successful
+	// Claim must be paired with Done once the send has deposited.
+	Claim(rank int) (addr int, ok bool)
+	// Done reports that the relay send claimed at addr has deposited.
+	Done(addr int)
 }
 
 // ProducerStats is a snapshot of one producer runtime module's flow gauges:

@@ -212,6 +212,11 @@ func (p *Producer) senderThread(c rt.Ctx) {
 		}
 		start := c.Now()
 		p.tr.Send(c, dest, rt.Message{From: p.rank, Dest: p.to, Blocks: blocks, Disk: ids})
+		if route == flow.Relay && p.cfg.Directory != nil {
+			// The send has deposited: release the pool claim so a drain of
+			// this stager can quiesce.
+			p.cfg.Directory.Done(dest)
+		}
 		busy := c.Now() - start
 		p.router.ObserveSend(route, c.Now(), busy, len(blocks), payload)
 
@@ -245,12 +250,22 @@ func (p *Producer) senderThread(c rt.Ctx) {
 	// The relayed-anything clause makes that ordering a mechanism rather
 	// than a convention: even a custom NewRouter paired with a RouteDirect
 	// policy cannot strand relayed blocks behind a direct Fin.
+	//
+	// With a pool Directory the producer may have relayed through several
+	// stagers over its lifetime and no single relay path can order the Fin
+	// behind all of them, so the Fin goes direct and termination leans on
+	// the declared totals instead: the consumer holds its stream open until
+	// FinBlocks network deliveries and FinDisk disk-ref announcements have
+	// actually arrived, wherever they are still queued.
 	finDest := p.to
-	if p.stager != NoStager && (p.cfg.RoutePolicy != RouteDirect || p.fl.Relayed.Total() > 0) {
+	if p.cfg.Directory == nil && p.stager != NoStager &&
+		(p.cfg.RoutePolicy != RouteDirect || p.fl.Relayed.Total() > 0) {
 		finDest = p.stager
 	}
 	start := c.Now()
-	p.tr.Send(c, finDest, rt.Message{From: p.rank, Dest: p.to, Fin: true})
+	p.tr.Send(c, finDest, rt.Message{From: p.rank, Dest: p.to, Fin: true,
+		FinBlocks: p.fl.Sent.Total() + p.fl.Relayed.Total(),
+		FinDisk:   p.fl.Stolen.Total()})
 	p.lk.Lock(c)
 	p.fl.Messages.Add(c.Now(), 1)
 	p.fl.SendBusy.AddDur(c.Now(), c.Now()-start)
@@ -297,6 +312,9 @@ func (p *Producer) drainBatchLocked() []*block.Block {
 // Called with the producer lock held, after drainBatchLocked, so len(p.buf)
 // is the remaining backlog.
 func (p *Producer) routeLocked(c rt.Ctx, batch int) (dest int, route flow.Route) {
+	if p.cfg.Directory != nil {
+		return p.routePoolLocked(c, batch)
+	}
 	if p.stager == NoStager {
 		return p.to, flow.Direct
 	}
@@ -309,6 +327,41 @@ func (p *Producer) routeLocked(c rt.Ctx, batch int) (dest int, route flow.Route)
 		}
 		return p.to, flow.Direct
 	}
+	sig := p.signalsLocked(c, p.stager, batch)
+	if p.router.Route(sig) == flow.Relay {
+		return p.stager, flow.Relay
+	}
+	return p.to, flow.Direct
+}
+
+// routePoolLocked is routeLocked against an elastic stager pool: the stager
+// is resolved from the live membership for this batch alone. A relay
+// election is committed with Claim — which re-resolves atomically, so a
+// membership change between the signal read and the commit can redirect the
+// batch but never lands it on a retired endpoint — and the sender releases
+// the claim with Done once the send has deposited.
+func (p *Producer) routePoolLocked(c rt.Ctx, batch int) (int, flow.Route) {
+	addr, ok := p.cfg.Directory.Peek(p.rank)
+	if !ok {
+		return p.to, flow.Direct // empty pool: only the direct path exists
+	}
+	relay := false
+	if r, fixed := flow.StaticRoute(p.router); fixed {
+		relay = r == flow.Relay
+	} else {
+		relay = p.router.Route(p.signalsLocked(c, addr, batch)) == flow.Relay
+	}
+	if relay {
+		if a, ok := p.cfg.Directory.Claim(p.rank); ok {
+			return a, flow.Relay
+		}
+	}
+	return p.to, flow.Direct
+}
+
+// signalsLocked assembles the live backpressure signals for a routing
+// decision against the stager at addr.
+func (p *Producer) signalsLocked(c rt.Ctx, addr, batch int) flow.Signals {
 	sig := flow.Signals{
 		Now:            c.Now(),
 		Backlog:        len(p.buf),
@@ -322,17 +375,14 @@ func (p *Producer) routeLocked(c rt.Ctx, batch int) (dest int, route flow.Route)
 	}
 	if ct, ok := p.tr.(rt.CreditTransport); ok {
 		sig.Credits = ct.Credits(p.to)
-		sig.StagerCredits = ct.Credits(p.stager)
+		sig.StagerCredits = ct.Credits(addr)
 	}
 	if p.cfg.StagerLevel != nil {
-		if lv := p.cfg.StagerLevel(p.stager); lv != nil {
+		if lv := p.cfg.StagerLevel(addr); lv != nil {
 			sig.StagerQueued, sig.StagerCapacity = lv.Get()
 		}
 	}
-	if p.router.Route(sig) == flow.Relay {
-		return p.stager, flow.Relay
-	}
-	return p.to, flow.Direct
+	return sig
 }
 
 // writerThread is Algorithm 1: steal the oldest block whenever the buffer is

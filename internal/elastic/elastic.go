@@ -1,0 +1,592 @@
+// Package elastic is the autoscaler subsystem of the Zipper staging tier: it
+// grows and drains in-transit stager endpoints at runtime so the tier tracks
+// the workload instead of being provisioned for its peak.
+//
+// It has three cooperating parts:
+//
+//   - Pool, an epoch-versioned stager directory. Producers resolve their
+//     stager from the live membership per drained batch (replacing the
+//     static "producer p relays through stager p mod Stagers" assignment),
+//     so membership changes compose with every flow.Router unchanged. The
+//     Pool also counts claimed-but-undelivered relay sends per endpoint,
+//     which is what makes retirement race-free: Quiesce waits for the last
+//     straggler to deposit before the Retire control message is sent, so
+//     Retire is provably the final message a draining endpoint receives.
+//     That proof leans on a transport whose Send returns only after the
+//     message is deposited in the destination inbox — true of the
+//     in-process channel network and the simulated network, NOT of the TCP
+//     transport (frames from different connections interleave at the
+//     listener), so an elastic tier must not span a TCP hop.
+//
+//   - The drain protocol (implemented by staging.Stager in Managed mode): a
+//     draining stager stops admitting on Retire, flushes its in-memory queue
+//     and its spill partition to the consumers, and exits. Stream
+//     termination stays correct under any membership history because Fins
+//     carry declared delivery totals (rt.Message.FinBlocks/FinDisk) and the
+//     consumer holds its stream open until the counts are met.
+//
+//   - Scaler, the control loop. It observes the pool-wide flow gauges
+//     (occupancy, forward rate, spill growth — flow.PoolSignals), applies a
+//     hysteresis band plus a cooldown, and spawns or retires endpoints
+//     through a platform Host, up to the reserved endpoint ceiling. The
+//     loop is clocked purely by rt.Ctx time, so the identical controller
+//     runs deterministically inside the discrete-event simulator and live
+//     on the real machine.
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"zipper/internal/flow"
+	"zipper/internal/rt"
+)
+
+// Config tunes the elastic staging tier. The zero value of every field but
+// Enabled selects the default noted on the field.
+type Config struct {
+	// Enabled turns the autoscaler on. Off, the staging tier is the fixed
+	// pool of earlier revisions, byte-identical in behavior.
+	Enabled bool
+	// MinStagers is the floor the pool drains down to and the size it starts
+	// at (default 1). MaxStagers is the growth ceiling (default: the number
+	// of reserved stager endpoints).
+	MinStagers, MaxStagers int
+	// GrowOccupancy and DrainOccupancy bound the hysteresis band on
+	// pool-wide buffer occupancy (fractions of summed capacity, defaults
+	// 0.75 and 0.20): above the former — or whenever the tier spilled to
+	// disk since the last tick — the pool grows; below the latter with no
+	// spill pressure it drains. Between them the scaler holds.
+	GrowOccupancy, DrainOccupancy float64
+	// Interval is the control period (default 2ms — virtual time under the
+	// simulator). Cooldown is the minimum time between scaling actions
+	// (default 10×Interval); together with the hysteresis band it keeps the
+	// pool from thrashing on transients.
+	Interval, Cooldown time.Duration
+}
+
+// WithDefaults resolves zero fields against the reserved endpoint ceiling.
+func (c Config) WithDefaults(ceiling int) Config {
+	if c.MinStagers <= 0 {
+		c.MinStagers = 1
+	}
+	if c.MaxStagers <= 0 || c.MaxStagers > ceiling {
+		c.MaxStagers = ceiling
+	}
+	if c.MinStagers > c.MaxStagers {
+		c.MinStagers = c.MaxStagers
+	}
+	if c.GrowOccupancy <= 0 {
+		c.GrowOccupancy = 0.75
+	}
+	if c.DrainOccupancy <= 0 {
+		c.DrainOccupancy = 0.20
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * c.Interval
+	}
+	return c
+}
+
+// Validate rejects inconsistent elastic bounds against the reserved stager
+// ceiling, before defaults are applied. It reports nothing when disabled.
+func (c Config) Validate(ceiling int) error {
+	if !c.Enabled {
+		return nil
+	}
+	if ceiling < 1 {
+		return errors.New("elastic staging needs Stagers ≥ 1 reserved endpoints")
+	}
+	if c.MinStagers < 0 || c.MaxStagers < 0 {
+		return fmt.Errorf("elastic stager bounds must be ≥ 0 (0 selects the default), got min %d max %d",
+			c.MinStagers, c.MaxStagers)
+	}
+	if c.MaxStagers > 0 && c.MinStagers > c.MaxStagers {
+		return fmt.Errorf("elastic MinStagers (%d) exceeds MaxStagers (%d)", c.MinStagers, c.MaxStagers)
+	}
+	if c.MaxStagers > ceiling {
+		return fmt.Errorf("elastic MaxStagers (%d) exceeds the reserved Stagers ceiling (%d)",
+			c.MaxStagers, ceiling)
+	}
+	if c.MinStagers > ceiling {
+		return fmt.Errorf("elastic MinStagers (%d) exceeds the reserved Stagers ceiling (%d)",
+			c.MinStagers, ceiling)
+	}
+	if c.GrowOccupancy < 0 || c.GrowOccupancy > 1 || c.DrainOccupancy < 0 || c.DrainOccupancy > 1 {
+		return fmt.Errorf("elastic occupancy targets must lie in [0,1], got grow %v drain %v",
+			c.GrowOccupancy, c.DrainOccupancy)
+	}
+	if c.GrowOccupancy > 0 && c.DrainOccupancy > 0 && c.DrainOccupancy >= c.GrowOccupancy {
+		return fmt.Errorf("elastic DrainOccupancy (%v) must lie below GrowOccupancy (%v): the hysteresis band would be empty",
+			c.DrainOccupancy, c.GrowOccupancy)
+	}
+	if c.Interval < 0 || c.Cooldown < 0 {
+		return errors.New("elastic time constants must be ≥ 0 (0 selects the default)")
+	}
+	return nil
+}
+
+// Decide is the scaler's per-tick verdict, exposed as a pure function so the
+// hysteresis band is unit-testable without a platform: +1 grow, -1 drain, 0
+// hold. occ is the pool-wide occupancy fraction, spillDelta the blocks the
+// tier spilled since the last tick, size the live pool size, and cooled
+// whether the cooldown since the last action has elapsed. The receiver must
+// have defaults resolved (WithDefaults).
+func (c Config) Decide(occ float64, spillDelta int64, size int, cooled bool) int {
+	if !cooled {
+		return 0
+	}
+	if (occ >= c.GrowOccupancy || spillDelta > 0) && size < c.MaxStagers {
+		return 1
+	}
+	if occ <= c.DrainOccupancy && spillDelta == 0 && size > c.MinStagers {
+		return -1
+	}
+	return 0
+}
+
+// Pool is the epoch-versioned stager directory: the live membership of the
+// elastic staging tier plus the in-flight relay accounting that makes
+// retirement race-free. It implements core.StagerDirectory.
+//
+// All methods are cheap, non-blocking critical sections guarded by a plain
+// mutex, which is safe on both platforms: the simulator runs exactly one
+// process at an instant, so the lock is never contended there and costs no
+// virtual time; on the real machine it is an ordinary shared-state lock.
+// Quiesce is the one waiting call and polls with rt sleeps instead of
+// parking, so it composes with the simulator's scheduler.
+type Pool struct {
+	mu       sync.Mutex
+	epoch    int64
+	members  []int // live stager addresses, ascending
+	inflight map[int]int
+}
+
+// NewPool returns an empty pool; the embedder Adds the initial membership.
+func NewPool() *Pool { return &Pool{inflight: map[int]int{}} }
+
+// Add admits the stager endpoint at addr to the membership and bumps the
+// epoch. Adding a present member is a no-op.
+func (p *Pool) Add(addr int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.members {
+		if m == addr {
+			return
+		}
+	}
+	p.members = append(p.members, addr)
+	sort.Ints(p.members)
+	p.epoch++
+}
+
+// Remove retires addr from the membership and bumps the epoch: no Claim
+// resolves to it afterwards. In-flight claims are unaffected — Quiesce waits
+// them out.
+func (p *Pool) Remove(addr int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, m := range p.members {
+		if m == addr {
+			p.members = append(p.members[:i], p.members[i+1:]...)
+			p.epoch++
+			return
+		}
+	}
+}
+
+// resolveLocked is the assignment rule: rank-affine over the sorted live
+// membership, so a fixed membership reproduces the classic p mod S split and
+// every epoch bump re-shards deterministically.
+func (p *Pool) resolveLocked(rank int) (int, bool) {
+	if len(p.members) == 0 {
+		return 0, false
+	}
+	return p.members[rank%len(p.members)], true
+}
+
+// Peek implements core.StagerDirectory: a claim-free resolution for signal
+// assembly.
+func (p *Pool) Peek(rank int) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.resolveLocked(rank)
+}
+
+// Claim implements core.StagerDirectory: it resolves rank's stager in the
+// current membership and registers the upcoming send as in flight there,
+// atomically — a stager observed through Claim cannot receive its Retire
+// before the matching Done.
+func (p *Pool) Claim(rank int) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	addr, ok := p.resolveLocked(rank)
+	if !ok {
+		return 0, false
+	}
+	p.inflight[addr]++
+	return addr, true
+}
+
+// Done implements core.StagerDirectory: the claimed send has deposited.
+func (p *Pool) Done(addr int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inflight[addr] <= 0 {
+		panic(fmt.Sprintf("elastic: Done(%d) without a claim", addr))
+	}
+	p.inflight[addr]--
+}
+
+// quiescePoll is Quiesce's polling period: long enough not to distort a
+// simulated run, short enough that a drain is prompt on the real machine.
+const quiescePoll = 200 * time.Microsecond
+
+// Quiesce blocks until no claimed send is in flight toward addr. Call it
+// after Remove(addr): new claims can no longer pick addr, so once the count
+// reaches zero every message bound for the endpoint has been deposited and
+// the Retire sent next is guaranteed to arrive last.
+func (p *Pool) Quiesce(c rt.Ctx, addr int) {
+	for {
+		p.mu.Lock()
+		n := p.inflight[addr]
+		p.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		c.Sleep(quiescePoll)
+	}
+}
+
+// Epoch returns the membership version; every Add and Remove bumps it.
+func (p *Pool) Epoch() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Size returns the live membership count.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.members)
+}
+
+// Members returns a copy of the live membership, ascending.
+func (p *Pool) Members() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int(nil), p.members...)
+}
+
+// Host is the platform half of the scaler: it owns the reserved endpoint
+// slots and knows how to build a stager on one (fresh goroutine set on the
+// real machine, fresh engine processes in the simulator) and how to deliver
+// the Retire control message. Slot s corresponds to transport address
+// base+s. All three methods are called from the scaler's thread only.
+type Host interface {
+	// Spawn builds and starts a managed stager endpoint on reserved slot
+	// `slot` and returns its flow gauges for pool-wide observation. On
+	// error the grow is abandoned; the scaler records the error (see
+	// Scaler.Err) and backs off for a cooldown before retrying.
+	Spawn(c rt.Ctx, slot int) (*flow.StagerFlows, error)
+	// Retire sends the Retire control message to slot's endpoint.
+	Retire(c rt.Ctx, slot int)
+	// Drained reports whether slot's endpoint has finished flushing after
+	// Retire (its threads exited); the slot is then reusable.
+	Drained(c rt.Ctx, slot int) bool
+}
+
+// Event is one scaling action on the pool, for the Job.Stats timeline and
+// the zippertrace pool-size view.
+type Event struct {
+	At        time.Duration // platform time of the action
+	Action    string        // "grow" or "drain"
+	Slot      int           // reserved endpoint slot acted on
+	PoolSize  int           // live pool size after the action
+	Occupancy float64       // pool-wide occupancy that triggered it
+}
+
+// Scaler is the elastic control loop. Build it with NewScaler, Start it
+// once the initial pool members are live, and Stop it after the producers
+// have finished; Stop asks the loop to retire every remaining endpoint and
+// returns when the tier has fully flushed.
+//
+// Concurrency: the scaler thread is the only mutator of the pool-state
+// fields; the mutex exists for the cross-thread readers (Events,
+// NodeSeconds, PoolSize, Err, the Stop handshake) and is held only for
+// quick state access — NEVER across an operation that can park the thread
+// on a platform primitive (Quiesce, Host calls, sleeps). A parked holder of
+// a raw mutex would block any other runtime thread that touches it, and
+// inside the discrete-event engine that stalls the entire simulation: the
+// engine resumes one process at a time and a raw mutex wait never parks.
+type Scaler struct {
+	env  rt.Env
+	cfg  Config
+	pool *Pool
+	host Host
+	base int // transport address of slot 0
+
+	mu        sync.Mutex
+	stopReq   bool // Stop asked the loop to shut the tier down
+	stopped   bool // shutdown complete: every endpoint flushed
+	spawnErr  error
+	live      map[int]*flow.StagerFlows // slot → gauges of the running endpoint
+	draining  map[int]bool              // Retire sent, flush not yet confirmed
+	free      []int                     // reusable slots, ascending
+	spawnedAt map[int]time.Duration
+	events    []Event
+	nodeTime  time.Duration // summed provisioned lifetime of retired endpoints
+	lastAct   time.Duration
+	lastSpill int64
+}
+
+// NewScaler wires a control loop over pool and host. initial holds the flow
+// gauges of the already-running endpoints on slots 0..len(initial)-1 (the
+// embedder builds the starting pool and has added their addresses to the
+// pool); slots len(initial)..MaxStagers-1 start free. cfg must already have
+// its defaults resolved via WithDefaults — an unresolved config has no
+// ceiling (MaxStagers 0) and a zero Interval, neither of which NewScaler
+// repairs.
+func NewScaler(env rt.Env, cfg Config, pool *Pool, host Host, base int, initial []*flow.StagerFlows) *Scaler {
+	s := &Scaler{
+		env: env, cfg: cfg, pool: pool, host: host, base: base,
+		live:      map[int]*flow.StagerFlows{},
+		draining:  map[int]bool{},
+		spawnedAt: map[int]time.Duration{},
+	}
+	for slot, fl := range initial {
+		s.live[slot] = fl
+		s.spawnedAt[slot] = 0
+	}
+	for slot := len(initial); slot < cfg.MaxStagers; slot++ {
+		s.free = append(s.free, slot)
+	}
+	return s
+}
+
+// Start launches the control loop as a runtime thread.
+func (s *Scaler) Start() {
+	s.env.Go("elastic.scaler", s.run)
+}
+
+func (s *Scaler) run(c rt.Ctx) {
+	for {
+		c.Sleep(s.cfg.Interval)
+		s.mu.Lock()
+		stop := s.stopReq
+		s.mu.Unlock()
+		if stop {
+			s.shutdown(c)
+			return
+		}
+		s.tick(c)
+	}
+}
+
+// tick is one control period: reap flushed drains, observe the pool, and
+// apply at most one scaling action. lastSpill advances only on cooled
+// ticks, so spill pressure that lands entirely inside a cooldown window
+// accumulates into the next real decision instead of being consumed unseen.
+// Reads of the pool-state fields here are lock-free by the single-writer
+// rule (this thread is the only mutator).
+func (s *Scaler) tick(c rt.Ctx) {
+	now := c.Now()
+	s.reap(c, now)
+	if !(s.lastAct == 0 || now-s.lastAct >= s.cfg.Cooldown) {
+		return
+	}
+	sig := s.observe(now)
+	spillDelta := sig.Spilled - s.lastSpill
+	s.lastSpill = sig.Spilled
+	switch s.cfg.Decide(sig.Occupancy, spillDelta, len(s.live), true) {
+	case 1:
+		s.grow(c, now, sig.Occupancy)
+	case -1:
+		s.drain(c, now, sig.Occupancy)
+	}
+}
+
+// observe aggregates the live members' gauges.
+func (s *Scaler) observe(now time.Duration) flow.PoolSignals {
+	members := make([]*flow.StagerFlows, 0, len(s.live))
+	for _, slot := range s.liveSlots() {
+		members = append(members, s.live[slot])
+	}
+	return flow.AggregatePool(now, members)
+}
+
+// liveSlots returns the live slots ascending (map order is not
+// deterministic; the scaler's decisions must be).
+func (s *Scaler) liveSlots() []int {
+	slots := make([]int, 0, len(s.live))
+	for slot := range s.live {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	return slots
+}
+
+// grow spawns a stager on the lowest free slot and admits it to the pool.
+// The endpoint is live before the membership change, so the first batch
+// resolved to it finds a running receiver. A failed spawn is recorded (Err)
+// and charged as an action so retries back off by the cooldown instead of
+// hammering the failing platform every tick.
+func (s *Scaler) grow(c rt.Ctx, now time.Duration, occ float64) {
+	if len(s.free) == 0 {
+		return
+	}
+	slot := s.free[0]
+	fl, err := s.host.Spawn(c, slot) // may park: no mutex held
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.spawnErr = err
+		s.lastAct = now
+		return
+	}
+	s.free = s.free[1:]
+	s.live[slot] = fl
+	s.spawnedAt[slot] = now
+	s.pool.Add(s.base + slot)
+	s.lastAct = now
+	s.events = append(s.events, Event{At: now, Action: "grow", Slot: slot, PoolSize: len(s.live), Occupancy: occ})
+}
+
+// drain retires the highest live slot: out of the membership first, a
+// quiesce for in-flight claims, then the Retire message — provably the last
+// message the endpoint receives. The flush runs concurrently; the slot is
+// reaped (and its node-time booked) once the stager reports Drained.
+func (s *Scaler) drain(c rt.Ctx, now time.Duration, occ float64) {
+	slots := s.liveSlots()
+	if len(slots) == 0 {
+		return
+	}
+	slot := slots[len(slots)-1]
+	s.pool.Remove(s.base + slot)
+	s.pool.Quiesce(c, s.base+slot) // may park: no mutex held
+	s.host.Retire(c, slot)         // may park: no mutex held
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.live, slot)
+	s.draining[slot] = true
+	s.lastAct = c.Now()
+	s.events = append(s.events, Event{At: c.Now(), Action: "drain", Slot: slot, PoolSize: len(s.live), Occupancy: occ})
+}
+
+// reap returns flushed drained slots to the free list and books their
+// provisioned lifetime. Drained is polled in slot order so the engine's
+// event sequence stays deterministic.
+func (s *Scaler) reap(c rt.Ctx, now time.Duration) {
+	slots := make([]int, 0, len(s.draining))
+	for slot := range s.draining {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	var flushed []int
+	for _, slot := range slots {
+		if s.host.Drained(c, slot) { // may park: no mutex held
+			flushed = append(flushed, slot)
+		}
+	}
+	if len(flushed) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, slot := range flushed {
+		delete(s.draining, slot)
+		s.nodeTime += now - s.spawnedAt[slot]
+		delete(s.spawnedAt, slot)
+		s.free = append(s.free, slot)
+	}
+	sort.Ints(s.free)
+}
+
+// shutdown retires every remaining endpoint (teardown, not control
+// decisions — no events are logged) and waits for the tier to flush.
+func (s *Scaler) shutdown(c rt.Ctx) {
+	for _, slot := range s.liveSlots() {
+		s.pool.Remove(s.base + slot)
+		s.pool.Quiesce(c, s.base+slot)
+		s.host.Retire(c, slot)
+		s.mu.Lock()
+		delete(s.live, slot)
+		s.draining[slot] = true
+		s.mu.Unlock()
+	}
+	for {
+		s.reap(c, c.Now())
+		s.mu.Lock()
+		n := len(s.draining)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		c.Sleep(s.cfg.Interval)
+	}
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+// Stop asks the control loop to retire every remaining endpoint and blocks
+// until the whole tier has flushed. Call it after Start, and only once all
+// producers have finished (no new relay traffic can appear); the consumers'
+// counted termination then completes from the flushed deliveries. The
+// retirement work runs on the scaler's own thread — Stop only posts the
+// request and polls for completion, so it can never contend with a parked
+// mutex holder.
+func (s *Scaler) Stop(c rt.Ctx) {
+	s.mu.Lock()
+	s.stopReq = true
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		done := s.stopped
+		s.mu.Unlock()
+		if done {
+			return
+		}
+		c.Sleep(s.cfg.Interval)
+	}
+}
+
+// Err reports the most recent endpoint-spawn failure, if any: the scaler
+// holds (and retries after a cooldown) when the platform cannot build a new
+// stager, and this surfaces why the pool is not growing.
+func (s *Scaler) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spawnErr
+}
+
+// Events returns the scaling timeline in action order.
+func (s *Scaler) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// NodeSeconds returns the summed provisioned lifetime of every stager
+// endpoint the scaler managed, in seconds — the resource-cost metric the
+// elastic tier is judged on against a fixed pool (which pays pool-size ×
+// run-length). It is complete only after Stop.
+func (s *Scaler) NodeSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeTime.Seconds()
+}
+
+// PoolSize returns the current live pool size.
+func (s *Scaler) PoolSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}

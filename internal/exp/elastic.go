@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"zipper/internal/core"
+	"zipper/internal/elastic"
+	"zipper/internal/trace"
+	"zipper/internal/workflow"
+)
+
+// PoolSizeTimeline renders the elastic stager pool's size over time from the
+// scaler's event log: the run is cut into `buckets` equal slices and each
+// cell shows the live pool size at the end of that slice. It is the
+// zippertrace view of the autoscaler's behavior — the size steps up as a
+// burst saturates the tier and steps back down through the hysteresis band
+// as the consumers catch up.
+func PoolSizeTimeline(events []elastic.Event, initial int, end time.Duration, buckets int) string {
+	if buckets < 1 {
+		buckets = 32
+	}
+	if len(events) == 0 || end <= 0 {
+		return "pool size: no scaling activity recorded"
+	}
+	var cells strings.Builder
+	size, next := initial, 0
+	for b := 1; b <= buckets; b++ {
+		edge := time.Duration(int64(end) * int64(b) / int64(buckets))
+		for next < len(events) && events[next].At <= edge {
+			size = events[next].PoolSize
+			next++
+		}
+		switch {
+		case size > 9:
+			cells.WriteByte('+')
+		default:
+			cells.WriteByte(byte('0' + size))
+		}
+	}
+	return fmt.Sprintf("pool size over time (live stagers per %.0fms slice):\n  [%s]",
+		float64(end)/float64(buckets)/1e6, cells.String())
+}
+
+// elasticSpec is the staging workload with the autoscaler on: the
+// consumer-bound burst must grow the pool off its floor, and the tail of
+// the run (producers done, consumers catching up) drains it back.
+func elasticSpec(steps int) workflow.Spec {
+	spec := stagingSpec("cfd", 8, steps)
+	spec.P, spec.Q = 2, 1
+	spec.Stagers = 3
+	// A deliberately small per-endpoint buffer: each step's output burst
+	// saturates one stager, so the pool must grow to ride it out.
+	spec.StagerBufferBlocks = 8
+	spec.Zipper.RoutePolicy = core.RouteStaging
+	spec.Elastic = elastic.Config{
+		Enabled: true, MinStagers: 1, MaxStagers: 3,
+		Interval: time.Millisecond, Cooldown: 5 * time.Millisecond,
+	}
+	return spec
+}
+
+// RunElasticTrace renders an autoscaled staging run with the first stager's
+// threads visible next to the simulation and analysis rows, plus the
+// pool-size timeline — the elastic counterpart of the staging and adaptive
+// trace views.
+func RunElasticTrace(steps int) TraceFigure {
+	spec := elasticSpec(steps)
+	spec.Trace = true
+	res := workflow.RunZipper(spec)
+	if !res.OK {
+		return TraceFigure{Title: "Elastic staging trace", Detail: "crash: " + res.Fail}
+	}
+	g := res.Rec.Gantt(trace.GanttOptions{
+		Width: 96,
+		Procs: []string{
+			"sim.0", "zprod.0.sender",
+			"zstage.0.receiver", "zstage.0.forwarder", "zstage.0.spiller",
+			"zstage.1.receiver", "zstage.2.receiver",
+			"ana.0",
+		},
+		Symbols: map[string]rune{
+			"compute": 'C', "send": 's', "relay": 'R',
+			"recv": 'r', "forward": 'F', "spill": 'S', "unspill": 'u',
+			"analyze": 'A', "stall": '#', "step": ' ', "MPI_Sendrecv": 'm',
+		},
+	})
+	grows, drains := 0, 0
+	for _, ev := range res.ScaleEvents {
+		if ev.Action == "grow" {
+			grows++
+		} else {
+			drains++
+		}
+	}
+	det := fmt.Sprintf(
+		"elastic staging: %d relayed, %d stager spills, %d grows / %d drains, %.2f stager node-s within e2e %.2fs (stall %.2fs)\n%s",
+		res.BlocksRelayed, res.StagerSpills, grows, drains, res.StagerNodeSeconds,
+		res.E2E.Seconds(), res.ProducerStall.Seconds(),
+		PoolSizeTimeline(res.ScaleEvents, spec.Elastic.MinStagers, res.E2E, 48))
+	return TraceFigure{Title: "Staging tier: elastic pool trace", Gantt: g, Detail: det}
+}

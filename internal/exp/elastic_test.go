@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"zipper/internal/elastic"
+)
+
+// TestPoolSizeTimelineEmpty pins the no-activity rendering.
+func TestPoolSizeTimelineEmpty(t *testing.T) {
+	if got := PoolSizeTimeline(nil, 1, time.Second, 8); !strings.Contains(got, "no scaling activity") {
+		t.Fatalf("empty timeline rendered %q", got)
+	}
+}
+
+// TestPoolSizeTimelineSteps pins the bucket rendering: each cell is the
+// live size at the end of its slice, carried forward between events.
+func TestPoolSizeTimelineSteps(t *testing.T) {
+	events := []elastic.Event{
+		{At: 250 * time.Millisecond, Action: "grow", PoolSize: 2},
+		{At: 500 * time.Millisecond, Action: "grow", PoolSize: 3},
+		{At: 750 * time.Millisecond, Action: "drain", PoolSize: 2},
+	}
+	got := PoolSizeTimeline(events, 1, time.Second, 4)
+	if !strings.Contains(got, "[2322]") {
+		t.Fatalf("timeline rendered %q, want cells [2322]", got)
+	}
+}
+
+// TestElasticTraceShowsPool checks the trace figure renders the stager rows
+// and a live pool-size timeline with at least one scaling action.
+func TestElasticTraceShowsPool(t *testing.T) {
+	fig := RunElasticTrace(6)
+	if fig.Gantt == "" {
+		t.Fatalf("no gantt rendered: %s", fig.Detail)
+	}
+	for _, row := range []string{"zstage.0.receiver", "zstage.1.receiver", "ana.0"} {
+		if !strings.Contains(fig.Gantt, row) {
+			t.Fatalf("trace missing %s row:\n%s", row, fig.Gantt)
+		}
+	}
+	if !strings.Contains(fig.Detail, "pool size over time") {
+		t.Fatalf("detail missing the pool timeline: %s", fig.Detail)
+	}
+	if strings.Contains(fig.Detail, "0 grows") {
+		t.Fatalf("the trace workload never grew the pool: %s", fig.Detail)
+	}
+}

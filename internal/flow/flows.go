@@ -1,5 +1,7 @@
 package flow
 
+import "time"
+
 // The three runtime modules — producer, consumer, stager — used to keep
 // three parallel structs of plain int64/time.Duration counters, each guarded
 // by its module lock and readable only as terminal totals. The flows structs
@@ -42,16 +44,51 @@ type ConsumerFlows struct {
 // in-memory buffer occupancy the routing policies poll — the gauge that
 // replaced the ad-hoc occupancy probe func.
 type StagerFlows struct {
-	In          Meter // blocks received from producers
-	Forwarded   Meter // blocks delivered to consumers
-	Spilled     Meter // blocks that overflowed to the spill store
-	DiskRefs    Meter // producer disk-ref announcements relayed
-	MessagesIn  Meter // mixed messages received
-	MessagesOut Meter // mixed messages forwarded (re-batched)
+	In           Meter // blocks received from producers
+	Forwarded    Meter // blocks delivered to consumers
+	Spilled      Meter // blocks that overflowed to the spill store
+	SpilledBytes Meter // payload bytes that overflowed to the spill store
+	DiskRefs     Meter // producer disk-ref announcements relayed
+	MessagesIn   Meter // mixed messages received
+	MessagesOut  Meter // mixed messages forwarded (re-batched)
 
 	RecvBusy    Meter // ns the receiver thread spent in Recv
 	ForwardBusy Meter // ns the forwarder thread spent in Send
 	SpillBusy   Meter // ns spent writing + re-reading spilled blocks
 
 	Queue Level // in-memory buffer fill in blocks, with capacity and peak
+}
+
+// PoolSignals is the staging tier seen as one resource: the pool-wide
+// aggregate of every live stager's gauges at one instant. It is the
+// observation vector the elastic scaler steers on — occupancy and spill
+// pressure say the tier is undersized, a near-empty pool says it is
+// oversized — and any external observer can read the same aggregate.
+type PoolSignals struct {
+	Stagers      int     // live stager endpoints aggregated
+	Queued       int     // blocks resident across all in-memory buffers
+	Capacity     int     // summed buffer capacity in blocks
+	Occupancy    float64 // Queued/Capacity, 0 when the pool is empty
+	ForwardRate  float64 // summed live EWMA delivery rate, blocks/s
+	Spilled      int64   // lifetime blocks spilled across the pool
+	SpilledBytes int64   // lifetime payload bytes spilled across the pool
+}
+
+// AggregatePool folds the live members' gauges into one PoolSignals as of
+// now. Members' gauges are individually thread-safe, so the aggregate is a
+// consistent-enough snapshot for control decisions without any global lock.
+func AggregatePool(now time.Duration, members []*StagerFlows) PoolSignals {
+	ps := PoolSignals{Stagers: len(members)}
+	for _, m := range members {
+		q, c := m.Queue.Get()
+		ps.Queued += q
+		ps.Capacity += c
+		ps.ForwardRate += m.Forwarded.Rate(now)
+		ps.Spilled += m.Spilled.Total()
+		ps.SpilledBytes += m.SpilledBytes.Total()
+	}
+	if ps.Capacity > 0 {
+		ps.Occupancy = float64(ps.Queued) / float64(ps.Capacity)
+	}
+	return ps
 }

@@ -26,6 +26,7 @@ import (
 // frame layout (little endian):
 //
 //	u32 magic | u32 flags | i64 to | i64 from | i64 dest
+//	i64 finBlocks | i64 finDisk | i64 lost
 //	i64 nDisk | nDisk × (i64 rank | i64 step | i64 seq | i64 bytes)
 //	i64 nBlocks | nBlocks × (i64 rank | i64 step | i64 seq | i64 offset |
 //	                         i64 bytes | i64 onDisk | i64 dataLen | data)
@@ -33,10 +34,22 @@ import (
 // Version 2 of the frame carries a batch of data blocks so one socket write
 // (and one read on the far side) moves a whole drained batch; version 3 adds
 // the relay destination so a frame can address a stager endpoint while
-// naming the consumer the data is ultimately for.
+// naming the consumer the data is ultimately for; version 4 adds the Fin's
+// declared delivery totals (counted stream termination for the elastic
+// staging tier), the relay's Lost count, and the Retire flag that drains a
+// pool-managed stager.
+//
+// The Retire flag is carried for frame completeness only: the elastic drain
+// protocol's "Retire arrives last" guarantee requires a transport whose Send
+// returns only after the message is deposited in the destination inbox
+// (in-process channels, the simulated network). TCPTransport.Send returns
+// after the socket write, and frames from different connections interleave
+// at the listener, so a quiesced claim does NOT order a Retire behind
+// in-flight data here — do not drive a pool-managed stager across TCP.
 const (
-	frameMagic  = 0x5a495033 // "ZIP3"
+	frameMagic  = 0x5a495034 // "ZIP4"
 	flagFin     = 1 << 0
+	flagRetire  = 1 << 1
 	maxFrameLen = 1 << 31
 	maxBatchLen = 1 << 20 // sanity cap on per-frame block and disk-ref counts
 )
@@ -170,10 +183,14 @@ func writeFrame(w io.Writer, to int, m rt.Message) error {
 	if m.Fin {
 		flags |= flagFin
 	}
+	if m.Retire {
+		flags |= flagRetire
+	}
 	hdr := make([]byte, 0, 128)
 	hdr = binary.LittleEndian.AppendUint32(hdr, frameMagic)
 	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
 	hdr = appendI64(hdr, int64(to), int64(m.From), int64(m.Dest))
+	hdr = appendI64(hdr, m.FinBlocks, m.FinDisk, m.Lost)
 	hdr = appendI64(hdr, int64(len(m.Disk)))
 	for _, d := range m.Disk {
 		hdr = appendI64(hdr, int64(d.ID.Rank), int64(d.ID.Step), int64(d.ID.Seq), d.Bytes)
@@ -238,10 +255,29 @@ func readFrame(r io.Reader) (int, rt.Message, error) {
 	if err != nil {
 		return 0, m, err
 	}
-	dest, _ := i64()
+	dest, err := i64()
+	if err != nil {
+		return 0, m, err
+	}
+	finBlocks, err := i64()
+	if err != nil {
+		return 0, m, err
+	}
+	finDisk, err := i64()
+	if err != nil {
+		return 0, m, err
+	}
+	lost, err := i64()
+	if err != nil {
+		return 0, m, err
+	}
 	m.From = int(from)
 	m.Dest = int(dest)
 	m.Fin = flags&flagFin != 0
+	m.Retire = flags&flagRetire != 0
+	m.FinBlocks = finBlocks
+	m.FinDisk = finDisk
+	m.Lost = lost
 	nDisk, err := i64()
 	if err != nil || nDisk < 0 || nDisk > maxBatchLen {
 		return 0, m, fmt.Errorf("realenv: bad disk-ref count %d: %v", nDisk, err)

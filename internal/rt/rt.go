@@ -80,6 +80,28 @@ type Message struct {
 	Blocks []*block.Block
 	Disk   []DiskRef
 	Fin    bool // the producer has sent everything
+	// FinBlocks and FinDisk, valid on a Fin, declare the producer's lifetime
+	// totals: blocks that left via a network path (direct or staging relay)
+	// and disk-ref announcements for blocks spilled through the file system.
+	// They make stream termination counted rather than ordered: the consumer
+	// waits until the declared deliveries have all arrived, so relayed blocks
+	// still in flight behind a membership change of an elastic stager pool
+	// can trail the Fin without being lost. A fixed pool satisfies the counts
+	// exactly when the last Fin arrives, so declared Fins change nothing
+	// there.
+	FinBlocks int64
+	FinDisk   int64
+	// Lost counts relayed blocks a stager had to drop after an unrecoverable
+	// spill-store failure (the failure itself is reported by Stager.Err and
+	// the run must be treated as lost). The consumer counts Lost against the
+	// Fins' declared totals so even a lossy stream still terminates instead
+	// of waiting forever for blocks that can never arrive.
+	Lost int64
+	// Retire tells a pool-managed stager endpoint to stop admitting, flush
+	// its queue and spill partition to the consumers, and exit. The elastic
+	// scaler sends it only after the pool membership change has quiesced, so
+	// it is the last message the endpoint ever receives.
+	Retire bool
 	// Dest is the final consumer endpoint of a message routed through an
 	// in-transit staging relay: the producer addresses the send to the
 	// stager's endpoint and sets Dest to the consumer the stager must

@@ -19,6 +19,13 @@
 // the relay trails every block that producer relayed — the property the
 // producer's sender thread relies on when it closes a staged stream.
 //
+// A stager normally terminates after counting its assigned producers' Fins.
+// Behind an elastic pool (Config.Managed) assignment is dynamic, so
+// termination is by drain instead: the Retire control message — sent by the
+// scaler only after the membership change has quiesced, making it the last
+// message the endpoint receives — stops admission, and the forwarder
+// flushes the queue and the spill partition before the threads exit.
+//
 // Like the core producer and consumer modules, the Stager is written against
 // the rt platform interfaces and runs unchanged on the real machine
 // (goroutines, TCP or in-process channels) and inside the discrete-event
@@ -56,8 +63,14 @@ type Config struct {
 	// the head block is always taken so oversized blocks make progress.
 	MaxBatchBytes int64
 	// Producers is the number of upstream producers assigned to this stager
-	// (its expected Fin count). Required, ≥ 1.
+	// (its expected Fin count). Required (≥ 1) unless Managed is set.
 	Producers int
+	// Managed selects pool-managed termination for stagers behind an elastic
+	// pool: producer assignment is dynamic there, so no Fin count is known up
+	// front. A managed stager admits messages until it receives the Retire
+	// control message, then flushes its queue and spill partition to the
+	// consumers and exits. Producers is ignored.
+	Managed bool
 	// Recorder, when non-nil, captures the stager threads' activity spans.
 	Recorder *trace.Recorder
 }
@@ -90,6 +103,7 @@ type Stats struct {
 	BlocksIn        int64         // blocks received from producers
 	BlocksForwarded int64         // blocks delivered to consumers
 	BlocksSpilled   int64         // blocks that overflowed to the spill store
+	SpilledBytes    int64         // payload bytes that overflowed to the spill store
 	DiskRefs        int64         // producer disk-ref announcements relayed
 	MessagesIn      int64         // mixed messages received
 	MessagesOut     int64         // mixed messages forwarded (re-batched)
@@ -124,6 +138,9 @@ type slot struct {
 	blocks     []*relayBlock
 	disk       []rt.DiskRef
 	fin        bool
+	// finBlocks/finDisk are the Fin's declared delivery totals, carried
+	// through the relay so counted stream termination survives the hop.
+	finBlocks, finDisk int64
 }
 
 // Stager is one in-transit staging endpoint.
@@ -159,7 +176,7 @@ type Stager struct {
 // spiller threads.
 func NewStager(env rt.Env, cfg Config, id int, in rt.Inbox, tr rt.Transport, fs rt.BlockStore) *Stager {
 	cfg = cfg.withDefaults()
-	if cfg.Producers < 1 {
+	if !cfg.Managed && cfg.Producers < 1 {
 		panic("staging: stager needs at least one producer")
 	}
 	s := &Stager{env: env, cfg: cfg, id: id, in: in, tr: tr, fs: fs}
@@ -212,8 +229,8 @@ func (s *Stager) Err(c rt.Ctx) error {
 }
 
 // Wait blocks until the receiver, forwarder, and spiller threads have
-// exited: every assigned producer sent its Fin and all relayed data was
-// delivered.
+// exited: every assigned producer sent its Fin (or, for a managed stager,
+// the Retire arrived) and all relayed data was delivered.
 func (s *Stager) Wait(c rt.Ctx) {
 	s.lk.Lock(c)
 	for !(s.recvDone && s.forwardDone && s.spillDone) {
@@ -222,12 +239,23 @@ func (s *Stager) Wait(c rt.Ctx) {
 	s.lk.Unlock(c)
 }
 
+// Drained reports, without blocking, whether every runtime thread has exited
+// — for a managed stager, that the Retire arrived and the flush completed.
+// The elastic scaler polls it to learn when a retired endpoint's slot can be
+// reused.
+func (s *Stager) Drained(c rt.Ctx) bool {
+	s.lk.Lock(c)
+	defer s.lk.Unlock(c)
+	return s.recvDone && s.forwardDone && s.spillDone
+}
+
 // snapshot assembles a stats snapshot with rates evaluated at `now`.
 func (s *Stager) snapshot(now time.Duration, live bool) Stats {
 	st := Stats{
 		BlocksIn:        s.fl.In.Total(),
 		BlocksForwarded: s.fl.Forwarded.Total(),
 		BlocksSpilled:   s.fl.Spilled.Total(),
+		SpilledBytes:    s.fl.SpilledBytes.Total(),
 		DiskRefs:        s.fl.DiskRefs.Total(),
 		MessagesIn:      s.fl.MessagesIn.Total(),
 		MessagesOut:     s.fl.MessagesOut.Total(),
@@ -284,11 +312,18 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 		if s.cfg.Recorder != nil && len(m.Blocks) > 0 {
 			s.cfg.Recorder.Add(s.traceName("receiver"), "recv", start, start+busy)
 		}
+		if m.Retire {
+			// The scaler retires this endpoint: the pool membership change
+			// already quiesced, so this is the last message — stop admitting
+			// and let the forwarder flush the queue and spill partition.
+			break
+		}
 		need := len(m.Blocks)
 		for need > 0 && s.memBlocks > 0 && s.memBlocks+need > s.cfg.BufferBlocks {
 			s.space.Wait(c)
 		}
-		sl := &slot{from: m.From, dest: m.Dest, disk: m.Disk, fin: m.Fin}
+		sl := &slot{from: m.From, dest: m.Dest, disk: m.Disk, fin: m.Fin,
+			finBlocks: m.FinBlocks, finDisk: m.FinDisk}
 		for _, b := range m.Blocks {
 			sl.blocks = append(sl.blocks, &relayBlock{b: b, id: b.ID, offset: b.Offset, bytes: b.Bytes})
 		}
@@ -301,7 +336,7 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 		if s.memBlocks > s.cfg.HighWater {
 			s.spillWork.Signal()
 		}
-		if m.Fin {
+		if m.Fin && !s.cfg.Managed {
 			s.finsGot++
 			if s.finsGot == s.cfg.Producers {
 				break
@@ -327,7 +362,7 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 // self-identify through their IDs, so the outgoing From is informational:
 // it names the Fin's producer when the message carries one (Fin attribution
 // must stay exact) and the first merged producer otherwise.
-func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRef, from, dest int, fin, ok bool) {
+func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRef, from, dest int, fin bool, finBlocks, finDisk int64, ok bool) {
 	head := s.queue[0]
 	from, dest = head.from, head.dest
 	var bytes int64
@@ -365,6 +400,7 @@ func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRe
 		if sl.fin {
 			fin = true
 			from = sl.from
+			finBlocks, finDisk = sl.finBlocks, sl.finDisk
 		}
 		s.queue = s.queue[1:]
 	}
@@ -385,9 +421,10 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 		var disk []rt.DiskRef
 		var from, dest int
 		var fin, ok bool
+		var finBlocks, finDisk int64
 		for {
 			if len(s.queue) > 0 {
-				taken, disk, from, dest, fin, ok = s.assembleLocked(c)
+				taken, disk, from, dest, fin, finBlocks, finDisk, ok = s.assembleLocked(c)
 				if ok {
 					break
 				}
@@ -405,6 +442,7 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 		blocks := make([]*block.Block, 0, len(taken))
 		var unspillBusy time.Duration
 		var unspillErr error
+		var lost int64
 		for _, rb := range taken {
 			if !rb.spilled {
 				blocks = append(blocks, rb.b)
@@ -415,7 +453,12 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 			unspillBusy += c.Now() - start
 			if err != nil {
 				unspillErr = fmt.Errorf("staging: re-reading spilled block %v: %w", rb.id, err)
-				continue // forward the rest so the stream still terminates
+				// Forward the rest, declaring the drop: the consumer counts
+				// Lost against the Fins' declared totals, so the stream
+				// still terminates (the data is gone either way — Err marks
+				// the run lost).
+				lost++
+				continue
 			}
 			// Reclaim the spill file and hand the block on as a fresh
 			// in-memory one: the consumer must not mistake the stager's
@@ -430,7 +473,8 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 		}
 
 		start := c.Now()
-		s.tr.Send(c, dest, rt.Message{From: from, Dest: dest, Blocks: blocks, Disk: disk, Fin: fin})
+		s.tr.Send(c, dest, rt.Message{From: from, Dest: dest, Blocks: blocks, Disk: disk,
+			Fin: fin, FinBlocks: finBlocks, FinDisk: finDisk, Lost: lost})
 		busy := c.Now() - start
 		if s.cfg.Recorder != nil && len(blocks) > 0 {
 			s.cfg.Recorder.Add(s.traceName("forwarder"), "forward", start, start+busy)
@@ -501,6 +545,7 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 		victim.b = nil
 		victim.spilled = true
 		s.fl.Spilled.Add(c.Now(), 1)
+		s.fl.SpilledBytes.Add(c.Now(), victim.bytes)
 		s.setOccLocked(c, s.memBlocks-1)
 		s.space.Broadcast()
 		s.work.Broadcast() // a forwarder parked on a mid-spill head can move again

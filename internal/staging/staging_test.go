@@ -1,14 +1,17 @@
 package staging
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
 	"time"
 
+	"zipper/internal/block"
 	"zipper/internal/core"
 	"zipper/internal/flow"
+	"zipper/internal/rt"
 	"zipper/internal/rt/realenv"
 )
 
@@ -382,5 +385,84 @@ func TestHybridPrefersDirectWhenConsumerKeepsUp(t *testing.T) {
 	ps := r.prod[0].Stats(ctx)
 	if ps.BlocksSent < int64(blocks)*9/10 {
 		t.Fatalf("hybrid relayed under an open window: direct=%d relayed=%d", ps.BlocksSent, ps.BlocksRelayed)
+	}
+}
+
+// lossyStore injects an unreadable spill partition: spill writes succeed but
+// every re-read fails, as a torn or corrupted spill file would.
+type lossyStore struct{ inner rt.BlockStore }
+
+func (s lossyStore) WriteBlock(c rt.Ctx, b *block.Block) error { return s.inner.WriteBlock(c, b) }
+func (s lossyStore) ReadBlock(c rt.Ctx, id block.ID, bytes int64) (*block.Block, error) {
+	return nil, errors.New("injected spill-read failure")
+}
+func (s lossyStore) RemoveBlock(c rt.Ctx, id block.ID) error { return s.inner.RemoveBlock(c, id) }
+
+// TestLossyRelayStillTerminates pins the counted-termination escape hatch:
+// when a stager cannot re-read spilled blocks, the relayed stream loses data
+// (the run is lost, reported by Stager.Err) but the consumer's stream must
+// still terminate — the forwarder declares the drops via Message.Lost, which
+// counts against the Fins' declared totals. Before Lost existed this
+// scenario hung the consumer forever.
+func TestLossyRelayStillTerminates(t *testing.T) {
+	const blocks, blockBytes = 100, 1 << 10
+	dir := t.TempDir()
+	env := realenv.New()
+	net := realenv.NewNetwork(2, 1)
+	fs, err := realenv.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := fs.Partition("stage0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.Config{RoutePolicy: core.RouteStaging, DisableSteal: true,
+		BufferBlocks: 16, MaxBatchBlocks: 4}
+	cons := core.NewConsumer(env, ccfg, 0, 1, net.Inbox(0), fs)
+	stg := NewStager(env, Config{BufferBlocks: 8, MaxBatchBlocks: 4, Producers: 1},
+		0, net.Inbox(1), net, lossyStore{spill})
+	prod := core.NewStagedProducer(env, ccfg, 0, 0, 1, net, fs)
+
+	go func() {
+		c := env.Ctx()
+		for i := 0; i < blocks; i++ {
+			data := make([]byte, blockBytes)
+			prod.Write(c, i, 0, data, blockBytes)
+		}
+		prod.Close(c)
+	}()
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c := env.Ctx()
+		for {
+			if _, ok := cons.Read(c); !ok {
+				return
+			}
+			received++
+			time.Sleep(2 * time.Millisecond) // lag so the stager spills
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("lossy relayed stream never terminated")
+	}
+	ctx := env.Ctx()
+	prod.Wait(ctx)
+	stg.Wait(ctx)
+	cons.Wait(ctx)
+	st := stg.FinalStats()
+	if st.BlocksSpilled == 0 {
+		t.Skip("no spills this run; loss path not exercised")
+	}
+	if err := stg.Err(ctx); err == nil {
+		t.Fatal("stager reported no error despite unreadable spills")
+	}
+	if int64(received) != blocks-st.BlocksSpilled {
+		t.Fatalf("received %d blocks, want %d (sent %d, lost %d spilled)",
+			received, blocks-st.BlocksSpilled, blocks, st.BlocksSpilled)
 	}
 }

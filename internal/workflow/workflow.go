@@ -12,10 +12,12 @@ import (
 	"time"
 
 	"zipper/internal/core"
+	"zipper/internal/elastic"
 	"zipper/internal/fabric"
 	"zipper/internal/flow"
 	"zipper/internal/mpi"
 	"zipper/internal/pfs"
+	"zipper/internal/rt"
 	"zipper/internal/rt/simenv"
 	"zipper/internal/sim"
 	"zipper/internal/staging"
@@ -82,10 +84,16 @@ type Spec struct {
 	// Stagers is the number of Zipper in-transit stager ranks (RunZipper
 	// only). They are placed round-robin on the staging nodes, so a relayed
 	// block crosses the fabric twice — the extra hop the wire model charges
-	// in-transit configurations.
+	// in-transit configurations. With Elastic enabled it is the reserved
+	// endpoint ceiling: endpoints (and their fabric placements on the
+	// StagingNodes headroom) exist up front, but only the live pool runs.
 	Stagers int
 	// StagerBufferBlocks is each stager's in-memory buffer capacity.
 	StagerBufferBlocks int
+	// Elastic enables and tunes the staging-tier autoscaler (RunZipper
+	// only): the pool starts at Elastic.MinStagers and the scaler grows and
+	// drains stager ranks at runtime within the Stagers ceiling.
+	Elastic elastic.Config
 	// Window is Zipper's per-consumer receive window in messages.
 	Window int
 	// Trace enables span recording.
@@ -132,7 +140,15 @@ type Result struct {
 	// partitions; StagerMaxQueued is the deepest any stager's memory
 	// buffer ran.
 	StagerSpills, StagerMaxQueued int64
-	Rec                           *trace.Recorder
+	// ScaleEvents is the elastic scaler's action timeline (grow/drain), and
+	// StagerNodeSeconds the summed provisioned lifetime of stager ranks in
+	// virtual seconds — the resource cost a fixed pool pays as pool-size ×
+	// run-length. Both are populated for fixed pools too (no events; each
+	// stager billed to its finish time) so elastic and fixed runs compare on
+	// one axis.
+	ScaleEvents       []elastic.Event
+	StagerNodeSeconds float64
+	Rec               *trace.Recorder
 }
 
 // rig is a built machine instance.
@@ -401,7 +417,9 @@ func RunZipper(spec Spec) Result {
 
 	producers := make([]*core.Producer, spec.P)
 	consumers := make([]*core.Consumer, spec.Q)
-	stagers := make([]*staging.Stager, nStage)
+	var allStagers []*staging.Stager // every stager instance, for stats
+	var scaler *elastic.Scaler
+	elasticOn := spec.Elastic.Enabled && nStage > 0
 	for q := 0; q < spec.Q; q++ {
 		n := 0
 		for p := 0; p < spec.P; p++ {
@@ -412,36 +430,92 @@ func RunZipper(spec Spec) Result {
 		env := simenv.NewEnv(r.eng, r.consNodes[q], spec.Machine.MemBandwidth)
 		consumers[q] = core.NewConsumer(env, zcfg, q, n, net.Inbox(q), store)
 	}
-	for s := 0; s < nStage; s++ {
-		n := 0
-		for p := 0; p < spec.P; p++ {
-			if p%nStage == s {
-				n++
+	if elasticOn {
+		// Elastic staging tier: reserve the endpoint ceiling, spawn the
+		// starting pool as managed stagers, and let the scaler grow and
+		// drain ranks at runtime over the StagingNodes headroom.
+		ecfg := spec.Elastic.WithDefaults(nStage)
+		pool := elastic.NewPool()
+		slots := make([]*staging.Stager, ecfg.MaxStagers)
+		spawn := func(slot int) *staging.Stager {
+			env := simenv.NewEnv(r.eng, r.stageNode[slot%len(r.stageNode)], spec.Machine.MemBandwidth)
+			scfg := staging.Config{
+				BufferBlocks:   spec.StagerBufferBlocks,
+				MaxBatchBlocks: zcfg.MaxBatchBlocks,
+				MaxBatchBytes:  zcfg.MaxBatchBytes,
+				Managed:        true,
+				Recorder:       r.rec,
 			}
+			spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", slot))
+			st := staging.NewStager(env, scfg, slot, net.Inbox(spec.Q+slot), net, spill)
+			slots[slot] = st
+			allStagers = append(allStagers, st)
+			return st
 		}
-		env := simenv.NewEnv(r.eng, r.stageNode[s%len(r.stageNode)], spec.Machine.MemBandwidth)
-		scfg := staging.Config{
-			BufferBlocks:   spec.StagerBufferBlocks,
-			MaxBatchBlocks: zcfg.MaxBatchBlocks,
-			MaxBatchBytes:  zcfg.MaxBatchBytes,
-			Producers:      n,
-			Recorder:       r.rec,
+		var initial []*flow.StagerFlows
+		for s := 0; s < ecfg.MinStagers; s++ {
+			st := spawn(s)
+			pool.Add(spec.Q + s)
+			initial = append(initial, st.Flows())
 		}
-		spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", s))
-		stagers[s] = staging.NewStager(env, scfg, s, net.Inbox(spec.Q+s), net, spill)
-	}
-	if nStage > 0 {
+		zcfg.Directory = pool
 		zcfg.StagerLevel = func(addr int) *flow.Level {
-			return stagers[addr-spec.Q].Level()
+			if st := slots[addr-spec.Q]; st != nil {
+				return st.Level()
+			}
+			return nil
+		}
+		scalerEnv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
+		scaler = elastic.NewScaler(scalerEnv, ecfg, pool,
+			&simHost{spawn: spawn, slots: slots, net: net, base: spec.Q}, spec.Q, initial)
+		scaler.Start()
+	} else {
+		for s := 0; s < nStage; s++ {
+			n := 0
+			for p := 0; p < spec.P; p++ {
+				if p%nStage == s {
+					n++
+				}
+			}
+			env := simenv.NewEnv(r.eng, r.stageNode[s%len(r.stageNode)], spec.Machine.MemBandwidth)
+			scfg := staging.Config{
+				BufferBlocks:   spec.StagerBufferBlocks,
+				MaxBatchBlocks: zcfg.MaxBatchBlocks,
+				MaxBatchBytes:  zcfg.MaxBatchBytes,
+				Producers:      n,
+				Recorder:       r.rec,
+			}
+			spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", s))
+			st := staging.NewStager(env, scfg, s, net.Inbox(spec.Q+s), net, spill)
+			allStagers = append(allStagers, st)
+		}
+		if nStage > 0 {
+			fixed := allStagers
+			zcfg.StagerLevel = func(addr int) *flow.Level {
+				return fixed[addr-spec.Q].Level()
+			}
 		}
 	}
 	for p := 0; p < spec.P; p++ {
 		env := simenv.NewEnv(r.eng, r.prodNodes[p], spec.Machine.MemBandwidth)
 		stager := core.NoStager
-		if nStage > 0 {
+		if nStage > 0 && !elasticOn {
 			stager = spec.Q + p%nStage
 		}
 		producers[p] = core.NewStagedProducer(env, zcfg, p, p*spec.Q/spec.P, stager, net, store)
+	}
+	if scaler != nil {
+		// The janitor closes the loop's lifetime: once every producer has
+		// handed off its data, no relay traffic can appear, so the scaler
+		// stops and retires the remaining pool — the flush completes the
+		// consumers' counted streams.
+		jenv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
+		jenv.Go("elastic.janitor", func(c rt.Ctx) {
+			for _, p := range producers {
+				p.Wait(c)
+			}
+			scaler.Stop(c)
+		})
 	}
 
 	blockBytes := w.BlockBytes
@@ -545,12 +619,19 @@ func RunZipper(spec Spec) Result {
 			storeCons = st.StoreBusy
 		}
 	}
-	for _, s := range stagers {
+	for _, s := range allStagers {
 		st := s.FinalStats()
 		res.StagerSpills += st.BlocksSpilled
 		if st.MaxQueued > res.StagerMaxQueued {
 			res.StagerMaxQueued = st.MaxQueued
 		}
+		if scaler == nil {
+			res.StagerNodeSeconds += st.Finished.Seconds()
+		}
+	}
+	if scaler != nil {
+		res.ScaleEvents = scaler.Events()
+		res.StagerNodeSeconds = scaler.NodeSeconds()
 	}
 	res.Stages = StageTimes{
 		Simulation: time.Duration(w.Steps) * w.StepTime,
@@ -562,6 +643,31 @@ func RunZipper(spec Spec) Result {
 	res.SenderIdle = res.E2E - maxSend
 	res.XmitWaitProducers = sumXmitWait(r)
 	return res
+}
+
+// simHost adapts the simulated workflow wiring to elastic.Host: spawned
+// stagers are fresh engine-process sets placed round-robin on the staging
+// nodes, and Retire travels the simulated network like any other message.
+// All fields are written only under the engine's one-process-at-a-time
+// scheduling, so no locking is needed.
+type simHost struct {
+	spawn func(slot int) *staging.Stager
+	slots []*staging.Stager
+	net   *simenv.Network
+	base  int // transport address of slot 0
+}
+
+func (h *simHost) Spawn(c rt.Ctx, slot int) (*flow.StagerFlows, error) {
+	return h.spawn(slot).Flows(), nil
+}
+
+func (h *simHost) Retire(c rt.Ctx, slot int) {
+	h.net.Send(c, h.base+slot, rt.Message{Retire: true})
+}
+
+func (h *simHost) Drained(c rt.Ctx, slot int) bool {
+	st := h.slots[slot]
+	return st == nil || st.Drained(c)
 }
 
 func maxDur(ds []time.Duration) time.Duration {

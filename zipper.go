@@ -49,14 +49,23 @@
 // staging relay, or — implicitly, through backpressure — the work-stealing
 // file-system path), and stagers absorb bursts in memory, re-batch, spill
 // overflow to their own SpoolDir partitions, and forward to the consumers.
+//
+// With Config.Elastic.Enabled the staging tier becomes an autoscaled
+// resource: Stagers turns into a reserved endpoint ceiling, producers
+// resolve their stager per batch from an epoch-versioned pool, and a scaler
+// grows and drains endpoints at runtime on the pool-wide occupancy,
+// forward-rate, and spill signals. Job.Stats reports the scaling timeline
+// and the stager node-seconds the pool actually billed.
 package zipper
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"zipper/internal/block"
 	"zipper/internal/core"
+	"zipper/internal/elastic"
 	"zipper/internal/flow"
 	"zipper/internal/rt"
 	"zipper/internal/rt/realenv"
@@ -89,6 +98,15 @@ const (
 // AdaptiveTuning parameterizes the RouteAdaptive controller; the zero value
 // selects sensible defaults (see the flow package).
 type AdaptiveTuning = flow.Tuning
+
+// ElasticConfig tunes the elastic staging tier — the autoscaler that grows
+// and drains stager endpoints at runtime (see the elastic package). The zero
+// value of every field but Enabled selects a sensible default.
+type ElasticConfig = elastic.Config
+
+// ScaleEvent is one autoscaler action on the stager pool, reported in
+// JobStats.ScaleEvents as a scaling timeline.
+type ScaleEvent = elastic.Event
 
 // BlockID identifies a block: producing rank, time step, and sequence number.
 type BlockID struct {
@@ -161,7 +179,14 @@ type Config struct {
 	// Stagers is the number of in-transit staging endpoints — the third
 	// channel between the in-memory message path and the file-system path.
 	// Zero (the default) runs the paper's original two-channel protocol.
-	// Producer p relays through stager p mod Stagers.
+	// With a fixed pool (Elastic off) every endpoint runs for the whole job
+	// and producer p is permanently assigned stager p mod Stagers. With
+	// Elastic on, Stagers is instead the reserved endpoint ceiling: the live
+	// pool is an epoch-versioned membership that starts at
+	// Elastic.MinStagers, grows and drains within [MinStagers, MaxStagers]
+	// ≤ Stagers, and producers re-resolve their stager from the current
+	// membership for every drained batch (rank-affine over the live members,
+	// so a stable membership reproduces the fixed assignment).
 	Stagers int
 	// StagerBufferBlocks is each stager's in-memory buffer capacity in
 	// blocks (default 64). Past ¾ of it the stager spills its newest
@@ -174,6 +199,11 @@ type Config struct {
 	RoutePolicy RoutePolicy
 	// Adaptive tunes the RouteAdaptive controller (ignored otherwise).
 	Adaptive AdaptiveTuning
+	// Elastic enables and tunes the staging-tier autoscaler. It needs
+	// Stagers ≥ 1 (the reserved endpoint ceiling) and a RoutePolicy that can
+	// reach the tier. Off (the default), the staging tier is the fixed pool
+	// of earlier revisions, unchanged.
+	Elastic ElasticConfig
 	// Preserve keeps every block on the file system for later validation.
 	Preserve bool
 	// DisableSteal turns the dual-channel optimization off
@@ -187,9 +217,28 @@ type Config struct {
 type Job struct {
 	env   *realenv.Env
 	cfg   Config
+	net   *realenv.Network
+	fs    *realenv.FileStore
 	prod  []*Producer
 	cons  []*Consumer
-	stage []*staging.Stager
+	stage []*staging.Stager // fixed staging tier (Elastic off)
+
+	// Elastic staging tier state. slots maps each reserved endpoint slot to
+	// its current stager instance (a retired slot keeps its last instance
+	// until the scaler reuses it); all records every instance ever spawned,
+	// in spawn order, so retired stagers stay visible in Stats.
+	mu     sync.RWMutex
+	slots  []*staging.Stager
+	all    []*jobStager
+	pool   *elastic.Pool
+	scaler *elastic.Scaler
+}
+
+// jobStager is one spawned stager instance of the elastic tier.
+type jobStager struct {
+	slot    int
+	st      *staging.Stager
+	drained bool // retired from the pool (mid-run drain or shutdown)
 }
 
 // validate rejects configurations that would otherwise hang, panic, or
@@ -254,6 +303,21 @@ func (cfg Config) validate() error {
 	if cfg.Adaptive.Tau < 0 || cfg.Adaptive.Decay < 0 {
 		return fmt.Errorf("zipper: Adaptive time constants must be ≥ 0 (0 selects the default)")
 	}
+	if cfg.Elastic.Enabled && cfg.RoutePolicy == RouteDirect {
+		return fmt.Errorf("zipper: Elastic staging needs a RoutePolicy that can reach the tier (valid: %v, %v, %v)",
+			RouteStaging, RouteHybrid, RouteAdaptive)
+	}
+	// The staging tier never outnumbers the producers (a stager with no
+	// possible traffic would never terminate), so elastic bounds must fit
+	// the effective ceiling — otherwise an explicitly requested floor would
+	// be silently shrunk instead of rejected.
+	ceiling := cfg.Stagers
+	if cfg.Producers < ceiling {
+		ceiling = cfg.Producers
+	}
+	if err := cfg.Elastic.Validate(ceiling); err != nil {
+		return fmt.Errorf("zipper: %w", err)
+	}
 	return nil
 }
 
@@ -287,7 +351,7 @@ func NewJob(cfg Config) (*Job, error) {
 	if cfg.Preserve {
 		ccfg.Mode = core.Preserve
 	}
-	j := &Job{env: env, cfg: cfg}
+	j := &Job{env: env, cfg: cfg, net: net, fs: fs}
 	for q := 0; q < cfg.Consumers; q++ {
 		n := 0
 		for p := 0; p < cfg.Producers; p++ {
@@ -312,34 +376,62 @@ func NewJob(cfg Config) (*Job, error) {
 	if stagers > cfg.Producers {
 		stagers = cfg.Producers
 	}
-	for s := 0; s < stagers; s++ {
-		spill, err := fs.Partition(fmt.Sprintf("stage%d", s))
-		if err != nil {
-			return nil, err
-		}
-		n := 0
-		for p := 0; p < cfg.Producers; p++ {
-			if p%stagers == s {
-				n++
+	switch {
+	case cfg.Elastic.Enabled && stagers > 0:
+		// Elastic staging tier: spawn the starting pool, hand producers the
+		// epoch-versioned directory instead of a fixed assignment, and start
+		// the scaler.
+		ecfg := cfg.Elastic.WithDefaults(stagers)
+		j.pool = elastic.NewPool()
+		j.slots = make([]*staging.Stager, ecfg.MaxStagers)
+		var initial []*flow.StagerFlows
+		for s := 0; s < ecfg.MinStagers; s++ {
+			st, err := j.spawnStager(s)
+			if err != nil {
+				return nil, err
 			}
+			j.pool.Add(cfg.Consumers + s)
+			initial = append(initial, st.Flows())
 		}
-		scfg := staging.Config{
-			BufferBlocks:   cfg.StagerBufferBlocks,
-			MaxBatchBlocks: cfg.MaxBatchBlocks,
-			MaxBatchBytes:  cfg.MaxBatchBytes,
-			Producers:      n,
-			Recorder:       cfg.Recorder,
+		ccfg.Directory = j.pool
+		ccfg.StagerLevel = func(addr int) *flow.Level {
+			j.mu.RLock()
+			defer j.mu.RUnlock()
+			if st := j.slots[addr-cfg.Consumers]; st != nil {
+				return st.Level()
+			}
+			return nil
 		}
-		j.stage = append(j.stage, staging.NewStager(env, scfg, s, net.Inbox(cfg.Consumers+s), net, spill))
-	}
-	if len(j.stage) > 0 {
+		j.scaler = elastic.NewScaler(env, ecfg, j.pool, (*jobHost)(j), cfg.Consumers, initial)
+		j.scaler.Start()
+	case stagers > 0:
+		for s := 0; s < stagers; s++ {
+			spill, err := fs.Partition(fmt.Sprintf("stage%d", s))
+			if err != nil {
+				return nil, err
+			}
+			n := 0
+			for p := 0; p < cfg.Producers; p++ {
+				if p%stagers == s {
+					n++
+				}
+			}
+			scfg := staging.Config{
+				BufferBlocks:   cfg.StagerBufferBlocks,
+				MaxBatchBlocks: cfg.MaxBatchBlocks,
+				MaxBatchBytes:  cfg.MaxBatchBytes,
+				Producers:      n,
+				Recorder:       cfg.Recorder,
+			}
+			j.stage = append(j.stage, staging.NewStager(env, scfg, s, net.Inbox(cfg.Consumers+s), net, spill))
+		}
 		ccfg.StagerLevel = func(addr int) *flow.Level {
 			return j.stage[addr-cfg.Consumers].Level()
 		}
 	}
 	for p := 0; p < cfg.Producers; p++ {
 		stager := core.NoStager
-		if stagers > 0 {
+		if j.pool == nil && stagers > 0 {
 			stager = cfg.Consumers + p%stagers
 		}
 		j.prod = append(j.prod, &Producer{
@@ -350,6 +442,67 @@ func NewJob(cfg Config) (*Job, error) {
 	return j, nil
 }
 
+// spawnStager builds and starts a managed stager endpoint on reserved slot
+// `slot` of the elastic tier. A respawned slot reuses its spill partition —
+// the previous occupant flushed it before retiring.
+func (j *Job) spawnStager(slot int) (*staging.Stager, error) {
+	spill, err := j.fs.Partition(fmt.Sprintf("stage%d", slot))
+	if err != nil {
+		return nil, err
+	}
+	scfg := staging.Config{
+		BufferBlocks:   j.cfg.StagerBufferBlocks,
+		MaxBatchBlocks: j.cfg.MaxBatchBlocks,
+		MaxBatchBytes:  j.cfg.MaxBatchBytes,
+		Managed:        true,
+		Recorder:       j.cfg.Recorder,
+	}
+	st := staging.NewStager(j.env, scfg, slot, j.net.Inbox(j.cfg.Consumers+slot), j.net, spill)
+	j.mu.Lock()
+	j.slots[slot] = st
+	j.all = append(j.all, &jobStager{slot: slot, st: st})
+	j.mu.Unlock()
+	return st, nil
+}
+
+// jobHost adapts a Job to the elastic.Host interface without exporting the
+// scaler's platform callbacks on the public Job API.
+type jobHost Job
+
+// Spawn implements elastic.Host.
+func (h *jobHost) Spawn(c rt.Ctx, slot int) (*flow.StagerFlows, error) {
+	st, err := (*Job)(h).spawnStager(slot)
+	if err != nil {
+		return nil, err
+	}
+	return st.Flows(), nil
+}
+
+// Retire implements elastic.Host: it marks the slot's instance drained for
+// Stats and delivers the Retire control message.
+func (h *jobHost) Retire(c rt.Ctx, slot int) {
+	j := (*Job)(h)
+	j.mu.Lock()
+	st := j.slots[slot]
+	for i := len(j.all) - 1; i >= 0; i-- {
+		if j.all[i].st == st {
+			j.all[i].drained = true
+			break
+		}
+	}
+	j.mu.Unlock()
+	j.net.Send(c, j.cfg.Consumers+slot, rt.Message{Retire: true})
+}
+
+// Drained implements elastic.Host.
+func (h *jobHost) Drained(c rt.Ctx, slot int) bool {
+	j := (*Job)(h)
+	j.mu.RLock()
+	st := j.slots[slot]
+	j.mu.RUnlock()
+	return st == nil || st.Drained(c)
+}
+
 // Producer returns producer endpoint i.
 func (j *Job) Producer(i int) *Producer { return j.prod[i] }
 
@@ -358,12 +511,23 @@ func (j *Job) Consumer(i int) *Consumer { return j.cons[i] }
 
 // Wait blocks until every runtime thread has finished: all producers closed,
 // all data delivered (including through the staging tier), and (in Preserve
-// mode) stored.
+// mode) stored. With Elastic on it also stops the scaler and retires the
+// remaining pool — every relayed block is flushed to its consumer before the
+// consumers' streams can complete.
 func (j *Job) Wait() {
 	for _, p := range j.prod {
 		p.p.Wait(p.ctx)
 	}
 	ctx := j.env.Ctx()
+	if j.scaler != nil {
+		j.scaler.Stop(ctx)
+		j.mu.RLock()
+		all := append([]*jobStager(nil), j.all...)
+		j.mu.RUnlock()
+		for _, in := range all {
+			in.st.Wait(ctx)
+		}
+	}
 	for _, s := range j.stage {
 		s.Wait(ctx)
 	}
@@ -374,14 +538,21 @@ func (j *Job) Wait() {
 
 // StagerStats summarizes one in-transit stager endpoint's activity,
 // including the live buffer occupancy so callers can observe fill without
-// reaching into internals.
+// reaching into internals. With Elastic on, the list in JobStats covers
+// every instance ever spawned — retired stagers stay visible with Drained
+// set, so mid-run aggregates account for work the pool already shed.
 type StagerStats struct {
 	BlocksIn        int64 // blocks received from producers
 	BlocksForwarded int64 // blocks delivered to consumers
 	BlocksSpilled   int64 // blocks that overflowed to the stager's spill partition
+	SpilledBytes    int64 // payload bytes that overflowed to the spill partition
 	MessagesIn      int64 // relayed mixed messages received
 	MessagesOut     int64 // re-batched mixed messages forwarded
 	MaxQueued       int64 // peak in-memory buffer occupancy in blocks
+
+	// Drained reports an elastic-tier instance retired from the pool (by a
+	// mid-run drain or the shutdown sweep); its totals are final.
+	Drained bool
 
 	Queued      int     // blocks currently resident in the in-memory buffer
 	Capacity    int     // the buffer's capacity in blocks
@@ -410,6 +581,19 @@ type JobStats struct {
 	WriteRate   float64 // application write rate across producers
 	DeliverRate float64 // delivery rate across producers, all channels
 	AnalyzeRate float64 // analysis rate across consumers
+	// Elastic staging tier (empty/zero with Elastic off).
+	// ScaleEvents is the autoscaler's action timeline so far.
+	ScaleEvents []ScaleEvent
+	// StagerNodeSeconds is the summed provisioned lifetime of stager
+	// endpoints in seconds — the resource cost a fixed pool pays as
+	// pool-size × run-length. Elastic: complete after Wait (it books an
+	// instance when its drain flushes). Fixed pool: each stager's finish
+	// time, available after Wait.
+	StagerNodeSeconds float64
+	// ElasticSpawnErr reports the autoscaler's most recent endpoint-spawn
+	// failure ("" = none): the pool holds at its current size and retries
+	// after a cooldown, and this is where that condition becomes visible.
+	ElasticSpawnErr string
 }
 
 // Stats aggregates producer, consumer, and stager counters in one call.
@@ -428,20 +612,33 @@ func (j *Job) Stats() JobStats {
 		js.DeliverRate += s.DeliverRate
 	}
 	ctx := j.env.Ctx()
+	if j.scaler != nil {
+		type instance struct {
+			st      *staging.Stager
+			drained bool
+		}
+		j.mu.RLock()
+		insts := make([]instance, 0, len(j.all))
+		for _, in := range j.all {
+			insts = append(insts, instance{st: in.st, drained: in.drained})
+		}
+		j.mu.RUnlock()
+		for _, in := range insts {
+			s := in.st.Stats(ctx)
+			js.Stagers = append(js.Stagers, stagerStats(s, in.drained))
+			js.BlocksSpilled += s.BlocksSpilled
+		}
+		js.ScaleEvents = j.scaler.Events()
+		js.StagerNodeSeconds = j.scaler.NodeSeconds()
+		if err := j.scaler.Err(); err != nil {
+			js.ElasticSpawnErr = err.Error()
+		}
+	}
 	for _, st := range j.stage {
 		s := st.Stats(ctx)
-		js.Stagers = append(js.Stagers, StagerStats{
-			BlocksIn:        s.BlocksIn,
-			BlocksForwarded: s.BlocksForwarded,
-			BlocksSpilled:   s.BlocksSpilled,
-			MessagesIn:      s.MessagesIn,
-			MessagesOut:     s.MessagesOut,
-			MaxQueued:       s.MaxQueued,
-			Queued:          s.Queued,
-			Capacity:        s.Capacity,
-			ForwardRate:     s.ForwardRate,
-		})
+		js.Stagers = append(js.Stagers, stagerStats(s, false))
 		js.BlocksSpilled += s.BlocksSpilled
+		js.StagerNodeSeconds += s.Finished.Seconds()
 	}
 	for _, c := range j.cons {
 		s := c.Stats()
@@ -450,6 +647,23 @@ func (j *Job) Stats() JobStats {
 		js.AnalyzeRate += s.AnalyzeRate
 	}
 	return js
+}
+
+// stagerStats converts a staging.Stats snapshot to the public shape.
+func stagerStats(s staging.Stats, drained bool) StagerStats {
+	return StagerStats{
+		BlocksIn:        s.BlocksIn,
+		BlocksForwarded: s.BlocksForwarded,
+		BlocksSpilled:   s.BlocksSpilled,
+		SpilledBytes:    s.SpilledBytes,
+		MessagesIn:      s.MessagesIn,
+		MessagesOut:     s.MessagesOut,
+		MaxQueued:       s.MaxQueued,
+		Drained:         drained,
+		Queued:          s.Queued,
+		Capacity:        s.Capacity,
+		ForwardRate:     s.ForwardRate,
+	}
 }
 
 // Producer is the application-facing producer endpoint. Its methods must be
