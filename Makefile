@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement
 
 ci: fmt vet build test
 
@@ -45,3 +45,8 @@ bench-adaptive:
 # fixed-large vs autoscaled pool).
 bench-elastic:
 	$(GO) run ./cmd/benchelastic -o BENCH_elastic.json
+
+# Regenerate the committed placement baseline (rank-affine vs
+# least-occupancy vs hash-ring on the skewed-rate workload).
+bench-placement:
+	$(GO) run ./cmd/benchplacement -o BENCH_placement.json

@@ -464,6 +464,41 @@ func BenchmarkElastic(b *testing.B) {
 	}
 }
 
+// BenchmarkPlacement compares the placement policies on the skewed-rate
+// staging workload: imbalance is the per-stager relayed max/mean ratio the
+// load-aware policy exists to shrink, stall-s/op the producer liberation it
+// buys. The workload lives in internal/benchharness, shared with
+// cmd/benchplacement so the committed BENCH_placement.json baseline
+// measures the same thing. (The benchmark scales the skewed burst to b.N;
+// the committed ≥2x-imbalance gate runs at the baseline size in the tool
+// only.)
+func BenchmarkPlacement(b *testing.B) {
+	sc := benchharness.PlacementScenarioDefault
+	sc.Bursts = 2
+	sc.BurstPause = 30 * time.Millisecond
+	for _, v := range benchharness.PlacementVariants {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			run := sc
+			fast := (b.N + run.Bursts - 1) / run.Bursts
+			if fast < 10 {
+				fast = 10 // keep the 10:1 skew shape at benchtime 1x
+			}
+			run.BurstBlocks = []int{fast, fast / 10, fast / 10, fast / 10}
+			total := run.Total()
+			b.SetBytes(total * int64(run.BlockBytes) / int64(b.N))
+			b.ResetTimer()
+			st, err := benchharness.RunPlacement(b.TempDir(), v, run)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(st.RelayImbalance, "imbalance")
+			b.ReportMetric(st.WriteStall/float64(total), "stall-s/op")
+		})
+	}
+}
+
 // --- Real-platform throughput of the public API ---
 
 func BenchmarkRealJobThroughput(b *testing.B) {

@@ -1,0 +1,149 @@
+// benchplacement records the placement baseline: the shared skewed-rate
+// benchharness scenario (one producer emits 10x its peers' volume in each
+// burst) run under rank-affine, least-occupancy, and hash-ring placement on
+// the real platform. It writes the comparison as JSON so CI and future
+// optimization PRs have a committed reference point, and fails when the
+// load-aware policy stops earning its keep: least-occupancy must cut the
+// per-stager relayed-block max/mean imbalance at least in half versus
+// rank-affine AND stall producers less (the fast producer gets the whole
+// tier's buffering instead of one stager's).
+//
+// Usage:
+//
+//	benchplacement [-o BENCH_placement.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"zipper/internal/benchharness"
+)
+
+// minProcs floors GOMAXPROCS for the measurement. The job under test runs
+// ~14 runtime threads whose interleaving IS the phenomenon being measured:
+// on a 1-core box the default GOMAXPROCS serializes the pipeline into
+// lockstep, no queue ever forms, and the occupancy signals the placement
+// plane steers on never exist. Raising GOMAXPROCS (even above the physical
+// core count — async preemption interleaves fairly) restores concurrent
+// producer/stager/consumer progress so backpressure forms where it would on
+// a real deployment.
+const minProcs = 8
+
+// Row is one placement policy's measurement.
+type Row struct {
+	Variant        string  `json:"variant"`
+	Blocks         int64   `json:"blocks"`
+	Relayed        int64   `json:"blocks_relayed"`
+	PerStager      []int64 `json:"relayed_per_stager"`
+	RelayImbalance float64 `json:"relay_imbalance_max_over_mean"`
+	WriteStallS    float64 `json:"write_stall_s"`
+	StagerSpills   int64   `json:"stager_spills"`
+	ThroughputMBs  float64 `json:"throughput_mb_per_s"`
+}
+
+// Report is the file layout of BENCH_placement.json.
+type Report struct {
+	Producers   int     `json:"producers"`
+	Consumers   int     `json:"consumers"`
+	Stagers     int     `json:"stagers"`
+	Bursts      int     `json:"bursts"`
+	BurstBlocks []int   `json:"burst_blocks_per_producer"`
+	BurstPauseS float64 `json:"burst_pause_s"`
+	BlockBytes  int     `json:"block_bytes"`
+	AnalyzeUs   float64 `json:"analyze_us_per_block"`
+	GoVersion   string  `json:"go_version"`
+	Rows        []Row   `json:"rows"`
+}
+
+func run(sc benchharness.PlacementScenario, v benchharness.PlacementVariant) (Row, error) {
+	dir, err := os.MkdirTemp("", "benchplacement")
+	if err != nil {
+		return Row{}, err
+	}
+	defer os.RemoveAll(dir)
+	start := time.Now()
+	st, err := benchharness.RunPlacement(dir, v, sc)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Row{}, err
+	}
+	total := sc.Total()
+	if st.BlocksAnalyzed != total {
+		return Row{}, fmt.Errorf("%s: analyzed %d of %d blocks", v.Name, st.BlocksAnalyzed, total)
+	}
+	row := Row{
+		Variant: v.Name,
+		Blocks:  st.BlocksWritten, Relayed: st.BlocksRelayed,
+		RelayImbalance: st.RelayImbalance, WriteStallS: st.WriteStall,
+		StagerSpills: st.BlocksSpilled,
+	}
+	for _, s := range st.Stagers {
+		row.PerStager = append(row.PerStager, s.BlocksIn)
+	}
+	if ns := elapsed.Nanoseconds(); ns > 0 {
+		row.ThroughputMBs = float64(total*int64(sc.BlockBytes)) / (float64(ns) / 1e9) / 1e6
+	}
+	return row, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_placement.json", "output file")
+	flag.Parse()
+	if runtime.GOMAXPROCS(0) < minProcs {
+		runtime.GOMAXPROCS(minProcs)
+	}
+
+	sc := benchharness.PlacementScenarioDefault
+	rep := Report{
+		Producers: sc.Producers, Consumers: sc.Consumers, Stagers: sc.Stagers,
+		Bursts: sc.Bursts, BurstBlocks: sc.BurstBlocks, BurstPauseS: sc.BurstPause.Seconds(),
+		BlockBytes: sc.BlockBytes,
+		AnalyzeUs:  float64(sc.Analyze) / 1e3, GoVersion: runtime.Version(),
+	}
+	rows := map[string]Row{}
+	for _, v := range benchharness.PlacementVariants {
+		row, err := run(sc, v)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		rows[v.Name] = row
+		fmt.Printf("%-16s imbalance=%.2f stall=%.3fs relayed=%v spills=%d %.0f MB/s\n",
+			row.Variant, row.RelayImbalance, row.WriteStallS, row.PerStager,
+			row.StagerSpills, row.ThroughputMBs)
+	}
+
+	// The placement bargain, gated on both axes: on the skewed workload the
+	// load-aware policy must spread the relay traffic (max/mean imbalance at
+	// least halved versus the fixed mod-map) and liberate the producers
+	// (less total Write stall — the fast producer's burst lands in the whole
+	// tier's buffering instead of overflowing one stager's).
+	ra, lo := rows["rank-affine"], rows["least-occupancy"]
+	if lo.RelayImbalance*2 > ra.RelayImbalance {
+		fatal(fmt.Errorf("placement regression: least-occupancy imbalance %.2f vs rank-affine %.2f — not a 2x reduction",
+			lo.RelayImbalance, ra.RelayImbalance))
+	}
+	if lo.WriteStallS >= ra.WriteStallS {
+		fatal(fmt.Errorf("placement regression: least-occupancy write stall %.3fs vs rank-affine %.3fs",
+			lo.WriteStallS, ra.WriteStallS))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchplacement:", err)
+	os.Exit(1)
+}

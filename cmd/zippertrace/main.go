@@ -11,6 +11,7 @@
 //	zippertrace compare-lammps [-cores N]       # Figure 19
 //	zippertrace staging [-steps N]              # in-transit stager threads
 //	zippertrace elastic [-steps N]              # autoscaled stager pool
+//	zippertrace placement [-steps N]            # endpoint placement policies
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 		fmt.Print(exp.FormatStaging("synthetic", exp.RunAdaptiveSweep("synthetic", 8, *steps)))
 	case "elastic":
 		print1(exp.RunElasticTrace(*steps))
+	case "placement":
+		fmt.Print(exp.FormatPlacement(exp.RunPlacementSweep(*steps)))
 	case "compare-cfd", "compare-lammps":
 		app, window := "cfd", 1300*time.Millisecond
 		if cmd == "compare-lammps" {
@@ -73,5 +76,5 @@ func print1(f exp.TraceFigure) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|elastic|compare-cfd|compare-lammps [-cores N] [-steps N]")
+	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|elastic|placement|compare-cfd|compare-lammps [-cores N] [-steps N]")
 }

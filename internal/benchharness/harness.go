@@ -9,6 +9,7 @@
 package benchharness
 
 import (
+	"sync"
 	"time"
 
 	"zipper"
@@ -291,6 +292,123 @@ func RunElastic(spoolDir string, v ElasticVariant, sc ElasticScenario) (zipper.J
 		}(p)
 	}
 	<-done
+	job.Wait()
+	return job.Stats(), nil
+}
+
+// PlacementScenario shapes the skewed-rate workload of the placement
+// comparison: per burst, producer p emits BurstBlocks[p] blocks flat out
+// (a 10:1 skew by default), idling BurstPause between bursts while the
+// consumer catches up. The fast producer's burst does not fit any one
+// stager's buffer but does fit the tier's aggregate buffering — exactly the
+// regime where assignment is everything. Under rank-affine placement the
+// torrent funnels through the one stager rank 0 is wired to (overflow
+// spills, the producer stalls) while three stagers sit empty; a load-aware
+// policy absorbs the same burst across the whole tier. A single consumer
+// keeps the tier the queueing point — relay imbalance is the variable under
+// test. (A globally oversubscribed workload would show nothing: every
+// buffer pegs full, occupancies tie, and placement cannot matter.)
+type PlacementScenario struct {
+	Producers int
+	Consumers int
+	Stagers   int
+	Bursts    int
+	// BurstBlocks is each producer's blocks per burst (len == Producers) —
+	// the skew.
+	BurstBlocks []int
+	BurstPause  time.Duration
+	BlockBytes  int
+	// Analyze is each consumer's busy time per block.
+	Analyze time.Duration
+	// StagerBufferBlocks sizes each stager endpoint's in-memory buffer.
+	StagerBufferBlocks int
+}
+
+// Total is the block count across all producers and bursts.
+func (sc PlacementScenario) Total() int64 {
+	var t int64
+	for _, b := range sc.BurstBlocks {
+		t += int64(b)
+	}
+	return t * int64(sc.Bursts)
+}
+
+// PlacementScenarioDefault is the committed-baseline workload.
+var PlacementScenarioDefault = PlacementScenario{
+	Producers: 4, Consumers: 1, Stagers: 4,
+	Bursts: 6, BurstBlocks: []int{1000, 100, 100, 100}, BurstPause: 150 * time.Millisecond,
+	BlockBytes: 32 << 10, Analyze: 100 * time.Microsecond, StagerBufferBlocks: 512,
+}
+
+// PlacementVariant is one policy configuration of the placement comparison.
+type PlacementVariant struct {
+	Name      string
+	Placement zipper.Placement
+}
+
+// PlacementVariants is the canonical comparison: the fixed rank-affine
+// assignment of earlier revisions against the two directory policies.
+var PlacementVariants = []PlacementVariant{
+	{Name: "rank-affine", Placement: zipper.RankAffine},
+	{Name: "least-occupancy", Placement: zipper.LeastOccupancy},
+	{Name: "hash-ring", Placement: zipper.HashRing},
+}
+
+// RunPlacement runs one placement policy against the skewed scenario on the
+// real platform and returns the job-wide aggregate stats (including the
+// per-stager relay split behind RelayImbalance) after the stream drains.
+// Everything relays (RouteStaging) and stealing is off, so endpoint
+// assignment is the only variable: where each batch lands is exactly what
+// the policy decided.
+func RunPlacement(spoolDir string, v PlacementVariant, sc PlacementScenario) (zipper.JobStats, error) {
+	job, err := zipper.NewJob(zipper.Config{
+		Producers: sc.Producers, Consumers: sc.Consumers, SpoolDir: spoolDir,
+		BufferBlocks: 16, Window: 2, MaxBatchBlocks: 8,
+		Stagers: sc.Stagers, StagerBufferBlocks: sc.StagerBufferBlocks,
+		RoutePolicy: zipper.RouteStaging, Placement: v.Placement,
+		DisableSteal: true,
+	})
+	if err != nil {
+		return zipper.JobStats{}, err
+	}
+	var wg sync.WaitGroup
+	for q := 0; q < sc.Consumers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			var sink byte
+			for {
+				blk, ok := job.Consumer(q).Read()
+				if !ok {
+					_ = sink
+					return
+				}
+				sink ^= blk.Data[0] ^ blk.Data[len(blk.Data)-1]
+				for t0 := time.Now(); time.Since(t0) < sc.Analyze; {
+				}
+				blk.Release()
+			}
+		}(q)
+	}
+	for p := 0; p < sc.Producers; p++ {
+		go func(p int) {
+			prod := job.Producer(p)
+			i := 0
+			for b := 0; b < sc.Bursts; b++ {
+				if b > 0 {
+					time.Sleep(sc.BurstPause)
+				}
+				for k := 0; k < sc.BurstBlocks[p]; k++ {
+					data := zipper.NewPayload(sc.BlockBytes)
+					data[0], data[sc.BlockBytes-1] = byte(i), byte(i>>8)
+					prod.Write(i, 0, data)
+					i++
+				}
+			}
+			prod.Close()
+		}(p)
+	}
+	wg.Wait()
 	job.Wait()
 	return job.Stats(), nil
 }

@@ -75,6 +75,7 @@ func NewConsumer(env rt.Env, cfg Config, id int, producers int, in rt.Inbox, fs 
 		panic("core: consumer needs at least one producer")
 	}
 	c := &Consumer{env: env, cfg: cfg, id: id, in: in, fs: fs, finsExpected: producers}
+	c.fl.Queue.SetCapacity(cfg.ConsumerBufferBlocks)
 	c.lk = env.NewLock(fmt.Sprintf("zcons.%d", id))
 	c.avail = c.lk.NewCond(fmt.Sprintf("zcons.%d.avail", id))
 	c.space = c.lk.NewCond(fmt.Sprintf("zcons.%d.space", id))
@@ -117,7 +118,7 @@ func (c *Consumer) Read(x rt.Ctx) (*block.Block, bool) {
 						c.cfg.Recorder.Add(c.traceName("app"), "stall", stallStart, x.Now())
 					}
 				}
-				c.reapLocked()
+				c.reapLocked(x)
 				c.lk.Unlock(x)
 				return b, true
 			}
@@ -147,7 +148,7 @@ func (c *Consumer) drainedLocked() bool {
 }
 
 // reapLocked frees entries that completed their lifecycle.
-func (c *Consumer) reapLocked() {
+func (c *Consumer) reapLocked(x rt.Ctx) {
 	kept := c.entries[:0]
 	freed := false
 	for _, e := range c.entries {
@@ -159,6 +160,7 @@ func (c *Consumer) reapLocked() {
 	}
 	c.entries = kept
 	if freed {
+		c.fl.Queue.Set(x.Now(), len(c.entries))
 		c.space.Broadcast()
 	}
 }
@@ -175,6 +177,7 @@ func (c *Consumer) insertLocked(x rt.Ctx, b *block.Block) {
 	}
 	e := &entry{b: b, stored: b.OnDisk || c.cfg.Mode == NoPreserve}
 	c.entries = append(c.entries, e)
+	c.fl.Queue.Set(x.Now(), len(c.entries))
 	c.avail.Signal()
 	if !e.stored {
 		c.storeWork.Signal()
@@ -226,6 +229,11 @@ func (c *Consumer) Wait(x rt.Ctx) {
 // Flows exposes the module's live flow gauges.
 func (c *Consumer) Flows() *flow.ConsumerFlows { return &c.fl }
 
+// Level exposes the consumer-buffer occupancy gauge so the placement plane
+// (a least-occupancy consumer directory) and any external observer can read
+// both the instantaneous fill and its time-weighted average.
+func (c *Consumer) Level() *flow.Level { return &c.fl.Queue }
+
 // snapshot assembles a stats snapshot with rates evaluated at `now`.
 func (c *Consumer) snapshot(now time.Duration, live bool) ConsumerStats {
 	s := ConsumerStats{
@@ -246,6 +254,7 @@ func (c *Consumer) snapshot(now time.Duration, live bool) ConsumerStats {
 		s.AnalyzeRate = c.fl.Analyzed.LastRate()
 		s.StallFrac = c.fl.ReadStall.LastRate() / float64(time.Second)
 	}
+	s.Queued, s.Capacity = c.fl.Queue.Get()
 	return s
 }
 
@@ -400,7 +409,7 @@ func (c *Consumer) outputThread(x rt.Ctx) {
 		if target.release {
 			target.b.Release()
 		}
-		c.reapLocked()
+		c.reapLocked(x)
 	}
 	c.outputDone = true
 	c.finished = x.Now()

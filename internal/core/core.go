@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"zipper/internal/flow"
+	"zipper/internal/place"
 	"zipper/internal/trace"
 )
 
@@ -136,11 +137,28 @@ type Config struct {
 	// Directory, when non-nil, replaces the fixed per-producer stager
 	// assignment with an epoch-versioned pool: the sender thread resolves
 	// its stager from the live membership for every drained batch, so the
-	// staging tier can grow and drain endpoints mid-run without touching the
-	// producer. With a Directory the Fin always travels the direct path and
-	// counted termination (Message.FinBlocks/FinDisk) covers relayed blocks
-	// still in flight. The stager argument of NewStagedProducer is ignored.
+	// staging tier can grow and drain endpoints mid-run — and any
+	// place.Policy can redirect batches — without touching the producer.
+	// With a Directory the Fin always travels the direct path and counted
+	// termination (Message.FinBlocks/FinDisk) covers relayed blocks still in
+	// flight. The stager argument of NewStagedProducer is ignored.
 	Directory StagerDirectory
+	// ConsumerDirectory, when non-nil, replaces the fixed producer→consumer
+	// wiring (the `to` argument of NewProducer) with placement-plane
+	// resolution: the sender thread resolves the destination consumer from
+	// the directory for every drained batch, so a load-aware policy can
+	// rebalance divergent producer rates across the analysis endpoints
+	// mid-run. Termination turns counted on every path: instead of one Fin
+	// to a fixed consumer, the producer sends a direct Fin to EVERY member,
+	// each declaring that consumer's delivered totals, and each consumer
+	// holds its stream open until its declared deliveries arrive — so a
+	// batch relayed to one consumer just before the policy moved the
+	// producer to another is never lost. Every consumer endpoint must then
+	// be built expecting a Fin from every producer, and any staging tier in
+	// play must itself run behind a Directory (a fixed-assignment stager
+	// counts relayed Fins to terminate, which directory-placed producers
+	// never send). The directory's membership must be static for the run.
+	ConsumerDirectory *place.Directory
 	// DisableSteal turns the writer thread off, yielding the
 	// message-passing-only baseline of §6.2.
 	DisableSteal bool
@@ -193,25 +211,11 @@ func (c Config) router() flow.Router {
 }
 
 // StagerDirectory is the epoch-versioned stager pool a producer consults
-// when Config.Directory is set (the elastic package provides the
-// implementation). Peek is a read-only resolution for assembling routing
-// signals; Claim atomically resolves the rank's stager in the current
-// membership AND registers the send as in flight, which is what lets the
-// pool quiesce an endpoint before retiring it — a claimed address stays
-// receivable until the matching Done. Implementations must be safe for
-// concurrent use from many sender threads; on the simulated platform they
-// must not block (the scaler's quiesce is the only waiting side).
-type StagerDirectory interface {
-	// Peek returns the stager address rank currently resolves to, without
-	// claiming it. ok=false means the pool is empty (route direct).
-	Peek(rank int) (addr int, ok bool)
-	// Claim resolves rank's stager in the live membership and counts the
-	// upcoming relay send as in flight at that address. Every successful
-	// Claim must be paired with Done once the send has deposited.
-	Claim(rank int) (addr int, ok bool)
-	// Done reports that the relay send claimed at addr has deposited.
-	Done(addr int)
-}
+// when Config.Directory is set. It is the placement plane's resolution
+// surface (place.Directory is the implementation; the interface form exists
+// so tests can substitute their own). ok=false from Peek/Claim means the
+// pool is empty (route direct).
+type StagerDirectory = place.Endpoints
 
 // ProducerStats is a snapshot of one producer runtime module's flow gauges:
 // lifetime totals plus the live EWMA rates at snapshot time. Snapshots taken
@@ -249,4 +253,6 @@ type ConsumerStats struct {
 	// Live EWMA gauges at snapshot time.
 	AnalyzeRate float64 // blocks/s delivered to the analysis application
 	StallFrac   float64 // fraction of recent time Read sat blocked
+	Queued      int     // blocks currently resident in the consumer buffer
+	Capacity    int     // the consumer buffer's capacity in blocks
 }

@@ -16,11 +16,19 @@ type Producer struct {
 	env    rt.Env
 	cfg    Config
 	rank   int
-	to     int // consumer endpoint this producer feeds
+	to     int // fixed consumer endpoint (unused with a ConsumerDirectory)
 	stager int // transport address of the assigned in-transit stager (-1 = none)
 	tr     rt.Transport
 	fs     rt.BlockStore
 	router flow.Router
+
+	// Per-destination delivery totals, maintained by the sender thread when
+	// a ConsumerDirectory resolves the consumer per batch: each consumer's
+	// Fin declares exactly the blocks and disk refs that were addressed to
+	// it, so counted termination stays correct when the placement policy
+	// moves the producer between consumers mid-run.
+	destBlocks map[int]int64
+	destDisk   map[int]int64
 
 	lk       rt.Lock
 	notEmpty rt.Cond // buffer or disk-ID list gained content, or state change
@@ -58,6 +66,10 @@ func NewStagedProducer(env rt.Env, cfg Config, rank, to, stager int, tr rt.Trans
 	}
 	p := &Producer{env: env, cfg: cfg, rank: rank, to: to, stager: stager, tr: tr, fs: fs}
 	p.router = cfg.router()
+	if cfg.ConsumerDirectory != nil {
+		p.destBlocks = map[int]int64{}
+		p.destDisk = map[int]int64{}
+	}
 	p.lk = env.NewLock(fmt.Sprintf("zprod.%d", rank))
 	p.notEmpty = p.lk.NewCond(fmt.Sprintf("zprod.%d.notEmpty", rank))
 	p.notFull = p.lk.NewCond(fmt.Sprintf("zprod.%d.notFull", rank))
@@ -203,7 +215,7 @@ func (p *Producer) senderThread(c rt.Ctx) {
 		blocks := p.drainBatchLocked()
 		ids := p.diskIDs
 		p.diskIDs = nil
-		dest, route := p.routeLocked(c, len(blocks))
+		dest, to, route := p.routeLocked(c, len(blocks))
 		p.lk.Unlock(c)
 
 		var payload int64
@@ -211,7 +223,7 @@ func (p *Producer) senderThread(c rt.Ctx) {
 			payload += b.Bytes
 		}
 		start := c.Now()
-		p.tr.Send(c, dest, rt.Message{From: p.rank, Dest: p.to, Blocks: blocks, Disk: ids})
+		p.tr.Send(c, dest, rt.Message{From: p.rank, Dest: to, Blocks: blocks, Disk: ids})
 		if route == flow.Relay && p.cfg.Directory != nil {
 			// The send has deposited: release the pool claim so a drain of
 			// this stager can quiesce.
@@ -227,6 +239,10 @@ func (p *Producer) senderThread(c rt.Ctx) {
 			p.fl.Relayed.Add(c.Now(), int64(len(blocks)))
 		} else {
 			p.fl.Sent.Add(c.Now(), int64(len(blocks)))
+		}
+		if p.destBlocks != nil {
+			p.destBlocks[to] += int64(len(blocks))
+			p.destDisk[to] += int64(len(ids))
 		}
 		p.lk.Unlock(c)
 		if p.cfg.Recorder != nil {
@@ -257,6 +273,36 @@ func (p *Producer) senderThread(c rt.Ctx) {
 	// the declared totals instead: the consumer holds its stream open until
 	// FinBlocks network deliveries and FinDisk disk-ref announcements have
 	// actually arrived, wherever they are still queued.
+	//
+	// With a ConsumerDirectory the destination itself was policy-resolved
+	// per batch, so there is one direct Fin per consumer member, each
+	// declaring that consumer's per-destination totals.
+	p.sendFins(c)
+	p.lk.Lock(c)
+	p.senderDone = true
+	p.finished = c.Now()
+	p.done.Broadcast()
+	p.lk.Unlock(c)
+}
+
+// sendFins emits the end-of-stream announcement(s) once the buffer and the
+// disk-ID list have fully drained. Runs on the sender thread.
+func (p *Producer) sendFins(c rt.Ctx) {
+	if p.cfg.ConsumerDirectory != nil {
+		// One Fin per consumer member — including consumers this producer
+		// never reached, whose Fin declares zero deliveries: every consumer
+		// was built expecting a Fin from every producer.
+		for _, q := range p.cfg.ConsumerDirectory.Members() {
+			start := c.Now()
+			p.tr.Send(c, q, rt.Message{From: p.rank, Dest: q, Fin: true,
+				FinBlocks: p.destBlocks[q], FinDisk: p.destDisk[q]})
+			p.lk.Lock(c)
+			p.fl.Messages.Add(c.Now(), 1)
+			p.fl.SendBusy.AddDur(c.Now(), c.Now()-start)
+			p.lk.Unlock(c)
+		}
+		return
+	}
 	finDest := p.to
 	if p.cfg.Directory == nil && p.stager != NoStager &&
 		(p.cfg.RoutePolicy != RouteDirect || p.fl.Relayed.Total() > 0) {
@@ -269,9 +315,6 @@ func (p *Producer) senderThread(c rt.Ctx) {
 	p.lk.Lock(c)
 	p.fl.Messages.Add(c.Now(), 1)
 	p.fl.SendBusy.AddDur(c.Now(), c.Now()-start)
-	p.senderDone = true
-	p.finished = c.Now()
-	p.done.Broadcast()
 	p.lk.Unlock(c)
 }
 
@@ -305,63 +348,73 @@ func (p *Producer) drainBatchLocked() []*block.Block {
 	return blocks
 }
 
-// routeLocked picks the destination endpoint for the batch the sender just
-// drained: it assembles the live backpressure signals — window credit from
-// the transport, stager occupancy from its flow gauge, and the remaining
-// buffer backlog — and lets the configured flow.Router elect the channel.
-// Called with the producer lock held, after drainBatchLocked, so len(p.buf)
-// is the remaining backlog.
-func (p *Producer) routeLocked(c rt.Ctx, batch int) (dest int, route flow.Route) {
+// routeLocked picks the endpoints for the batch the sender just drained:
+// the destination consumer `to` (fixed wiring, or resolved per batch from
+// the ConsumerDirectory by the placement policy), and the transport address
+// `dest` the message is sent to (the consumer itself, or a staging relay).
+// It assembles the live backpressure signals — window credit from the
+// transport, stager occupancy from its flow gauge, and the remaining buffer
+// backlog — and lets the configured flow.Router elect the channel. Called
+// with the producer lock held, after drainBatchLocked, so len(p.buf) is the
+// remaining backlog.
+func (p *Producer) routeLocked(c rt.Ctx, batch int) (dest, to int, route flow.Route) {
+	to = p.to
+	if p.cfg.ConsumerDirectory != nil {
+		if q, ok := p.cfg.ConsumerDirectory.Peek(p.rank); ok {
+			to = q
+		}
+	}
 	if p.cfg.Directory != nil {
-		return p.routePoolLocked(c, batch)
+		dest, route = p.routePoolLocked(c, to, batch)
+		return dest, to, route
 	}
 	if p.stager == NoStager {
-		return p.to, flow.Direct
+		return to, to, flow.Direct
 	}
 	// Fixed policies ignore every signal: skip the credit probes and the
 	// occupancy gauge read so RouteDirect and RouteStaging keep their
 	// zero-probe hot path.
 	if r, ok := flow.StaticRoute(p.router); ok {
 		if r == flow.Relay {
-			return p.stager, flow.Relay
+			return p.stager, to, flow.Relay
 		}
-		return p.to, flow.Direct
+		return to, to, flow.Direct
 	}
-	sig := p.signalsLocked(c, p.stager, batch)
+	sig := p.signalsLocked(c, p.stager, to, batch)
 	if p.router.Route(sig) == flow.Relay {
-		return p.stager, flow.Relay
+		return p.stager, to, flow.Relay
 	}
-	return p.to, flow.Direct
+	return to, to, flow.Direct
 }
 
-// routePoolLocked is routeLocked against an elastic stager pool: the stager
-// is resolved from the live membership for this batch alone. A relay
+// routePoolLocked is routeLocked against a stager pool directory: the
+// stager is resolved from the live membership for this batch alone. A relay
 // election is committed with Claim — which re-resolves atomically, so a
 // membership change between the signal read and the commit can redirect the
 // batch but never lands it on a retired endpoint — and the sender releases
 // the claim with Done once the send has deposited.
-func (p *Producer) routePoolLocked(c rt.Ctx, batch int) (int, flow.Route) {
+func (p *Producer) routePoolLocked(c rt.Ctx, to, batch int) (int, flow.Route) {
 	addr, ok := p.cfg.Directory.Peek(p.rank)
 	if !ok {
-		return p.to, flow.Direct // empty pool: only the direct path exists
+		return to, flow.Direct // empty pool: only the direct path exists
 	}
 	relay := false
 	if r, fixed := flow.StaticRoute(p.router); fixed {
 		relay = r == flow.Relay
 	} else {
-		relay = p.router.Route(p.signalsLocked(c, addr, batch)) == flow.Relay
+		relay = p.router.Route(p.signalsLocked(c, addr, to, batch)) == flow.Relay
 	}
 	if relay {
 		if a, ok := p.cfg.Directory.Claim(p.rank); ok {
 			return a, flow.Relay
 		}
 	}
-	return p.to, flow.Direct
+	return to, flow.Direct
 }
 
 // signalsLocked assembles the live backpressure signals for a routing
-// decision against the stager at addr.
-func (p *Producer) signalsLocked(c rt.Ctx, addr, batch int) flow.Signals {
+// decision against the stager at addr, for a batch destined to consumer to.
+func (p *Producer) signalsLocked(c rt.Ctx, addr, to, batch int) flow.Signals {
 	sig := flow.Signals{
 		Now:            c.Now(),
 		Backlog:        len(p.buf),
@@ -374,7 +427,7 @@ func (p *Producer) signalsLocked(c rt.Ctx, addr, batch int) flow.Signals {
 		Batch:          batch,
 	}
 	if ct, ok := p.tr.(rt.CreditTransport); ok {
-		sig.Credits = ct.Credits(p.to)
+		sig.Credits = ct.Credits(to)
 		sig.StagerCredits = ct.Credits(addr)
 	}
 	if p.cfg.StagerLevel != nil {

@@ -4,19 +4,22 @@
 //
 // It has three cooperating parts:
 //
-//   - Pool, an epoch-versioned stager directory. Producers resolve their
-//     stager from the live membership per drained batch (replacing the
-//     static "producer p relays through stager p mod Stagers" assignment),
-//     so membership changes compose with every flow.Router unchanged. The
-//     Pool also counts claimed-but-undelivered relay sends per endpoint,
-//     which is what makes retirement race-free: Quiesce waits for the last
-//     straggler to deposit before the Retire control message is sent, so
-//     Retire is provably the final message a draining endpoint receives.
-//     That proof leans on a transport whose Send returns only after the
-//     message is deposited in the destination inbox — true of the
-//     in-process channel network and the simulated network, NOT of the TCP
-//     transport (frames from different connections interleave at the
-//     listener), so an elastic tier must not span a TCP hop.
+//   - Pool, an epoch-versioned stager directory — since the placement plane
+//     landed it IS a place.Directory (the type below is an alias), so the
+//     assignment rule is pluggable: rank-affine by default, or any
+//     place.Policy (least-occupancy, consistent hashing across epochs) the
+//     embedder configures. Producers resolve their stager from the live
+//     membership per drained batch, so membership changes compose with
+//     every flow.Router unchanged. The directory also counts
+//     claimed-but-undelivered relay sends per endpoint, which is what makes
+//     retirement race-free: Quiesce waits for the last straggler to deposit
+//     before the Retire control message is sent, so Retire is provably the
+//     final message a draining endpoint receives. That proof leans on a
+//     transport whose Send returns only after the message is deposited in
+//     the destination inbox — true of the in-process channel network and
+//     the simulated network, NOT of the TCP transport (frames from
+//     different connections interleave at the listener), so an elastic tier
+//     must not span a TCP hop.
 //
 //   - The drain protocol (implemented by staging.Stager in Managed mode): a
 //     draining stager stops admitting on Retire, flushes its in-memory queue
@@ -42,6 +45,7 @@ import (
 	"time"
 
 	"zipper/internal/flow"
+	"zipper/internal/place"
 	"zipper/internal/rt"
 )
 
@@ -153,137 +157,15 @@ func (c Config) Decide(occ float64, spillDelta int64, size int, cooled bool) int
 
 // Pool is the epoch-versioned stager directory: the live membership of the
 // elastic staging tier plus the in-flight relay accounting that makes
-// retirement race-free. It implements core.StagerDirectory.
-//
-// All methods are cheap, non-blocking critical sections guarded by a plain
-// mutex, which is safe on both platforms: the simulator runs exactly one
-// process at an instant, so the lock is never contended there and costs no
-// virtual time; on the real machine it is an ordinary shared-state lock.
-// Quiesce is the one waiting call and polls with rt sleeps instead of
-// parking, so it composes with the simulator's scheduler.
-type Pool struct {
-	mu       sync.Mutex
-	epoch    int64
-	members  []int // live stager addresses, ascending
-	inflight map[int]int
-}
+// retirement race-free. It is the placement plane's place.Directory — the
+// generalization extracted from the original elastic pool — and implements
+// core.StagerDirectory.
+type Pool = place.Directory
 
-// NewPool returns an empty pool; the embedder Adds the initial membership.
-func NewPool() *Pool { return &Pool{inflight: map[int]int{}} }
-
-// Add admits the stager endpoint at addr to the membership and bumps the
-// epoch. Adding a present member is a no-op.
-func (p *Pool) Add(addr int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, m := range p.members {
-		if m == addr {
-			return
-		}
-	}
-	p.members = append(p.members, addr)
-	sort.Ints(p.members)
-	p.epoch++
-}
-
-// Remove retires addr from the membership and bumps the epoch: no Claim
-// resolves to it afterwards. In-flight claims are unaffected — Quiesce waits
-// them out.
-func (p *Pool) Remove(addr int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i, m := range p.members {
-		if m == addr {
-			p.members = append(p.members[:i], p.members[i+1:]...)
-			p.epoch++
-			return
-		}
-	}
-}
-
-// resolveLocked is the assignment rule: rank-affine over the sorted live
-// membership, so a fixed membership reproduces the classic p mod S split and
-// every epoch bump re-shards deterministically.
-func (p *Pool) resolveLocked(rank int) (int, bool) {
-	if len(p.members) == 0 {
-		return 0, false
-	}
-	return p.members[rank%len(p.members)], true
-}
-
-// Peek implements core.StagerDirectory: a claim-free resolution for signal
-// assembly.
-func (p *Pool) Peek(rank int) (int, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.resolveLocked(rank)
-}
-
-// Claim implements core.StagerDirectory: it resolves rank's stager in the
-// current membership and registers the upcoming send as in flight there,
-// atomically — a stager observed through Claim cannot receive its Retire
-// before the matching Done.
-func (p *Pool) Claim(rank int) (int, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	addr, ok := p.resolveLocked(rank)
-	if !ok {
-		return 0, false
-	}
-	p.inflight[addr]++
-	return addr, true
-}
-
-// Done implements core.StagerDirectory: the claimed send has deposited.
-func (p *Pool) Done(addr int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.inflight[addr] <= 0 {
-		panic(fmt.Sprintf("elastic: Done(%d) without a claim", addr))
-	}
-	p.inflight[addr]--
-}
-
-// quiescePoll is Quiesce's polling period: long enough not to distort a
-// simulated run, short enough that a drain is prompt on the real machine.
-const quiescePoll = 200 * time.Microsecond
-
-// Quiesce blocks until no claimed send is in flight toward addr. Call it
-// after Remove(addr): new claims can no longer pick addr, so once the count
-// reaches zero every message bound for the endpoint has been deposited and
-// the Retire sent next is guaranteed to arrive last.
-func (p *Pool) Quiesce(c rt.Ctx, addr int) {
-	for {
-		p.mu.Lock()
-		n := p.inflight[addr]
-		p.mu.Unlock()
-		if n == 0 {
-			return
-		}
-		c.Sleep(quiescePoll)
-	}
-}
-
-// Epoch returns the membership version; every Add and Remove bumps it.
-func (p *Pool) Epoch() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.epoch
-}
-
-// Size returns the live membership count.
-func (p *Pool) Size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.members)
-}
-
-// Members returns a copy of the live membership, ascending.
-func (p *Pool) Members() []int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return append([]int(nil), p.members...)
-}
+// NewPool returns an empty rank-affine pool; the embedder Adds the initial
+// membership. Pools resolving through another assignment policy (or fed by
+// per-endpoint occupancy gauges) are built directly with place.New.
+func NewPool() *Pool { return place.New(place.RankAffine(), nil) }
 
 // Host is the platform half of the scaler: it owns the reserved endpoint
 // slots and knows how to build a stager on one (fresh goroutine set on the

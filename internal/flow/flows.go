@@ -27,7 +27,10 @@ type ProducerFlows struct {
 	StealBusy  Meter // ns the writer thread spent spilling
 }
 
-// ConsumerFlows gauges one consumer runtime module.
+// ConsumerFlows gauges one consumer runtime module. Queue is the live
+// consumer-buffer occupancy published into the placement plane: a
+// least-occupancy consumer directory steers each producer batch toward the
+// analysis endpoint with the most headroom by reading it.
 type ConsumerFlows struct {
 	Received Meter // blocks that arrived via the network path
 	Read     Meter // blocks fetched from the file-system path
@@ -38,6 +41,8 @@ type ConsumerFlows struct {
 	RecvBusy  Meter // ns the receiver thread spent in Recv
 	DiskBusy  Meter // ns the reader thread spent in ReadBlock
 	StoreBusy Meter // ns the output thread spent in WriteBlock
+
+	Queue Level // consumer buffer fill in blocks, with capacity and peak
 }
 
 // StagerFlows gauges one in-transit stager endpoint. Queue is the live

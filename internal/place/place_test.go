@@ -1,0 +1,188 @@
+package place_test
+
+import (
+	"testing"
+	"time"
+
+	"zipper/internal/flow"
+	"zipper/internal/place"
+	"zipper/internal/rt/realenv"
+)
+
+func TestRankAffinePick(t *testing.T) {
+	v := place.View{Members: []int{2, 5, 9}}
+	pol := place.RankAffine()
+	for rank := 0; rank < 9; rank++ {
+		addr, ok := pol.Pick(rank, v)
+		if !ok || addr != v.Members[rank%3] {
+			t.Fatalf("rank %d: got %d ok=%v, want %d", rank, addr, ok, v.Members[rank%3])
+		}
+	}
+	if _, ok := pol.Pick(0, place.View{}); ok {
+		t.Fatal("empty membership resolved")
+	}
+}
+
+func TestLeastOccupancyPick(t *testing.T) {
+	occ := map[int]int{2: 8, 5: 1, 9: 8}
+	v := place.View{
+		Members: []int{2, 5, 9},
+		Load: func(addr int) (int, int, bool) {
+			q, ok := occ[addr]
+			return q, 10, ok
+		},
+	}
+	pol := place.LeastOccupancy()
+	for rank := 0; rank < 6; rank++ {
+		if addr, _ := pol.Pick(rank, v); addr != 5 {
+			t.Fatalf("rank %d landed on %d, want the emptiest endpoint 5", rank, addr)
+		}
+	}
+	// All-equal occupancy must reproduce the rank-affine assignment, so an
+	// idle pool never flaps between endpoints.
+	for a := range occ {
+		occ[a] = 3
+	}
+	for rank := 0; rank < 6; rank++ {
+		if addr, _ := pol.Pick(rank, v); addr != v.Members[rank%3] {
+			t.Fatalf("tied occupancy: rank %d landed on %d, want rank-affine %d",
+				rank, addr, v.Members[rank%3])
+		}
+	}
+	// No load probe at all degenerates to rank-affine.
+	if addr, _ := pol.Pick(4, place.View{Members: []int{2, 5, 9}}); addr != 5 {
+		t.Fatalf("nil load: rank 4 landed on %d, want rank-affine 5", addr)
+	}
+}
+
+// TestHashRingMinimalDisruption pins the property the policy exists for:
+// removing a member moves only the ranks it owned, and adding it back
+// restores exactly the original assignment — elastic grow/drain churn never
+// reshuffles the whole workload.
+func TestHashRingMinimalDisruption(t *testing.T) {
+	const ranks = 64
+	pol := place.HashRing()
+	full := place.View{Members: []int{10, 11, 12, 13}}
+	before := make([]int, ranks)
+	for r := range before {
+		before[r], _ = pol.Pick(r, full)
+	}
+	// Drain member 12.
+	drained := place.View{Members: []int{10, 11, 13}}
+	moved := 0
+	for r := 0; r < ranks; r++ {
+		after, _ := pol.Pick(r, drained)
+		if before[r] == 12 {
+			moved++
+			if after == 12 {
+				t.Fatalf("rank %d still resolves to the drained member", r)
+			}
+		} else if after != before[r] {
+			t.Fatalf("rank %d moved %d→%d although its member stayed live", r, before[r], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no rank was ever mapped to the drained member — the hash never spread")
+	}
+	// Regrow member 12: the original assignment returns exactly.
+	for r := 0; r < ranks; r++ {
+		if again, _ := pol.Pick(r, full); again != before[r] {
+			t.Fatalf("regrow reshuffled rank %d: %d→%d", r, before[r], again)
+		}
+	}
+}
+
+func TestKindNamesAndValidation(t *testing.T) {
+	cases := map[place.Kind]string{
+		place.KindRankAffine:     "rank-affine",
+		place.KindLeastOccupancy: "least-occupancy",
+		place.KindHashRing:       "hash-ring",
+	}
+	for k, want := range cases {
+		if !k.Valid() || k.String() != want || k.New().Name() != want {
+			t.Fatalf("kind %d: valid=%v string=%q policy=%q, want %q",
+				int(k), k.Valid(), k, k.New().Name(), want)
+		}
+	}
+	if bad := place.Kind(42); bad.Valid() || bad.String() != "unknown(42)" {
+		t.Fatalf("out-of-range kind: valid=%v string=%q", bad.Valid(), bad)
+	}
+	var zero place.Kind
+	if zero != place.KindRankAffine {
+		t.Fatal("the zero Kind must be rank-affine (the byte-identical default)")
+	}
+}
+
+func TestDirectoryMembershipAndClaims(t *testing.T) {
+	d := place.New(place.RankAffine(), nil)
+	if _, ok := d.Peek(0); ok {
+		t.Fatal("empty directory resolved")
+	}
+	d.Add(7)
+	d.Add(3)
+	d.Add(7) // duplicate: no-op
+	if got := d.Members(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("members = %v, want [3 7]", got)
+	}
+	if d.Epoch() != 2 || d.Size() != 2 {
+		t.Fatalf("epoch %d size %d, want 2 2", d.Epoch(), d.Size())
+	}
+	addr, ok := d.Claim(1)
+	if !ok || addr != 7 {
+		t.Fatalf("Claim(1) = %d %v, want 7 true", addr, ok)
+	}
+	d.Remove(7)
+	if a, _ := d.Peek(1); a != 3 {
+		t.Fatalf("after Remove(7), Peek(1) = %d, want 3", a)
+	}
+	// Quiesce must wait out the in-flight claim and return once Done lands.
+	env := realenv.New()
+	done := make(chan struct{})
+	go func() {
+		d.Quiesce(env.Ctx(), 7)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Quiesce returned with a claim still in flight")
+	case <-time.After(5 * time.Millisecond):
+	}
+	d.Done(7)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Quiesce never observed the released claim")
+	}
+}
+
+func TestDirectoryDoneWithoutClaimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Done without a claim did not panic")
+		}
+	}()
+	place.New(place.RankAffine(), nil).Done(3)
+}
+
+// TestDirectoryLeastOccupancyReadsLevels wires real flow.Level gauges in and
+// checks the directory steers toward the emptiest endpoint as fills change.
+func TestDirectoryLeastOccupancyReadsLevels(t *testing.T) {
+	levels := map[int]*flow.Level{}
+	for _, addr := range []int{4, 5} {
+		lv := flow.NewLevel(10, 0)
+		levels[addr] = &lv
+	}
+	d := place.New(place.LeastOccupancy(), func(addr int) *flow.Level { return levels[addr] })
+	d.Add(4)
+	d.Add(5)
+	levels[4].Set(0, 9)
+	levels[5].Set(0, 1)
+	if a, _ := d.Peek(0); a != 5 {
+		t.Fatalf("Peek(0) = %d, want the emptier 5", a)
+	}
+	levels[4].Set(time.Millisecond, 0)
+	levels[5].Set(time.Millisecond, 9)
+	if a, _ := d.Peek(1); a != 4 {
+		t.Fatalf("after the fill flipped, Peek(1) = %d, want 4", a)
+	}
+}

@@ -20,11 +20,15 @@
 // producer's sender thread relies on when it closes a staged stream.
 //
 // A stager normally terminates after counting its assigned producers' Fins.
-// Behind an elastic pool (Config.Managed) assignment is dynamic, so
-// termination is by drain instead: the Retire control message — sent by the
-// scaler only after the membership change has quiesced, making it the last
+// Behind a placement-plane directory (Config.Managed) — the elastic pool,
+// or a fixed tier resolved per batch by a place.Policy — assignment is
+// dynamic, so termination is by drain instead: the Retire control message —
+// sent only after the membership change has quiesced, making it the last
 // message the endpoint receives — stops admission, and the forwarder
-// flushes the queue and the spill partition before the threads exit.
+// flushes the queue and the spill partition before the threads exit. The
+// re-batching forwarder groups consecutive same-destination arrivals, so it
+// composes with any consumer placement: interleaved destinations simply cut
+// batches shorter, never reorder a producer's blocks.
 //
 // Like the core producer and consumer modules, the Stager is written against
 // the rt platform interfaces and runs unchanged on the real machine
@@ -65,11 +69,12 @@ type Config struct {
 	// Producers is the number of upstream producers assigned to this stager
 	// (its expected Fin count). Required (≥ 1) unless Managed is set.
 	Producers int
-	// Managed selects pool-managed termination for stagers behind an elastic
-	// pool: producer assignment is dynamic there, so no Fin count is known up
-	// front. A managed stager admits messages until it receives the Retire
-	// control message, then flushes its queue and spill partition to the
-	// consumers and exits. Producers is ignored.
+	// Managed selects pool-managed termination for stagers behind a
+	// placement-plane directory (the elastic pool, or a fixed tier resolved
+	// per batch by a place.Policy): producer assignment is dynamic there, so
+	// no Fin count is known up front. A managed stager admits messages until
+	// it receives the Retire control message, then flushes its queue and
+	// spill partition to the consumers and exits. Producers is ignored.
 	Managed bool
 	// Recorder, when non-nil, captures the stager threads' activity spans.
 	Recorder *trace.Recorder

@@ -17,6 +17,7 @@ import (
 	"zipper/internal/flow"
 	"zipper/internal/mpi"
 	"zipper/internal/pfs"
+	"zipper/internal/place"
 	"zipper/internal/rt"
 	"zipper/internal/rt/simenv"
 	"zipper/internal/sim"
@@ -58,6 +59,22 @@ type Workload struct {
 	AnalyzePerByte time.Duration
 	// BlockBytes is Zipper's fine-grain block size.
 	BlockBytes int64
+	// Skew, when non-empty, is a per-producer output multiplier for
+	// RunZipper: rank i emits BytesPerStep·Skew[i] per step, the blocks
+	// spread evenly across the unchanged kernel time, so Skew[i] scales
+	// both the rank's output rate and its total volume. Missing or
+	// non-positive entries mean 1. It models divergent producer rates (AMR
+	// refinement, load imbalance) — the regime the load-aware placement
+	// policies exist for.
+	Skew []float64
+}
+
+// skew returns the rank's output multiplier.
+func (w Workload) skew(rank int) float64 {
+	if rank < len(w.Skew) && w.Skew[rank] > 0 {
+		return w.Skew[rank]
+	}
+	return 1
 }
 
 // AnalysisPerConsumerStep is one consumer's busy time per step given its
@@ -71,7 +88,11 @@ func (w Workload) AnalysisPerConsumerStep(p, q int) time.Duration {
 type Spec struct {
 	Machine  Machine
 	Workload Workload
-	P, Q     int // producer and consumer rank counts
+	// P and Q are the producer and consumer rank counts. Which consumer a
+	// producer's output lands on is the Placement policy's decision: the
+	// default rank-affine placement wires producer p permanently to
+	// consumer p·Q/P, the load-aware policies re-resolve per batch.
+	P, Q int
 	// ProducerProcsPerNode / ConsumerProcsPerNode set placement density;
 	// zero selects the machine's core count.
 	ProducerProcsPerNode int
@@ -94,6 +115,13 @@ type Spec struct {
 	// only): the pool starts at Elastic.MinStagers and the scaler grows and
 	// drains stager ranks at runtime within the Stagers ceiling.
 	Elastic elastic.Config
+	// Placement selects the placement-plane policy (RunZipper only): how
+	// producers resolve their consumer and stager endpoints per drained
+	// batch. The zero value (rank-affine) reproduces the fixed assignments
+	// of earlier revisions byte-identically; KindLeastOccupancy and
+	// KindHashRing run the endpoints behind epoch-versioned directories
+	// with counted stream termination.
+	Placement place.Kind
 	// Window is Zipper's per-consumer receive window in messages.
 	Window int
 	// Trace enables span recording.
@@ -140,6 +168,14 @@ type Result struct {
 	// partitions; StagerMaxQueued is the deepest any stager's memory
 	// buffer ran.
 	StagerSpills, StagerMaxQueued int64
+	// StagerRelayed is each stager instance's received-block total (spawn
+	// order), and RelayImbalance their max/mean ratio — 1.0 means every
+	// stager carried an equal share of the relay traffic, S means one
+	// stager carried everything; zero when nothing was relayed. It is the
+	// number the load-aware placement policies shrink when producer output
+	// rates diverge.
+	StagerRelayed  []int64
+	RelayImbalance float64
 	// ScaleEvents is the elastic scaler's action timeline (grow/drain), and
 	// StagerNodeSeconds the summed provisioned lifetime of stager ranks in
 	// virtual seconds — the resource cost a fixed pool pays as pool-size ×
@@ -419,7 +455,9 @@ func RunZipper(spec Spec) Result {
 	consumers := make([]*core.Consumer, spec.Q)
 	var allStagers []*staging.Stager // every stager instance, for stats
 	var scaler *elastic.Scaler
+	var fixedPool *place.Directory // placement-directed fixed tier (no scaler)
 	elasticOn := spec.Elastic.Enabled && nStage > 0
+	placed := spec.Placement != place.KindRankAffine
 	for q := 0; q < spec.Q; q++ {
 		n := 0
 		for p := 0; p < spec.P; p++ {
@@ -427,16 +465,40 @@ func RunZipper(spec Spec) Result {
 				n++
 			}
 		}
+		if placed {
+			// A placement-resolved consumer can receive from any producer,
+			// and every producer Fin-broadcasts to every consumer.
+			n = spec.P
+		}
 		env := simenv.NewEnv(r.eng, r.consNodes[q], spec.Machine.MemBandwidth)
 		consumers[q] = core.NewConsumer(env, zcfg, q, n, net.Inbox(q), store)
 	}
-	if elasticOn {
+	if placed {
+		// The consumer directory: static membership, policy-driven
+		// per-batch resolution fed by the consumer-buffer occupancy gauges.
+		cdir := place.New(spec.Placement.New(), func(addr int) *flow.Level {
+			return consumers[addr].Level()
+		})
+		for q := 0; q < spec.Q; q++ {
+			cdir.Add(q)
+		}
+		zcfg.ConsumerDirectory = cdir
+	}
+	switch {
+	case elasticOn:
 		// Elastic staging tier: reserve the endpoint ceiling, spawn the
 		// starting pool as managed stagers, and let the scaler grow and
-		// drain ranks at runtime over the StagingNodes headroom.
+		// drain ranks at runtime over the StagingNodes headroom. The pool
+		// resolves through the placement policy.
 		ecfg := spec.Elastic.WithDefaults(nStage)
-		pool := elastic.NewPool()
 		slots := make([]*staging.Stager, ecfg.MaxStagers)
+		stagerLevel := func(addr int) *flow.Level {
+			if st := slots[addr-spec.Q]; st != nil {
+				return st.Level()
+			}
+			return nil
+		}
+		pool := place.New(spec.Placement.New(), stagerLevel)
 		spawn := func(slot int) *staging.Stager {
 			env := simenv.NewEnv(r.eng, r.stageNode[slot%len(r.stageNode)], spec.Machine.MemBandwidth)
 			scfg := staging.Config{
@@ -459,17 +521,44 @@ func RunZipper(spec Spec) Result {
 			initial = append(initial, st.Flows())
 		}
 		zcfg.Directory = pool
-		zcfg.StagerLevel = func(addr int) *flow.Level {
+		zcfg.StagerLevel = stagerLevel
+		scalerEnv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
+		scaler = elastic.NewScaler(scalerEnv, ecfg, pool,
+			&simHost{spawn: spawn, slots: slots, net: net, base: spec.Q}, spec.Q, initial)
+		scaler.Start()
+	case placed && nStage > 0:
+		// Placement-directed fixed tier: the same pool-managed endpoints as
+		// the elastic tier over a static membership, no scaler. Producers
+		// resolve their stager per drained batch through the placement
+		// policy; a janitor retires the endpoints once the producers finish
+		// and counted termination completes the consumers' streams from the
+		// flushed deliveries.
+		slots := make([]*staging.Stager, nStage)
+		stagerLevel := func(addr int) *flow.Level {
 			if st := slots[addr-spec.Q]; st != nil {
 				return st.Level()
 			}
 			return nil
 		}
-		scalerEnv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
-		scaler = elastic.NewScaler(scalerEnv, ecfg, pool,
-			&simHost{spawn: spawn, slots: slots, net: net, base: spec.Q}, spec.Q, initial)
-		scaler.Start()
-	} else {
+		fixedPool = place.New(spec.Placement.New(), stagerLevel)
+		for s := 0; s < nStage; s++ {
+			env := simenv.NewEnv(r.eng, r.stageNode[s%len(r.stageNode)], spec.Machine.MemBandwidth)
+			scfg := staging.Config{
+				BufferBlocks:   spec.StagerBufferBlocks,
+				MaxBatchBlocks: zcfg.MaxBatchBlocks,
+				MaxBatchBytes:  zcfg.MaxBatchBytes,
+				Managed:        true,
+				Recorder:       r.rec,
+			}
+			spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", s))
+			st := staging.NewStager(env, scfg, s, net.Inbox(spec.Q+s), net, spill)
+			slots[s] = st
+			allStagers = append(allStagers, st)
+			fixedPool.Add(spec.Q + s)
+		}
+		zcfg.Directory = fixedPool
+		zcfg.StagerLevel = stagerLevel
+	case nStage > 0:
 		for s := 0; s < nStage; s++ {
 			n := 0
 			for p := 0; p < spec.P; p++ {
@@ -489,17 +578,15 @@ func RunZipper(spec Spec) Result {
 			st := staging.NewStager(env, scfg, s, net.Inbox(spec.Q+s), net, spill)
 			allStagers = append(allStagers, st)
 		}
-		if nStage > 0 {
-			fixed := allStagers
-			zcfg.StagerLevel = func(addr int) *flow.Level {
-				return fixed[addr-spec.Q].Level()
-			}
+		fixed := allStagers
+		zcfg.StagerLevel = func(addr int) *flow.Level {
+			return fixed[addr-spec.Q].Level()
 		}
 	}
 	for p := 0; p < spec.P; p++ {
 		env := simenv.NewEnv(r.eng, r.prodNodes[p], spec.Machine.MemBandwidth)
 		stager := core.NoStager
-		if nStage > 0 && !elasticOn {
+		if nStage > 0 && !elasticOn && !placed {
 			stager = spec.Q + p%nStage
 		}
 		producers[p] = core.NewStagedProducer(env, zcfg, p, p*spec.Q/spec.P, stager, net, store)
@@ -515,6 +602,21 @@ func RunZipper(spec Spec) Result {
 				p.Wait(c)
 			}
 			scaler.Stop(c)
+		})
+	}
+	if fixedPool != nil {
+		// Same lifetime rule for the placement-directed fixed tier: retire
+		// every endpoint the elastic way (out of the membership, quiesce
+		// in-flight claims, then the provably-last Retire message) once the
+		// producers are done.
+		jenv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
+		jenv.Go("place.janitor", func(c rt.Ctx) {
+			for _, p := range producers {
+				p.Wait(c)
+			}
+			fixedPool.RetireAll(c, func(addr int) {
+				net.Send(c, addr, rt.Message{Retire: true})
+			})
 		})
 	}
 
@@ -534,7 +636,13 @@ func RunZipper(spec Spec) Result {
 		p := rank.Proc()
 		c := env.WrapProc(p)
 		name := fmt.Sprintf("sim.%d", rank.Local())
-		perBlock := w.StepTime / time.Duration(nBlocks)
+		// Workload.Skew scales this rank's per-step output volume with the
+		// kernel time unchanged: a skewed rank emits more blocks, faster.
+		rankBlocks := int(float64(nBlocks) * w.skew(rank.Local()))
+		if rankBlocks < 1 {
+			rankBlocks = 1
+		}
+		perBlock := w.StepTime / time.Duration(rankBlocks)
 		for s := 0; s < w.Steps; s++ {
 			stepStart := p.Now()
 			// Halo exchange at the step boundary, as in the baseline app.
@@ -552,7 +660,7 @@ func RunZipper(spec Spec) Result {
 			// soon as it is computed, not in an end-of-step burst — this is
 			// the data-availability-driven design of §4.1.
 			computeStart := p.Now()
-			for b := 0; b < nBlocks; b++ {
+			for b := 0; b < rankBlocks; b++ {
 				p.Delay(perBlock)
 				prod.Write(c, s, int64(b)*blockBytes, nil, blockBytes)
 			}
@@ -622,11 +730,24 @@ func RunZipper(spec Spec) Result {
 	for _, s := range allStagers {
 		st := s.FinalStats()
 		res.StagerSpills += st.BlocksSpilled
+		res.StagerRelayed = append(res.StagerRelayed, st.BlocksIn)
 		if st.MaxQueued > res.StagerMaxQueued {
 			res.StagerMaxQueued = st.MaxQueued
 		}
 		if scaler == nil {
 			res.StagerNodeSeconds += st.Finished.Seconds()
+		}
+	}
+	if n := len(res.StagerRelayed); n > 0 {
+		var total, peak int64
+		for _, v := range res.StagerRelayed {
+			total += v
+			if v > peak {
+				peak = v
+			}
+		}
+		if total > 0 {
+			res.RelayImbalance = float64(peak) * float64(n) / float64(total)
 		}
 	}
 	if scaler != nil {

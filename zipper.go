@@ -56,6 +56,14 @@
 // grows and drains endpoints at runtime on the pool-wide occupancy,
 // forward-rate, and spill signals. Job.Stats reports the scaling timeline
 // and the stager node-seconds the pool actually billed.
+//
+// Config.Placement selects the placement plane's policy — how producers
+// resolve their consumer and stager endpoints: RankAffine (the fixed
+// assignments of earlier revisions, the default), LeastOccupancy (every
+// batch to the emptiest endpoint, shrinking relay imbalance when producer
+// rates diverge), or HashRing (consistent hashing, stable across elastic
+// membership epochs). Job.Stats reports the per-stager RelayImbalance the
+// load-aware policies exist to shrink.
 package zipper
 
 import (
@@ -67,6 +75,7 @@ import (
 	"zipper/internal/core"
 	"zipper/internal/elastic"
 	"zipper/internal/flow"
+	"zipper/internal/place"
 	"zipper/internal/rt"
 	"zipper/internal/rt/realenv"
 	"zipper/internal/staging"
@@ -98,6 +107,29 @@ const (
 // AdaptiveTuning parameterizes the RouteAdaptive controller; the zero value
 // selects sensible defaults (see the flow package).
 type AdaptiveTuning = flow.Tuning
+
+// Placement selects the policy of the placement plane: how producers are
+// assigned to consumer endpoints and (when a staging tier exists) to stager
+// endpoints. See the place package for the policy semantics; the zero value
+// is RankAffine, the fixed assignment of earlier revisions.
+type Placement = place.Kind
+
+const (
+	// RankAffine is the classic fixed split — producer p feeds consumer
+	// p·Consumers/Producers and relays through stager p mod Stagers — and
+	// the default. It is byte-identical to the assignments earlier
+	// revisions hard-coded.
+	RankAffine = place.KindRankAffine
+	// LeastOccupancy resolves every drained batch to the endpoint with the
+	// lowest buffer occupancy, read from the flow.Level gauges each
+	// consumer and stager publishes — the load-aware rule that keeps
+	// divergent producer rates from piling work onto a few relays.
+	LeastOccupancy = place.KindLeastOccupancy
+	// HashRing is consistent hashing across membership epochs: when the
+	// elastic tier drains a stager only the producers mapped to it move,
+	// and when the endpoint regrows exactly those producers return.
+	HashRing = place.KindHashRing
+)
 
 // ElasticConfig tunes the elastic staging tier — the autoscaler that grows
 // and drains stager endpoints at runtime (see the elastic package). The zero
@@ -152,8 +184,11 @@ func NewPayload(n int) []byte { return block.GetPayload(n) }
 
 // Config configures a Job.
 type Config struct {
-	// Producers and Consumers are the endpoint counts (both ≥ 1). Producer
-	// i feeds consumer i·Consumers/Producers.
+	// Producers and Consumers are the endpoint counts (both ≥ 1). Which
+	// consumer a producer's output lands on is the Placement policy's
+	// decision: under the default RankAffine placement producer i
+	// permanently feeds consumer i·Consumers/Producers, while the
+	// load-aware policies re-resolve the destination per drained batch.
 	Producers, Consumers int
 	// SpoolDir is the directory standing in for the parallel file system
 	// (spills and preserved blocks). Required.
@@ -179,14 +214,16 @@ type Config struct {
 	// Stagers is the number of in-transit staging endpoints — the third
 	// channel between the in-memory message path and the file-system path.
 	// Zero (the default) runs the paper's original two-channel protocol.
-	// With a fixed pool (Elastic off) every endpoint runs for the whole job
-	// and producer p is permanently assigned stager p mod Stagers. With
-	// Elastic on, Stagers is instead the reserved endpoint ceiling: the live
-	// pool is an epoch-versioned membership that starts at
-	// Elastic.MinStagers, grows and drains within [MinStagers, MaxStagers]
-	// ≤ Stagers, and producers re-resolve their stager from the current
-	// membership for every drained batch (rank-affine over the live members,
-	// so a stable membership reproduces the fixed assignment).
+	// With a fixed pool (Elastic off) every endpoint runs for the whole
+	// job; which stager a producer relays through is the Placement policy's
+	// decision (under the default RankAffine placement producer p is
+	// permanently assigned stager p mod Stagers). With Elastic on, Stagers
+	// is instead the reserved endpoint ceiling: the live pool is an
+	// epoch-versioned membership that starts at Elastic.MinStagers, grows
+	// and drains within [MinStagers, MaxStagers] ≤ Stagers, and producers
+	// re-resolve their stager from the current membership for every drained
+	// batch through the Placement policy (rank-affine by default, so a
+	// stable membership reproduces the fixed assignment).
 	Stagers int
 	// StagerBufferBlocks is each stager's in-memory buffer capacity in
 	// blocks (default 64). Past ¾ of it the stager spills its newest
@@ -197,6 +234,17 @@ type Config struct {
 	// (react per batch to live backpressure), or RouteAdaptive (the
 	// closed-loop controller).
 	RoutePolicy RoutePolicy
+	// Placement selects how producers resolve their consumer and stager
+	// endpoints: RankAffine (the default — the fixed assignments of earlier
+	// revisions, byte-identical), LeastOccupancy (every batch to the
+	// emptiest endpoint, read from the live occupancy gauges), or HashRing
+	// (consistent hashing, stable across elastic membership epochs). With a
+	// non-default placement the runtime routes through epoch-versioned
+	// place.Directory instances — consumers resolved per batch, stagers run
+	// pool-managed even when the tier is fixed-size — and stream
+	// termination is counted (per-destination Fin totals) rather than
+	// ordered, so mid-run reassignment never strands blocks.
+	Placement Placement
 	// Adaptive tunes the RouteAdaptive controller (ignored otherwise).
 	Adaptive AdaptiveTuning
 	// Elastic enables and tunes the staging-tier autoscaler. It needs
@@ -291,6 +339,11 @@ func (cfg Config) validate() error {
 	if cfg.RoutePolicy != RouteDirect && cfg.Stagers == 0 {
 		return fmt.Errorf("zipper: RoutePolicy %v needs Stagers ≥ 1", cfg.RoutePolicy)
 	}
+	if !cfg.Placement.Valid() {
+		// Placement.String renders out-of-range values as "unknown(N)".
+		return fmt.Errorf("zipper: %v Placement (valid: %v, %v, %v)",
+			cfg.Placement, RankAffine, LeastOccupancy, HashRing)
+	}
 	if cfg.Adaptive.MinShare < 0 || cfg.Adaptive.MaxShare < 0 ||
 		cfg.Adaptive.MinShare > 1 || cfg.Adaptive.MaxShare > 1 {
 		return fmt.Errorf("zipper: Adaptive shares must lie in [0,1], got min %v max %v",
@@ -352,6 +405,7 @@ func NewJob(cfg Config) (*Job, error) {
 		ccfg.Mode = core.Preserve
 	}
 	j := &Job{env: env, cfg: cfg, net: net, fs: fs}
+	placed := cfg.Placement != RankAffine
 	for q := 0; q < cfg.Consumers; q++ {
 		n := 0
 		for p := 0; p < cfg.Producers; p++ {
@@ -359,10 +413,27 @@ func NewJob(cfg Config) (*Job, error) {
 				n++
 			}
 		}
+		if placed {
+			// A placement-resolved consumer can receive from any producer,
+			// and every producer Fin-broadcasts to every consumer.
+			n = cfg.Producers
+		}
 		j.cons = append(j.cons, &Consumer{
 			c:   core.NewConsumer(env, ccfg, q, n, net.Inbox(q), fs),
 			ctx: env.Ctx(),
 		})
+	}
+	if placed {
+		// The consumer directory: static membership (every consumer
+		// endpoint), policy-driven per-batch resolution fed by the live
+		// consumer-buffer occupancy gauges.
+		cdir := place.New(cfg.Placement.New(), func(addr int) *flow.Level {
+			return j.cons[addr].c.Level()
+		})
+		for q := 0; q < cfg.Consumers; q++ {
+			cdir.Add(q)
+		}
+		ccfg.ConsumerDirectory = cdir
 	}
 	// With RouteDirect no producer would ever address a stager — its
 	// receiver would wait forever for Fins — so the tier is not built and
@@ -376,13 +447,22 @@ func NewJob(cfg Config) (*Job, error) {
 	if stagers > cfg.Producers {
 		stagers = cfg.Producers
 	}
+	stagerLevel := func(addr int) *flow.Level {
+		j.mu.RLock()
+		defer j.mu.RUnlock()
+		if st := j.slots[addr-cfg.Consumers]; st != nil {
+			return st.Level()
+		}
+		return nil
+	}
 	switch {
 	case cfg.Elastic.Enabled && stagers > 0:
 		// Elastic staging tier: spawn the starting pool, hand producers the
 		// epoch-versioned directory instead of a fixed assignment, and start
-		// the scaler.
+		// the scaler. The pool resolves through the configured Placement
+		// policy, fed by the live stager occupancy gauges.
 		ecfg := cfg.Elastic.WithDefaults(stagers)
-		j.pool = elastic.NewPool()
+		j.pool = place.New(cfg.Placement.New(), stagerLevel)
 		j.slots = make([]*staging.Stager, ecfg.MaxStagers)
 		var initial []*flow.StagerFlows
 		for s := 0; s < ecfg.MinStagers; s++ {
@@ -394,16 +474,26 @@ func NewJob(cfg Config) (*Job, error) {
 			initial = append(initial, st.Flows())
 		}
 		ccfg.Directory = j.pool
-		ccfg.StagerLevel = func(addr int) *flow.Level {
-			j.mu.RLock()
-			defer j.mu.RUnlock()
-			if st := j.slots[addr-cfg.Consumers]; st != nil {
-				return st.Level()
-			}
-			return nil
-		}
+		ccfg.StagerLevel = stagerLevel
 		j.scaler = elastic.NewScaler(env, ecfg, j.pool, (*jobHost)(j), cfg.Consumers, initial)
 		j.scaler.Start()
+	case placed && stagers > 0:
+		// Placement-directed fixed tier: the same pool-managed endpoints as
+		// the elastic tier over a static membership, no scaler. Producers
+		// resolve their stager per drained batch through the placement
+		// policy; Job.Wait retires the endpoints once the producers finish
+		// and counted termination completes the consumers' streams from the
+		// flushed deliveries.
+		j.pool = place.New(cfg.Placement.New(), stagerLevel)
+		j.slots = make([]*staging.Stager, stagers)
+		for s := 0; s < stagers; s++ {
+			if _, err := j.spawnStager(s); err != nil {
+				return nil, err
+			}
+			j.pool.Add(cfg.Consumers + s)
+		}
+		ccfg.Directory = j.pool
+		ccfg.StagerLevel = stagerLevel
 	case stagers > 0:
 		for s := 0; s < stagers; s++ {
 			spill, err := fs.Partition(fmt.Sprintf("stage%d", s))
@@ -519,6 +609,24 @@ func (j *Job) Wait() {
 		p.p.Wait(p.ctx)
 	}
 	ctx := j.env.Ctx()
+	if j.scaler == nil && j.pool != nil {
+		// Placement-directed fixed tier: the producers have finished, so no
+		// relay traffic can appear. Retire every endpoint the elastic way —
+		// out of the membership, quiesce in-flight claims, then the
+		// provably-last Retire message — and wait out the flush.
+		j.pool.RetireAll(ctx, func(addr int) {
+			j.net.Send(ctx, addr, rt.Message{Retire: true})
+		})
+		j.mu.Lock()
+		all := append([]*jobStager(nil), j.all...)
+		for _, in := range all {
+			in.drained = true
+		}
+		j.mu.Unlock()
+		for _, in := range all {
+			in.st.Wait(ctx)
+		}
+	}
 	if j.scaler != nil {
 		j.scaler.Stop(ctx)
 		j.mu.RLock()
@@ -577,6 +685,14 @@ type JobStats struct {
 	BlocksSpilled  int64 // overflowed inside stagers
 	Messages       int64 // producer mixed messages (including Fins)
 	WriteStall     float64
+	// RelayImbalance is the max/mean ratio of blocks received per stager
+	// endpoint across the whole staging tier (retired elastic instances
+	// included): 1.0 means every stager carried an equal share of the relay
+	// traffic, S means one stager carried everything. Zero when no staging
+	// tier exists or nothing was relayed. It is the number the load-aware
+	// Placement policies exist to shrink when producers' output rates
+	// diverge — see BENCH_placement.json for the gated comparison.
+	RelayImbalance float64
 	// Live EWMA rates summed across endpoints (blocks/s at snapshot time).
 	WriteRate   float64 // application write rate across producers
 	DeliverRate float64 // delivery rate across producers, all channels
@@ -612,7 +728,7 @@ func (j *Job) Stats() JobStats {
 		js.DeliverRate += s.DeliverRate
 	}
 	ctx := j.env.Ctx()
-	if j.scaler != nil {
+	if j.pool != nil {
 		type instance struct {
 			st      *staging.Stager
 			drained bool
@@ -627,11 +743,18 @@ func (j *Job) Stats() JobStats {
 			s := in.st.Stats(ctx)
 			js.Stagers = append(js.Stagers, stagerStats(s, in.drained))
 			js.BlocksSpilled += s.BlocksSpilled
+			if j.scaler == nil {
+				// Placement-directed fixed tier: every endpoint is billed to
+				// its finish time, like the legacy fixed pool.
+				js.StagerNodeSeconds += s.Finished.Seconds()
+			}
 		}
-		js.ScaleEvents = j.scaler.Events()
-		js.StagerNodeSeconds = j.scaler.NodeSeconds()
-		if err := j.scaler.Err(); err != nil {
-			js.ElasticSpawnErr = err.Error()
+		if j.scaler != nil {
+			js.ScaleEvents = j.scaler.Events()
+			js.StagerNodeSeconds = j.scaler.NodeSeconds()
+			if err := j.scaler.Err(); err != nil {
+				js.ElasticSpawnErr = err.Error()
+			}
 		}
 	}
 	for _, st := range j.stage {
@@ -639,6 +762,18 @@ func (j *Job) Stats() JobStats {
 		js.Stagers = append(js.Stagers, stagerStats(s, false))
 		js.BlocksSpilled += s.BlocksSpilled
 		js.StagerNodeSeconds += s.Finished.Seconds()
+	}
+	if n := len(js.Stagers); n > 0 {
+		var total, peak int64
+		for _, s := range js.Stagers {
+			total += s.BlocksIn
+			if s.BlocksIn > peak {
+				peak = s.BlocksIn
+			}
+		}
+		if total > 0 {
+			js.RelayImbalance = float64(peak) * float64(n) / float64(total)
+		}
 	}
 	for _, c := range j.cons {
 		s := c.Stats()
@@ -754,6 +889,8 @@ func (c *Consumer) Stats() ConsumerStats {
 		BlocksAnalyzed: s.BlocksAnalyzed,
 		BlocksStored:   s.BlocksStored,
 		AnalyzeRate:    s.AnalyzeRate,
+		Queued:         s.Queued,
+		Capacity:       s.Capacity,
 	}
 }
 
@@ -764,4 +901,6 @@ type ConsumerStats struct {
 	BlocksAnalyzed int64
 	BlocksStored   int64   // persisted by the Preserve-mode output thread
 	AnalyzeRate    float64 // blocks/s delivered to the analysis (live EWMA)
+	Queued         int     // blocks currently resident in the consumer buffer
+	Capacity       int     // the buffer's capacity in blocks
 }
