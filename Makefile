@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement bench-failover
 
 ci: fmt vet build test
 
@@ -50,3 +50,8 @@ bench-elastic:
 # least-occupancy vs hash-ring on the skewed-rate workload).
 bench-placement:
 	$(GO) run ./cmd/benchplacement -o BENCH_placement.json
+
+# Regenerate the committed failover baseline (fault plane off / quiet / with
+# injected stager kills; gates blocks-lost == 0 and mean recovery time).
+bench-failover:
+	$(GO) run ./cmd/benchfailover -o BENCH_failover.json

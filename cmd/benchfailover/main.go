@@ -1,0 +1,200 @@
+// benchfailover records the survivable-data-plane baseline: the shared
+// bursty benchharness relay scenario run with the fault plane off, on but
+// quiet, and on with stagers hard-killed mid-run on the real platform. It
+// writes the comparison as JSON so CI and future optimization PRs have a
+// committed reference point, and fails when recovery stops being lossless
+// or stops being prompt: every killed run must analyze every block with
+// blocks_lost == 0 (the recovery reader replays the victims' journals), at
+// least as many evictions as kills must be detected, and the mean
+// evict→respawn recovery time must stay under a generous ceiling.
+//
+// Usage:
+//
+//	benchfailover [-o BENCH_failover.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"zipper"
+	"zipper/internal/benchharness"
+)
+
+// minProcs floors GOMAXPROCS for the measurement. The job under test runs
+// ~18 runtime threads (producers, stagers, consumers, heartbeats, the
+// monitor) whose interleaving IS the phenomenon being measured: on a 1-core
+// box the default GOMAXPROCS serializes the pipeline into lockstep and the
+// crash never interrupts in-flight work. Raising GOMAXPROCS (even above the
+// physical core count — async preemption interleaves fairly) restores
+// concurrent progress so kills land mid-burst as they would on a real
+// deployment.
+const minProcs = 8
+
+// maxMeanRecovery gates the detector's promptness: mean evict→respawn time
+// per eviction. The floor is LeaseTTL (a kill must lapse before it is
+// seen); the ceiling leaves room for the fence/drain/replay sequence under
+// CI scheduling jitter.
+const maxMeanRecovery = 2 * time.Second
+
+// Row is one fault-plane configuration's measurement.
+type Row struct {
+	Variant        string  `json:"variant"`
+	Kills          int     `json:"kills"`
+	Blocks         int64   `json:"blocks"`
+	Analyzed       int64   `json:"blocks_analyzed"`
+	Lost           int64   `json:"blocks_lost"`
+	Evictions      int64   `json:"evictions"`
+	Replayed       int64   `json:"blocks_replayed"`
+	MeanRecoveryMs float64 `json:"mean_recovery_ms"`
+	ThroughputMBs  float64 `json:"throughput_mb_per_s"`
+}
+
+// Report is the file layout of BENCH_failover.json.
+type Report struct {
+	Producers   int     `json:"producers"`
+	Consumers   int     `json:"consumers"`
+	Stagers     int     `json:"stagers"`
+	Bursts      int     `json:"bursts"`
+	BurstBlocks int     `json:"burst_blocks_per_producer"`
+	BurstPauseS float64 `json:"burst_pause_s"`
+	BlockBytes  int     `json:"block_bytes"`
+	AnalyzeUs   float64 `json:"analyze_us_per_block"`
+	HeartbeatMs float64 `json:"heartbeat_ms"`
+	LeaseTTLMs  float64 `json:"lease_ttl_ms"`
+	GoVersion   string  `json:"go_version"`
+	Rows        []Row   `json:"rows"`
+}
+
+// meanRecovery averages the evict→respawn latency over the eviction
+// timeline; evictions that were never respawned (the run ended first) are
+// excluded.
+func meanRecovery(events []zipper.FailoverEvent) time.Duration {
+	evictAt := map[int]time.Duration{}
+	var sum time.Duration
+	var n int
+	for _, ev := range events {
+		switch ev.Kind {
+		case "evict":
+			evictAt[ev.Addr] = ev.At
+		case "respawn":
+			if at, ok := evictAt[ev.Addr]; ok {
+				sum += ev.At - at
+				n++
+				delete(evictAt, ev.Addr)
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+func run(sc benchharness.FailoverScenario, name string, faultOn bool, kills int) (Row, error) {
+	dir, err := os.MkdirTemp("", "benchfailover")
+	if err != nil {
+		return Row{}, err
+	}
+	defer os.RemoveAll(dir)
+	start := time.Now()
+	st, err := benchharness.RunFailover(dir, sc, faultOn, kills)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Row{}, err
+	}
+	total := sc.Total()
+	if st.BlocksAnalyzed != total {
+		return Row{}, fmt.Errorf("%s: analyzed %d of %d blocks", name, st.BlocksAnalyzed, total)
+	}
+	row := Row{
+		Variant: name, Kills: kills,
+		Blocks: st.BlocksWritten, Analyzed: st.BlocksAnalyzed, Lost: st.BlocksLost,
+		Evictions: st.Evictions, Replayed: st.ReplayedBlocks,
+		MeanRecoveryMs: float64(meanRecovery(st.FailoverEvents)) / 1e6,
+	}
+	if ns := elapsed.Nanoseconds(); ns > 0 {
+		row.ThroughputMBs = float64(total*int64(sc.BlockBytes)) / (float64(ns) / 1e9) / 1e6
+	}
+	return row, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_failover.json", "output file")
+	flag.Parse()
+	if runtime.GOMAXPROCS(0) < minProcs {
+		runtime.GOMAXPROCS(minProcs)
+	}
+
+	sc := benchharness.FailoverScenarioDefault
+	fcfg := sc.Fault
+	rep := Report{
+		Producers: sc.Producers, Consumers: sc.Consumers, Stagers: sc.Stagers,
+		Bursts: sc.Bursts, BurstBlocks: sc.BurstBlocks, BurstPauseS: sc.BurstPause.Seconds(),
+		BlockBytes: sc.BlockBytes, AnalyzeUs: float64(sc.Analyze) / 1e3,
+		HeartbeatMs: float64(fcfg.Heartbeat) / 1e6, LeaseTTLMs: float64(fcfg.LeaseTTL) / 1e6,
+		GoVersion: runtime.Version(),
+	}
+	variants := []struct {
+		name    string
+		faultOn bool
+		kills   int
+	}{
+		{"fault-off", false, 0},
+		{"fault-on-quiet", true, 0},
+		{"fault-on-1-kill", true, 1},
+		{"fault-on-2-kills", true, 2},
+	}
+	rows := map[string]Row{}
+	for _, v := range variants {
+		row, err := run(sc, v.name, v.faultOn, v.kills)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		rows[v.name] = row
+		fmt.Printf("%-16s kills=%d evictions=%d replayed=%d lost=%d recovery=%.1fms %.0f MB/s\n",
+			row.Variant, row.Kills, row.Evictions, row.Replayed, row.Lost,
+			row.MeanRecoveryMs, row.ThroughputMBs)
+	}
+
+	// The survivability bargain, gated on both axes: killed runs must lose
+	// nothing (the replay balances the counted streams) and must recover
+	// promptly (mean evict→respawn under the ceiling). A quiet fault-on run
+	// must not evict anyone — a healthy member lapsing its lease means the
+	// heartbeat path is broken, which fencing would mask as "recovery".
+	for _, v := range variants {
+		row := rows[v.name]
+		if row.Lost != 0 {
+			fatal(fmt.Errorf("%s: blocks_lost = %d, want 0 — spool replay failed to recover", v.name, row.Lost))
+		}
+		if v.kills > 0 {
+			if row.Evictions < int64(v.kills) {
+				fatal(fmt.Errorf("%s: %d evictions for %d kills — a crash went undetected", v.name, row.Evictions, v.kills))
+			}
+			if row.MeanRecoveryMs > float64(maxMeanRecovery)/1e6 {
+				fatal(fmt.Errorf("%s: mean recovery %.1fms exceeds %.0fms", v.name, row.MeanRecoveryMs, float64(maxMeanRecovery)/1e6))
+			}
+		} else if row.Evictions != 0 {
+			fatal(fmt.Errorf("%s: %d evictions with no kills — healthy members are lapsing their leases", v.name, row.Evictions))
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfailover:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@
 //	zippertrace staging [-steps N]              # in-transit stager threads
 //	zippertrace elastic [-steps N]              # autoscaled stager pool
 //	zippertrace placement [-steps N]            # endpoint placement policies
+//	zippertrace failover [-steps N]             # crash, replay, respawn
 package main
 
 import (
@@ -51,6 +52,8 @@ func main() {
 		print1(exp.RunElasticTrace(*steps))
 	case "placement":
 		fmt.Print(exp.FormatPlacement(exp.RunPlacementSweep(*steps)))
+	case "failover":
+		print1(exp.RunFailoverTrace(*steps))
 	case "compare-cfd", "compare-lammps":
 		app, window := "cfd", 1300*time.Millisecond
 		if cmd == "compare-lammps" {
@@ -76,5 +79,5 @@ func print1(f exp.TraceFigure) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|elastic|placement|compare-cfd|compare-lammps [-cores N] [-steps N]")
+	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|elastic|placement|failover|compare-cfd|compare-lammps [-cores N] [-steps N]")
 }

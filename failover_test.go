@@ -1,0 +1,295 @@
+package zipper
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConfigErrorTyped pins the typed validation surface: every NewJob
+// rejection is a *ConfigError naming the offending field, with a non-empty
+// reason and the descriptive prose preserved in Error().
+func TestConfigErrorTyped(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name  string
+		field string
+		cfg   Config
+	}{
+		{"no producers", "Producers",
+			Config{Consumers: 1, SpoolDir: dir}},
+		{"more consumers than producers", "Consumers",
+			Config{Producers: 1, Consumers: 2, SpoolDir: dir}},
+		{"missing spool dir", "SpoolDir",
+			Config{Producers: 1, Consumers: 1}},
+		{"negative buffer", "BufferBlocks",
+			Config{Producers: 1, Consumers: 1, SpoolDir: dir, BufferBlocks: -1}},
+		{"negative stagers via flat alias", "Staging.Stagers",
+			Config{Producers: 1, Consumers: 1, SpoolDir: dir, Stagers: -1}},
+		{"relay policy without stagers", "Staging.Stagers",
+			Config{Producers: 1, Consumers: 1, SpoolDir: dir, RoutePolicy: RouteStaging}},
+		{"elastic with RouteDirect", "Staging.Elastic",
+			Config{Producers: 2, Consumers: 1, SpoolDir: dir, Stagers: 2,
+				Elastic: ElasticConfig{Enabled: true}}},
+		{"fault without staging tier", "Fault",
+			Config{Producers: 1, Consumers: 1, SpoolDir: dir,
+				Fault: FaultConfig{Enabled: true}}},
+		{"fault with RouteDirect", "Fault",
+			Config{Producers: 2, Consumers: 1, SpoolDir: dir, Stagers: 2,
+				Fault: FaultConfig{Enabled: true}}},
+		{"fault lease inside heartbeat", "Fault",
+			Config{Producers: 2, Consumers: 1, SpoolDir: dir, Stagers: 2,
+				RoutePolicy: RouteStaging,
+				Fault: FaultConfig{Enabled: true,
+					Heartbeat: time.Millisecond, LeaseTTL: time.Millisecond}}},
+	}
+	for _, tc := range cases {
+		_, err := NewJob(tc.cfg)
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %T is not a *ConfigError: %v", tc.name, err, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("%s: Field = %q, want %q (reason: %s)", tc.name, ce.Field, tc.field, ce.Reason)
+		}
+		if ce.Reason == "" {
+			t.Errorf("%s: empty Reason", tc.name)
+		}
+		if ce.Error() == "" {
+			t.Errorf("%s: empty Error()", tc.name)
+		}
+	}
+}
+
+// TestConfigStagingAliasEquivalence pins the deprecated flat staging fields
+// to the grouped StagingConfig: a config written entirely through the flat
+// aliases must normalize to exactly the config written through the group,
+// and a non-zero grouped field must win over a conflicting flat alias.
+func TestConfigStagingAliasEquivalence(t *testing.T) {
+	tuning := AdaptiveTuning{Tau: time.Millisecond}
+	el := ElasticConfig{Enabled: true, MinStagers: 2, MaxStagers: 3}
+	flat := Config{
+		Producers: 4, Consumers: 2, SpoolDir: "spool",
+		Stagers: 3, StagerBufferBlocks: 48,
+		RoutePolicy: RouteAdaptive, Placement: LeastOccupancy,
+		Adaptive: tuning, Elastic: el,
+	}
+	grouped := Config{
+		Producers: 4, Consumers: 2, SpoolDir: "spool",
+		Staging: StagingConfig{
+			Stagers: 3, BufferBlocks: 48,
+			RoutePolicy: RouteAdaptive, Placement: LeastOccupancy,
+			Adaptive: tuning, Elastic: el,
+		},
+	}
+	if !reflect.DeepEqual(flat.normalized(), grouped.normalized()) {
+		t.Fatalf("flat aliases and grouped StagingConfig normalize differently:\nflat:    %+v\ngrouped: %+v",
+			flat.normalized(), grouped.normalized())
+	}
+	mixed := grouped
+	mixed.Stagers = 1 // stale flat alias; the grouped field must win
+	n := mixed.normalized()
+	if n.Staging.Stagers != 3 || n.Stagers != 3 {
+		t.Fatalf("grouped Stagers should win over the flat alias: got group=%d flat=%d",
+			n.Staging.Stagers, n.Stagers)
+	}
+	if reflect.DeepEqual(Config{}.normalized(), grouped.normalized()) {
+		t.Fatal("normalized() collapsed distinct configs")
+	}
+}
+
+// TestFaultJobCrashChurn is the real-platform stress of the survivable data
+// plane: stagers are hard-killed while producers are mid-relay, and the run
+// must still terminate with every block analyzed and zero blocks lost — the
+// failure detector evicts the corpses, the recovery reader replays their
+// journals, and replacements respawn into the freed slots. Run under -race
+// this also checks the monitor/heartbeat/journal locking.
+func TestFaultJobCrashChurn(t *testing.T) {
+	const (
+		producers   = 4
+		consumers   = 2
+		bursts      = 3
+		burstBlocks = 120
+		blockBytes  = 8 << 10
+		pause       = 50 * time.Millisecond
+		total       = producers * bursts * burstBlocks
+	)
+	job, err := NewJob(Config{
+		Producers: producers, Consumers: consumers, SpoolDir: t.TempDir(),
+		BufferBlocks: 16, Window: 2, MaxBatchBlocks: 4, DisableSteal: true,
+		Staging: StagingConfig{
+			Stagers: 3, BufferBlocks: 32, RoutePolicy: RouteStaging,
+		},
+		// Generous timings: realenv scheduling jitter must not evict healthy
+		// members faster than the test can reason about (fencing keeps even
+		// a spurious eviction sound, but the assertions below count kills).
+		Fault: FaultConfig{Enabled: true, Heartbeat: 2 * time.Millisecond, LeaseTTL: 25 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readers sync.WaitGroup
+	for q := 0; q < consumers; q++ {
+		readers.Add(1)
+		go func(q int) {
+			defer readers.Done()
+			var sink byte
+			for {
+				blk, ok := job.Consumer(q).Read()
+				if !ok {
+					_ = sink
+					return
+				}
+				sink ^= blk.Data[0]
+				blk.Release()
+			}
+		}(q)
+	}
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			prod := job.Producer(p)
+			i := 0
+			for b := 0; b < bursts; b++ {
+				if b > 0 {
+					time.Sleep(pause)
+				}
+				for k := 0; k < burstBlocks; k++ {
+					data := NewPayload(blockBytes)
+					data[0] = byte(i)
+					prod.Write(i, 0, data)
+					i++
+				}
+			}
+			prod.Close()
+		}(p)
+	}
+	// Hard-kill two of the three stagers mid-run, spaced a burst apart. The
+	// kills happen strictly before Wait, so the failure detector is still
+	// running (its final forced sweep catches even a kill whose lease never
+	// lapsed).
+	kills := 0
+	time.Sleep(20 * time.Millisecond)
+	if job.InjectStagerCrash(0) {
+		kills++
+	}
+	time.Sleep(pause)
+	if job.InjectStagerCrash(1) {
+		kills++
+	}
+	if kills == 0 {
+		t.Fatal("no crash could be injected: the tier drained before the test reached it")
+	}
+	readers.Wait()
+	job.Wait()
+
+	st := job.Stats()
+	if st.BlocksAnalyzed != total {
+		t.Fatalf("analyzed %d of %d blocks after %d injected crashes", st.BlocksAnalyzed, total, kills)
+	}
+	if st.BlocksLost != 0 {
+		t.Fatalf("BlocksLost = %d, want 0: spool replay should recover every journaled block", st.BlocksLost)
+	}
+	if st.Evictions < int64(kills) {
+		t.Fatalf("Evictions = %d, want ≥ %d (one per injected crash)", st.Evictions, kills)
+	}
+	var evictedInsts int
+	for _, sg := range st.Stagers {
+		if sg.Evicted {
+			evictedInsts++
+			if sg.Health != "evicted" {
+				t.Errorf("evicted instance reports Health %q", sg.Health)
+			}
+			if !sg.Drained {
+				t.Error("evicted instance not marked Drained")
+			}
+		}
+	}
+	if int64(evictedInsts) != st.Evictions {
+		t.Errorf("%d instances marked Evicted, but Evictions = %d", evictedInsts, st.Evictions)
+	}
+	var evicts, replays int
+	for _, ev := range st.FailoverEvents {
+		switch ev.Kind {
+		case "evict":
+			evicts++
+		case "replay":
+			replays++
+		case "respawn", "abandon":
+		default:
+			t.Fatalf("unknown failover event kind %q", ev.Kind)
+		}
+	}
+	if evicts != replays {
+		t.Errorf("%d evict events but %d replay events: every eviction must be replayed", evicts, replays)
+	}
+	if int64(evicts) != st.Evictions {
+		t.Errorf("%d evict events, but Evictions = %d", evicts, st.Evictions)
+	}
+	if st.ReplayedBlocks > 0 {
+		var perInst int64
+		for _, sg := range st.Stagers {
+			perInst += sg.ReplayedBlocks
+		}
+		if perInst != st.ReplayedBlocks {
+			t.Errorf("per-instance ReplayedBlocks sum %d != job total %d", perInst, st.ReplayedBlocks)
+		}
+	}
+}
+
+// TestFaultOffIsInert pins that a zero FaultConfig changes nothing: the
+// fault machinery (journals, heartbeats, monitor) must stay out of the
+// data path, and the stats surface must stay zero.
+func TestFaultOffIsInert(t *testing.T) {
+	job, err := NewJob(Config{
+		Producers: 2, Consumers: 1, SpoolDir: t.TempDir(),
+		Stagers: 2, RoutePolicy: RouteStaging, DisableSteal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 40
+	for p := 0; p < 2; p++ {
+		go func(p int) {
+			prod := job.Producer(p)
+			for i := 0; i < steps; i++ {
+				data := NewPayload(4 << 10)
+				data[0] = byte(i)
+				prod.Write(i, 0, data)
+			}
+			prod.Close()
+		}(p)
+	}
+	n := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		n++
+		blk.Release()
+	}
+	job.Wait()
+	if n != 2*steps {
+		t.Fatalf("analyzed %d of %d blocks", n, 2*steps)
+	}
+	if job.InjectStagerCrash(0) {
+		t.Error("InjectStagerCrash succeeded with the fault plane off")
+	}
+	st := job.Stats()
+	if st.Evictions != 0 || st.ReplayedBlocks != 0 || st.BlocksLost != 0 || len(st.FailoverEvents) != 0 {
+		t.Fatalf("fault-off stats not inert: evictions=%d replayed=%d lost=%d events=%d",
+			st.Evictions, st.ReplayedBlocks, st.BlocksLost, len(st.FailoverEvents))
+	}
+	for _, sg := range st.Stagers {
+		if sg.Health != "" || sg.Evicted {
+			t.Fatalf("fault-off stager reports health %q evicted=%v", sg.Health, sg.Evicted)
+		}
+	}
+}

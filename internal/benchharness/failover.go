@@ -1,0 +1,117 @@
+package benchharness
+
+import (
+	"sync"
+	"time"
+
+	"zipper"
+)
+
+// FailoverScenario shapes the crash-recovery measurement: bursty producers
+// over a relaying staging tier, with a configurable number of stagers
+// hard-killed mid-run. The bursts leave admitted-but-undelivered blocks in
+// the victims' buffers at kill time, so the recovery reader has real work:
+// the measurement is whether the replay balances the counted streams
+// (blocks_lost must be 0) and how long the evict→respawn sequence takes.
+type FailoverScenario struct {
+	Producers   int
+	Consumers   int
+	Stagers     int
+	Bursts      int
+	BurstBlocks int // per producer per burst
+	BurstPause  time.Duration
+	BlockBytes  int
+	// Analyze is each consumer's busy time per block.
+	Analyze time.Duration
+	// StagerBufferBlocks sizes each stager endpoint's in-memory buffer.
+	StagerBufferBlocks int
+	// Fault tunes the failure detector. Generous timings by default: the
+	// measurement is recovery latency, not detector sensitivity, and a TTL
+	// well above scheduler jitter keeps healthy members out of the sweep.
+	Fault zipper.FaultConfig
+}
+
+// Total is the block count across all producers and bursts.
+func (sc FailoverScenario) Total() int64 {
+	return int64(sc.Producers) * int64(sc.Bursts) * int64(sc.BurstBlocks)
+}
+
+// FailoverScenarioDefault is the committed-baseline workload.
+var FailoverScenarioDefault = FailoverScenario{
+	Producers: 4, Consumers: 2, Stagers: 3,
+	Bursts: 3, BurstBlocks: 200, BurstPause: 60 * time.Millisecond,
+	BlockBytes: 16 << 10, Analyze: 50 * time.Microsecond, StagerBufferBlocks: 64,
+	Fault: zipper.FaultConfig{Enabled: true,
+		Heartbeat: 2 * time.Millisecond, LeaseTTL: 25 * time.Millisecond},
+}
+
+// RunFailover runs the bursty relay workload on the real platform, injecting
+// `kills` stager crashes spaced one burst pause apart (slot k dies at
+// (k+1)·BurstPause/2 into the run), and returns the job-wide aggregate stats
+// after the stream drains. With faultOn false the fault plane is left off
+// and kills must be 0 — the overhead baseline the fault-on rows compare to.
+func RunFailover(spoolDir string, sc FailoverScenario, faultOn bool, kills int) (zipper.JobStats, error) {
+	cfg := zipper.Config{
+		Producers: sc.Producers, Consumers: sc.Consumers, SpoolDir: spoolDir,
+		BufferBlocks: 16, Window: 2, MaxBatchBlocks: 8, DisableSteal: true,
+		Staging: zipper.StagingConfig{
+			Stagers:      sc.Stagers,
+			BufferBlocks: sc.StagerBufferBlocks,
+			RoutePolicy:  zipper.RouteStaging,
+		},
+	}
+	if faultOn {
+		cfg.Fault = sc.Fault
+	}
+	job, err := zipper.NewJob(cfg)
+	if err != nil {
+		return zipper.JobStats{}, err
+	}
+	var readers sync.WaitGroup
+	for q := 0; q < sc.Consumers; q++ {
+		readers.Add(1)
+		go func(q int) {
+			defer readers.Done()
+			var sink byte
+			for {
+				blk, ok := job.Consumer(q).Read()
+				if !ok {
+					_ = sink
+					return
+				}
+				sink ^= blk.Data[0] ^ blk.Data[len(blk.Data)-1]
+				for t0 := time.Now(); time.Since(t0) < sc.Analyze; {
+				}
+				blk.Release()
+			}
+		}(q)
+	}
+	for p := 0; p < sc.Producers; p++ {
+		go func(p int) {
+			prod := job.Producer(p)
+			i := 0
+			for b := 0; b < sc.Bursts; b++ {
+				if b > 0 {
+					time.Sleep(sc.BurstPause)
+				}
+				for k := 0; k < sc.BurstBlocks; k++ {
+					data := zipper.NewPayload(sc.BlockBytes)
+					data[0], data[sc.BlockBytes-1] = byte(i), byte(i>>8)
+					prod.Write(i, 0, data)
+					i++
+				}
+			}
+			prod.Close()
+		}(p)
+	}
+	// The injector runs on the measurement goroutine: each kill lands
+	// strictly before Wait, so the failure detector is still sweeping (the
+	// final forced sweep catches even a kill whose lease never lapsed).
+	for k := 0; k < kills; k++ {
+		time.Sleep(sc.BurstPause / 2)
+		job.InjectStagerCrash(k % sc.Stagers)
+	}
+	readers.Wait()
+	job.Wait()
+	return job.Stats(), nil
+}

@@ -241,6 +241,7 @@ func (c *Consumer) snapshot(now time.Duration, live bool) ConsumerStats {
 		BlocksRead:     c.fl.Read.Total(),
 		BlocksAnalyzed: c.fl.Analyzed.Total(),
 		BlocksStored:   c.fl.Stored.Total(),
+		BlocksLost:     c.seenLost,
 		ReadStall:      c.fl.ReadStall.TotalDur(),
 		RecvBusy:       c.fl.RecvBusy.TotalDur(),
 		DiskBusy:       c.fl.DiskBusy.TotalDur(),

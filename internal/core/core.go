@@ -142,6 +142,14 @@ type Config struct {
 	// With a Directory the Fin always travels the direct path and counted
 	// termination (Message.FinBlocks/FinDisk) covers relayed blocks still in
 	// flight. The stager argument of NewStagedProducer is ignored.
+	//
+	// This per-batch resolution is also what makes fault-plane evictions
+	// transparent to the producer: an eviction epoch (place.Directory.Sweep)
+	// removes the dead member before the next Claim, so the very next batch
+	// re-resolves to a surviving stager, and because the Fin declares totals
+	// rather than naming a relay, nothing needs rebroadcasting when the
+	// recovery reader later replays the dead stager's journal — the declared
+	// counts balance once the replayed blocks land.
 	Directory StagerDirectory
 	// ConsumerDirectory, when non-nil, replaces the fixed producer→consumer
 	// wiring (the `to` argument of NewProducer) with placement-plane
@@ -244,6 +252,7 @@ type ConsumerStats struct {
 	BlocksRead     int64         // blocks fetched from the file system path
 	BlocksAnalyzed int64         // blocks handed to the analysis application
 	BlocksStored   int64         // blocks persisted by the output thread
+	BlocksLost     int64         // blocks an upstream relay declared unrecoverable
 	ReadStall      time.Duration // time Read blocked waiting for data
 	RecvBusy       time.Duration // receiver thread time in Recv
 	DiskBusy       time.Duration // reader thread time in ReadBlock

@@ -70,6 +70,13 @@ type Config struct {
 	// (default 10×Interval); together with the hysteresis band it keeps the
 	// pool from thrashing on transients.
 	Interval, Cooldown time.Duration
+	// DisableDrain removes the scale-down verdict: the pool only grows (and
+	// respawns crashed slots) until shutdown. The fault plane sets it —
+	// draining a member that may already be dead is unsound without fencing
+	// (its Retire would never be consumed and the quiesce handshake would
+	// wedge against a crashed receiver), so fault mode trades mid-run drains
+	// for crash safety.
+	DisableDrain bool
 }
 
 // WithDefaults resolves zero fields against the reserved endpoint ceiling.
@@ -149,7 +156,7 @@ func (c Config) Decide(occ float64, spillDelta int64, size int, cooled bool) int
 	if (occ >= c.GrowOccupancy || spillDelta > 0) && size < c.MaxStagers {
 		return 1
 	}
-	if occ <= c.DrainOccupancy && spillDelta == 0 && size > c.MinStagers {
+	if occ <= c.DrainOccupancy && spillDelta == 0 && size > c.MinStagers && !c.DisableDrain {
 		return -1
 	}
 	return 0
@@ -186,10 +193,13 @@ type Host interface {
 }
 
 // Event is one scaling action on the pool, for the Job.Stats timeline and
-// the zippertrace pool-size view.
+// the zippertrace pool-size view. The fault plane contributes "crash"
+// (eviction took the slot's endpoint) and "respawn" (a replacement is
+// live) events with zero Occupancy — they are recoveries, not occupancy
+// decisions.
 type Event struct {
 	At        time.Duration // platform time of the action
-	Action    string        // "grow" or "drain"
+	Action    string        // "grow", "drain", "crash", or "respawn"
 	Slot      int           // reserved endpoint slot acted on
 	PoolSize  int           // live pool size after the action
 	Occupancy float64       // pool-wide occupancy that triggered it
@@ -227,6 +237,17 @@ type Scaler struct {
 	nodeTime  time.Duration // summed provisioned lifetime of retired endpoints
 	lastAct   time.Duration
 	lastSpill int64
+	pending   []poolChange // fault-plane notifications awaiting the scaler thread
+}
+
+// poolChange is one fault-plane notification: fl == nil records a crash
+// (the slot's endpoint was evicted), fl != nil a respawn (a replacement is
+// live on the slot with these gauges). The fault monitor posts them from
+// its own thread; the scaler thread applies them at the top of its next
+// iteration, preserving the single-writer rule for the pool-state fields.
+type poolChange struct {
+	slot int
+	fl   *flow.StagerFlows
 }
 
 // NewScaler wires a control loop over pool and host. initial holds the flow
@@ -272,6 +293,51 @@ func (s *Scaler) run(c rt.Ctx) {
 	}
 }
 
+// Crashed tells the scaler that slot's endpoint was evicted by the failure
+// detector: the slot leaves the live set (its node-time is booked) without
+// entering the free list, so grow can never hand it out while the recovery
+// path owns it. Safe to call from any thread.
+func (s *Scaler) Crashed(slot int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, poolChange{slot: slot})
+}
+
+// Respawned tells the scaler that the recovery path spawned a replacement
+// endpoint on a crashed slot: it rejoins the live set with the new gauges
+// and its provisioned lifetime restarts. No cooldown is charged — a
+// respawn is recovery, not a control decision. Safe to call from any
+// thread.
+func (s *Scaler) Respawned(slot int, fl *flow.StagerFlows) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, poolChange{slot: slot, fl: fl})
+}
+
+// applyPending replays the fault plane's crash/respawn notifications on
+// the scaler thread, in posting order, and records them on the scaling
+// timeline.
+func (s *Scaler) applyPending(now time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pc := range s.pending {
+		if pc.fl == nil {
+			if _, ok := s.live[pc.slot]; !ok {
+				continue
+			}
+			delete(s.live, pc.slot)
+			s.nodeTime += now - s.spawnedAt[pc.slot]
+			delete(s.spawnedAt, pc.slot)
+			s.events = append(s.events, Event{At: now, Action: "crash", Slot: pc.slot, PoolSize: len(s.live)})
+			continue
+		}
+		s.live[pc.slot] = pc.fl
+		s.spawnedAt[pc.slot] = now
+		s.events = append(s.events, Event{At: now, Action: "respawn", Slot: pc.slot, PoolSize: len(s.live)})
+	}
+	s.pending = nil
+}
+
 // tick is one control period: reap flushed drains, observe the pool, and
 // apply at most one scaling action. lastSpill advances only on cooled
 // ticks, so spill pressure that lands entirely inside a cooldown window
@@ -280,6 +346,7 @@ func (s *Scaler) run(c rt.Ctx) {
 // rule (this thread is the only mutator).
 func (s *Scaler) tick(c rt.Ctx) {
 	now := c.Now()
+	s.applyPending(now)
 	s.reap(c, now)
 	if !(s.lastAct == 0 || now-s.lastAct >= s.cfg.Cooldown) {
 		return
@@ -394,6 +461,7 @@ func (s *Scaler) reap(c rt.Ctx, now time.Duration) {
 // shutdown retires every remaining endpoint (teardown, not control
 // decisions — no events are logged) and waits for the tier to flush.
 func (s *Scaler) shutdown(c rt.Ctx) {
+	s.applyPending(c.Now())
 	for _, slot := range s.liveSlots() {
 		s.pool.Remove(s.base + slot)
 		s.pool.Quiesce(c, s.base+slot)

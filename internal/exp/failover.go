@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"zipper/internal/fault"
+	"zipper/internal/trace"
+	"zipper/internal/workflow"
+)
+
+// FailoverTimeline renders the failure detector's eviction/recovery event
+// log as an indented time-ordered listing, one line per event, with the
+// evict→respawn recovery latency annotated on each respawn.
+func FailoverTimeline(events []fault.Event) string {
+	if len(events) == 0 {
+		return "failover: no evictions recorded"
+	}
+	var b strings.Builder
+	b.WriteString("eviction/recovery timeline:\n")
+	evictAt := map[int]time.Duration{}
+	for _, ev := range events {
+		fmt.Fprintf(&b, "  %8.3fms  %-7s stager@%d", float64(ev.At)/1e6, ev.Kind, ev.Addr)
+		switch ev.Kind {
+		case "evict":
+			evictAt[ev.Addr] = ev.At
+		case "replay":
+			fmt.Fprintf(&b, "  replayed=%d lost=%d", ev.Replayed, ev.Lost)
+		case "respawn":
+			if at, ok := evictAt[ev.Addr]; ok {
+				fmt.Fprintf(&b, "  recovery=%.3fms", float64(ev.At-at)/1e6)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// failoverSpec is the elastic staging workload with the survivable data
+// plane armed: the deterministic injector hard-kills the lowest live stager
+// the first time the pool's membership epoch reaches 2 — mid-growth, while
+// relayed traffic is in flight.
+func failoverSpec(steps int) workflow.Spec {
+	spec := elasticSpec(steps)
+	spec.Fault = fault.Config{Enabled: true}
+	spec.FaultKillEpoch = 2
+	return spec
+}
+
+// RunFailoverTrace renders a crash-and-recover staging run: the stager
+// thread rows go quiet at the kill, the failure detector evicts the corpse
+// and replays its journal, and a replacement respawns into the freed slot.
+// The detail block is the eviction/recovery timeline with per-eviction
+// recovery latencies — the zippertrace view of the fault plane.
+func RunFailoverTrace(steps int) TraceFigure {
+	spec := failoverSpec(steps)
+	spec.Trace = true
+	res := workflow.RunZipper(spec)
+	if !res.OK {
+		return TraceFigure{Title: "Failover trace", Detail: "crash: " + res.Fail}
+	}
+	g := res.Rec.Gantt(trace.GanttOptions{
+		Width: 96,
+		Procs: []string{
+			"sim.0", "zprod.0.sender",
+			"zstage.0.receiver", "zstage.0.forwarder",
+			"zstage.1.receiver", "zstage.2.receiver",
+			"ana.0",
+		},
+		Symbols: map[string]rune{
+			"compute": 'C', "send": 's', "relay": 'R',
+			"recv": 'r', "forward": 'F', "spill": 'S', "unspill": 'u',
+			"analyze": 'A', "stall": '#', "step": ' ', "MPI_Sendrecv": 'm',
+		},
+	})
+	det := fmt.Sprintf(
+		"failover: %d evictions, %d blocks replayed, %d lost, %d analyzed in e2e %.2fs\n%s",
+		res.Evictions, res.ReplayedBlocks, res.BlocksLost, res.BlocksAnalyzed,
+		res.E2E.Seconds(),
+		FailoverTimeline(res.FailoverEvents))
+	return TraceFigure{Title: "Survivable data plane: crash, replay, respawn", Gantt: g, Detail: det}
+}

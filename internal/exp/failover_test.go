@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"zipper/internal/workflow"
+)
+
+// TestFailoverTraceRecovers pins the zippertrace failover view: the armed
+// kill must actually land, the run must recover every block, and the
+// rendered detail must carry the eviction/recovery timeline.
+func TestFailoverTraceRecovers(t *testing.T) {
+	fig := RunFailoverTrace(6)
+	if fig.Gantt == "" {
+		t.Fatalf("no gantt rendered: %s", fig.Detail)
+	}
+	for _, want := range []string{"evict", "replay", "0 lost"} {
+		if !strings.Contains(fig.Detail, want) {
+			t.Errorf("detail missing %q:\n%s", want, fig.Detail)
+		}
+	}
+
+	spec := failoverSpec(6)
+	res := workflow.RunZipper(spec)
+	if !res.OK {
+		t.Fatalf("failover spec failed: %s", res.Fail)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("the armed kill never landed")
+	}
+	if res.BlocksLost != 0 {
+		t.Fatalf("BlocksLost = %d, want 0", res.BlocksLost)
+	}
+	total := int64(spec.P) * int64(spec.Workload.Steps) *
+		(spec.Workload.BytesPerStep / spec.Workload.BlockBytes)
+	if res.BlocksAnalyzed != total {
+		t.Fatalf("analyzed %d of %d blocks", res.BlocksAnalyzed, total)
+	}
+}

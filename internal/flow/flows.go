@@ -64,6 +64,17 @@ type StagerFlows struct {
 	Queue Level // in-memory buffer fill in blocks, with capacity and peak
 }
 
+// FailoverFlows gauges the fault plane of one job: the failure detector's
+// evictions and the recovery reader's outcome per block. The same
+// must-not-copy rule as the module flows applies; fault.Monitor holds the
+// struct and hands out a pointer.
+type FailoverFlows struct {
+	Evictions Meter // leases expired and swept from the membership
+	Replayed  Meter // blocks re-forwarded from dead stagers' journals
+	Orphaned  Meter // whole messages drained off dead receivers and re-sent
+	Lost      Meter // blocks genuinely unrecoverable (spool read failed)
+}
+
 // PoolSignals is the staging tier seen as one resource: the pool-wide
 // aggregate of every live stager's gauges at one instant. It is the
 // observation vector the elastic scaler steers on — occupancy and spill

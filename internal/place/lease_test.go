@@ -1,0 +1,142 @@
+package place
+
+import (
+	"testing"
+	"time"
+)
+
+const ttl = 4 * time.Millisecond
+
+// leasedDir is a 3-member directory with every member leased at t=0.
+func leasedDir() *Directory {
+	d := New(RankAffine(), nil)
+	for _, addr := range []int{2, 3, 4} {
+		d.Add(addr)
+		d.Lease(addr, ttl, 0)
+	}
+	return d
+}
+
+// TestLeaseSweepEvictsExpired drives the failure-detector clock by hand: a
+// member that stops beating turns Suspect past TTL/2 and is evicted past
+// TTL — removed from membership with an epoch bump — while beating members
+// stay Live.
+func TestLeaseSweepEvictsExpired(t *testing.T) {
+	d := leasedDir()
+	epoch := d.Epoch()
+
+	// All fresh: nothing expires, nobody suspect.
+	if got := d.Sweep(ttl / 4); len(got) != 0 {
+		t.Fatalf("fresh sweep evicted %v", got)
+	}
+	if h, _ := d.Health(3); h != Live {
+		t.Fatalf("fresh member health = %v", h)
+	}
+
+	// 2 and 4 beat; 3 goes silent. Past TTL/2 it reads Suspect.
+	d.Beat(2, ttl/2)
+	d.Beat(4, ttl/2)
+	if got := d.Sweep(ttl/2 + ttl/4); len(got) != 0 {
+		t.Fatalf("suspect sweep evicted %v", got)
+	}
+	if h, _ := d.Health(3); h != Suspect {
+		t.Fatalf("silent member health = %v, want Suspect", h)
+	}
+	if h, _ := d.Health(2); h != Live {
+		t.Fatalf("beating member health = %v, want Live", h)
+	}
+
+	// Past TTL the silent member is evicted; the beaters survive.
+	got := d.Sweep(ttl + ttl/2)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("expiry sweep evicted %v, want [3]", got)
+	}
+	if members := d.Members(); len(members) != 2 || members[0] != 2 || members[1] != 4 {
+		t.Fatalf("membership after eviction: %v", members)
+	}
+	if d.Epoch() == epoch {
+		t.Fatal("eviction did not bump the epoch")
+	}
+	if h, _ := d.Health(3); h != Evicted {
+		t.Fatalf("evicted health = %v", h)
+	}
+	if d.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", d.Evictions())
+	}
+}
+
+// TestLeaseBeatRecoversSuspect pins that a late heartbeat clears Suspect
+// before the lease expires.
+func TestLeaseBeatRecoversSuspect(t *testing.T) {
+	d := leasedDir()
+	d.Sweep(ttl/2 + ttl/4) // everyone silent past TTL/2 → Suspect
+	if h, _ := d.Health(2); h != Suspect {
+		t.Fatalf("health = %v, want Suspect", h)
+	}
+	d.Beat(2, ttl/2+ttl/4)
+	if h, _ := d.Health(2); h != Live {
+		t.Fatalf("health after beat = %v, want Live", h)
+	}
+	// The beat also reset the expiry clock.
+	if got := d.Sweep(ttl + ttl/4); len(got) != 2 {
+		t.Fatalf("sweep evicted %v, want the two silent members", got)
+	}
+	if members := d.Members(); len(members) != 1 || members[0] != 2 {
+		t.Fatalf("membership: %v, want [2]", members)
+	}
+}
+
+// TestLeaseUnleaseIsNotACrash pins the planned-drain path: an Unleased
+// address is invisible to every later sweep and records no eviction.
+func TestLeaseUnleaseIsNotACrash(t *testing.T) {
+	d := leasedDir()
+	d.Remove(3) // planned drain removes first ...
+	d.Unlease(3)
+	if got := d.Sweep(10 * ttl); len(got) != 2 {
+		t.Fatalf("sweep evicted %v, want the two leased members", got)
+	}
+	if h, ok := d.Health(3); ok && h == Evicted {
+		t.Fatal("drained member reads Evicted")
+	}
+	if d.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2 (drained member not counted)", d.Evictions())
+	}
+}
+
+// TestLeaseRecoveredSticky pins the respawn bookkeeping: MarkRecovered after
+// a re-Lease reports Recovered, and stays Recovered across further beats
+// and re-leases.
+func TestLeaseRecoveredSticky(t *testing.T) {
+	d := leasedDir()
+	d.Sweep(2 * ttl) // evict everyone
+	d.Add(3)
+	d.Lease(3, ttl, 2*ttl)
+	d.MarkRecovered(3)
+	if h, _ := d.Health(3); h != Recovered {
+		t.Fatalf("health = %v, want Recovered", h)
+	}
+	d.Beat(3, 2*ttl+ttl/4)
+	if h, _ := d.Health(3); h != Recovered {
+		t.Fatalf("health after beat = %v, want Recovered", h)
+	}
+	d.Lease(3, ttl, 3*ttl) // second respawn re-lease keeps the history
+	if h, _ := d.Health(3); h != Recovered {
+		t.Fatalf("health after re-lease = %v, want Recovered", h)
+	}
+}
+
+// TestLeaseEvictIf pins the shutdown sweep: only addresses the oracle
+// reports dead are evicted, regardless of TTL.
+func TestLeaseEvictIf(t *testing.T) {
+	d := leasedDir()
+	got := d.EvictIf(func(addr int) bool { return addr == 4 })
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("EvictIf evicted %v, want [4]", got)
+	}
+	if members := d.Members(); len(members) != 2 {
+		t.Fatalf("membership: %v", members)
+	}
+	if leased := d.Leased(); len(leased) != 2 || leased[0] != 2 || leased[1] != 3 {
+		t.Fatalf("leased: %v, want [2 3]", leased)
+	}
+}

@@ -251,6 +251,13 @@ type Directory struct {
 	epoch    int64
 	members  []int // live endpoint addresses, ascending
 	inflight map[int]int
+
+	// Liveness layer (lease.go): leases holds the current lease per
+	// address, health the sticky post-eviction state, evictions the
+	// lifetime eviction count. All nil/zero until the first Lease.
+	leases    map[int]*lease
+	health    map[int]Health
+	evictions int64
 }
 
 // New returns an empty directory resolving through pol; the embedder Adds

@@ -1,0 +1,163 @@
+// The crash-durable spool format and its replay reader. A fault-enabled
+// stager writes ahead: every admitted block is copied to the spill
+// partition before it is queued and a Record is appended to the Journal;
+// disk-ref announcements and Fins get meta Records carrying the declared
+// delivery totals. Delivery marks the record. The Journal outlives the
+// Stager — the embedder owns it per slot — so after a crash the recovery
+// reader (Replay) re-forwards exactly the records the dead endpoint still
+// owed, and counted per-destination Fin accounting balances without the
+// consumers ever learning a relay died. Message.Lost is the fallback for
+// the genuinely unrecoverable case: a journaled block whose spool copy
+// cannot be read back.
+
+package staging
+
+import (
+	"sort"
+	"sync"
+
+	"zipper/internal/block"
+	"zipper/internal/rt"
+)
+
+// Record is one write-ahead journal entry: a relayed block durable in the
+// spool partition, or the metadata of one admitted message (disk refs and
+// the Fin with its declared totals).
+type Record struct {
+	// Block entries.
+	id            block.ID
+	offset, bytes int64
+	isBlock       bool
+
+	// Meta entries.
+	disk               []rt.DiskRef
+	fin                bool
+	finBlocks, finDisk int64
+
+	from, dest int
+	delivered  bool
+}
+
+// Journal is the write-ahead manifest of one stager slot's spool partition.
+// The embedder owns it (it must survive the endpoint's death) and hands it
+// to the Stager via Config.Journal; the recovery path reads it back with
+// Replay. All methods are safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	recs    []*Record
+	orphans []rt.Message
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// addBlock appends an undelivered block record.
+func (j *Journal) addBlock(id block.ID, offset, bytes int64, from, dest int) *Record {
+	r := &Record{isBlock: true, id: id, offset: offset, bytes: bytes, from: from, dest: dest}
+	j.mu.Lock()
+	j.recs = append(j.recs, r)
+	j.mu.Unlock()
+	return r
+}
+
+// addMeta appends an undelivered metadata record (disk refs and/or Fin).
+func (j *Journal) addMeta(from, dest int, disk []rt.DiskRef, fin bool, finBlocks, finDisk int64) *Record {
+	r := &Record{from: from, dest: dest, disk: disk, fin: fin, finBlocks: finBlocks, finDisk: finDisk}
+	j.mu.Lock()
+	j.recs = append(j.recs, r)
+	j.mu.Unlock()
+	return r
+}
+
+// markDelivered retires a record: its payload reached the consumer through
+// the normal forwarding path (or was declared Lost there).
+func (j *Journal) markDelivered(r *Record) {
+	j.mu.Lock()
+	r.delivered = true
+	j.mu.Unlock()
+}
+
+// AddOrphan records a whole message the dead endpoint's receiver drained
+// after the crash: never admitted, never journaled, blocks still in memory.
+// The recovery reader re-sends it verbatim.
+func (j *Journal) AddOrphan(m rt.Message) {
+	j.mu.Lock()
+	j.orphans = append(j.orphans, m)
+	j.mu.Unlock()
+}
+
+// Pending reports the undelivered record and orphan counts — what a crash
+// right now would owe the recovery reader.
+func (j *Journal) Pending() (records, orphans int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, r := range j.recs {
+		if !r.delivered {
+			records++
+		}
+	}
+	return records, len(j.orphans)
+}
+
+// drain atomically takes every undelivered record (marking it delivered so
+// a second replay is a no-op) and the orphan backlog.
+func (j *Journal) drain() (recs []*Record, orphans []rt.Message) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, r := range j.recs {
+		if !r.delivered {
+			r.delivered = true
+			recs = append(recs, r)
+		}
+	}
+	orphans = j.orphans
+	j.orphans = nil
+	return
+}
+
+// Replay is the recovery reader: it re-forwards everything a dead stager
+// still owed its consumers — journaled blocks read back from the spool
+// partition fs, journaled disk refs and Fins with their declared totals,
+// and the orphaned messages the dead receiver drained. Journal admission
+// order is preserved; counted stream termination makes cross-producer
+// interleaving irrelevant. A journaled block whose spool copy cannot be
+// read back is declared via Message.Lost to its destination so the stream
+// still terminates. Returns the blocks re-forwarded (journal + orphans),
+// the orphan messages re-sent, and the blocks declared lost.
+func Replay(c rt.Ctx, j *Journal, fs rt.BlockStore, tr rt.Transport) (replayed, orphans, lost int64) {
+	recs, orphaned := j.drain()
+	lostByDest := map[int]int64{}
+	for _, r := range recs {
+		if !r.isBlock {
+			tr.Send(c, r.dest, rt.Message{From: r.from, Dest: r.dest, Disk: r.disk,
+				Fin: r.fin, FinBlocks: r.finBlocks, FinDisk: r.finDisk})
+			continue
+		}
+		b, err := fs.ReadBlock(c, r.id, r.bytes)
+		if err != nil {
+			lostByDest[r.dest]++
+			lost++
+			continue
+		}
+		_ = fs.RemoveBlock(c, r.id)
+		b.Offset = r.offset
+		b.OnDisk = false
+		tr.Send(c, r.dest, rt.Message{From: r.from, Dest: r.dest, Blocks: []*block.Block{b}})
+		replayed++
+	}
+	for _, m := range orphaned {
+		tr.Send(c, m.Dest, m)
+		replayed += int64(len(m.Blocks))
+		orphans++
+	}
+	// Unrecoverable blocks still count against the Fins' declared totals.
+	dests := make([]int, 0, len(lostByDest))
+	for d := range lostByDest {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	for _, d := range dests {
+		tr.Send(c, d, rt.Message{Dest: d, Lost: lostByDest[d]})
+	}
+	return
+}

@@ -78,6 +78,30 @@ type Config struct {
 	Managed bool
 	// Recorder, when non-nil, captures the stager threads' activity spans.
 	Recorder *trace.Recorder
+
+	// Journal, when non-nil, makes the stager crash-durable: every admitted
+	// block is written ahead to the spill partition and journaled before it
+	// is queued, metadata (disk refs, Fins) gets journal records carrying
+	// the declared totals, and delivery marks the records. The journal is
+	// owned by the embedder — it must survive the endpoint's death so the
+	// recovery reader (Replay) can re-forward what the crash stranded.
+	// Requires Managed and a spill store. Enables Kill-based fault
+	// injection.
+	Journal *Journal
+	// Heartbeat, when non-nil, is invoked every HeartbeatInterval by a
+	// dedicated thread while the stager is healthy — the lease renewal. A
+	// killed stager stops beating (its lease lapses into eviction); a
+	// cleanly drained stager stops beating after Unlease runs.
+	Heartbeat func(c rt.Ctx)
+	// HeartbeatInterval is the lease renewal period (required with
+	// Heartbeat).
+	HeartbeatInterval time.Duration
+	// Unlease, when non-nil, is called exactly once, synchronously, by the
+	// last runtime thread to exit a clean drain — before Wait/Drained can
+	// observe the endpoint as done — so the failure detector can never
+	// mistake a planned drain's silence for a crash. A killed stager never
+	// calls it.
+	Unlease func()
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +157,7 @@ type relayBlock struct {
 	bytes    int64
 	spilling bool
 	spilled  bool
+	rec      *Record // write-ahead journal entry (fault mode only)
 }
 
 // slot is one received mixed message, decomposed and queued in arrival
@@ -146,6 +171,7 @@ type slot struct {
 	// finBlocks/finDisk are the Fin's declared delivery totals, carried
 	// through the relay so counted stream termination survives the hop.
 	finBlocks, finDisk int64
+	meta               *Record // journaled disk refs + Fin (fault mode only)
 }
 
 // Stager is one in-transit staging endpoint.
@@ -170,6 +196,8 @@ type Stager struct {
 	recvDone    bool
 	forwardDone bool
 	spillDone   bool
+	killed      bool // crashed via Kill; threads stop at their next boundary
+	unleased    bool // clean-drain Unlease already ran
 	err         error
 	finished    time.Duration
 	fl          flow.StagerFlows
@@ -184,6 +212,9 @@ func NewStager(env rt.Env, cfg Config, id int, in rt.Inbox, tr rt.Transport, fs 
 	if !cfg.Managed && cfg.Producers < 1 {
 		panic("staging: stager needs at least one producer")
 	}
+	if cfg.Journal != nil && (!cfg.Managed || fs == nil) {
+		panic("staging: a crash journal requires a managed stager with a spill store")
+	}
 	s := &Stager{env: env, cfg: cfg, id: id, in: in, tr: tr, fs: fs}
 	s.fl.Queue.SetCapacity(cfg.BufferBlocks)
 	s.lk = env.NewLock(fmt.Sprintf("zstage.%d", id))
@@ -197,6 +228,9 @@ func NewStager(env rt.Env, cfg Config, id int, in rt.Inbox, tr rt.Transport, fs 
 		env.Go(fmt.Sprintf("zstage.%d.spiller", id), s.spillerThread)
 	} else {
 		s.spillDone = true
+	}
+	if cfg.Heartbeat != nil && cfg.HeartbeatInterval > 0 {
+		env.Go(fmt.Sprintf("zstage.%d.heartbeat", id), s.heartbeatThread)
 	}
 	return s
 }
@@ -252,6 +286,76 @@ func (s *Stager) Drained(c rt.Ctx) bool {
 	s.lk.Lock(c)
 	defer s.lk.Unlock(c)
 	return s.recvDone && s.forwardDone && s.spillDone
+}
+
+// Kill crashes the endpoint for fault injection, SIGKILL-style: the
+// forwarder and spiller stop at their next batch boundary without flushing
+// (an in-flight Send completes — the network never tears a message), and
+// the receiver switches to dead mode: it keeps draining the inbox so
+// producers parked in Send never deadlock, hands everything that arrives
+// to the journal as orphans, and exits only when the eviction path's
+// Retire lands. Nothing is lost: the write-ahead journal owns every block
+// the crash strands, and the recovery reader replays it. Requires fault
+// mode (Config.Journal).
+func (s *Stager) Kill(c rt.Ctx) {
+	if s.cfg.Journal == nil {
+		panic("staging: Kill requires a crash journal (fault mode)")
+	}
+	s.lk.Lock(c)
+	s.killed = true
+	s.work.Broadcast()
+	s.space.Broadcast()
+	s.spillWork.Broadcast()
+	s.done.Broadcast()
+	s.lk.Unlock(c)
+}
+
+// Killed reports whether the endpoint was crashed via Kill — the liveness
+// oracle the shutdown sweep consults to tell an undetected crash from a
+// healthy member about to drain.
+func (s *Stager) Killed(c rt.Ctx) bool {
+	s.lk.Lock(c)
+	defer s.lk.Unlock(c)
+	return s.killed
+}
+
+// NeedsRetire reports whether the receiver thread is still draining the
+// inbox — whether the eviction path must deliver a Retire before Wait can
+// return. (Sending a Retire to an endpoint whose receiver already exited
+// would park the sender on a window nobody drains.)
+func (s *Stager) NeedsRetire(c rt.Ctx) bool {
+	s.lk.Lock(c)
+	defer s.lk.Unlock(c)
+	return !s.recvDone
+}
+
+// maybeUnleaseLocked runs the clean-drain lease release: the last runtime
+// thread to exit — and only on a genuine drain, never a crash — hands the
+// lease back synchronously, so by the time Wait/Drained observe the
+// endpoint as done the failure detector already knows the silence is
+// planned.
+func (s *Stager) maybeUnleaseLocked() {
+	if s.recvDone && s.forwardDone && s.spillDone && !s.killed && !s.unleased && s.cfg.Unlease != nil {
+		s.unleased = true
+		s.cfg.Unlease()
+	}
+}
+
+// heartbeatThread renews the endpoint's lease every HeartbeatInterval. A
+// crash stops the beats silently (the lease lapses and the failure
+// detector evicts); a clean drain stops them after Unlease already ran.
+func (s *Stager) heartbeatThread(c rt.Ctx) {
+	for {
+		c.Sleep(s.cfg.HeartbeatInterval)
+		s.lk.Lock(c)
+		killed := s.killed
+		done := s.recvDone && s.forwardDone && s.spillDone
+		s.lk.Unlock(c)
+		if killed || done {
+			return
+		}
+		s.cfg.Heartbeat(c)
+	}
 }
 
 // snapshot assembles a stats snapshot with rates evaluated at `now`.
@@ -314,6 +418,20 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 		if !ok {
 			break // inbox closed under us: treat as end of stream
 		}
+		if s.killed {
+			// Dead mode: a crashed endpoint's inbox must keep draining —
+			// producers parked in Send would deadlock otherwise — but
+			// nothing is admitted. Everything that arrives before the
+			// eviction path's Retire is handed to the journal as an orphan
+			// for the recovery reader.
+			s.lk.Unlock(c)
+			if m.Retire {
+				s.lk.Lock(c)
+				break
+			}
+			s.cfg.Journal.AddOrphan(m)
+			continue
+		}
 		if s.cfg.Recorder != nil && len(m.Blocks) > 0 {
 			s.cfg.Recorder.Add(s.traceName("receiver"), "recv", start, start+busy)
 		}
@@ -323,14 +441,35 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 			// and let the forwarder flush the queue and spill partition.
 			break
 		}
-		need := len(m.Blocks)
-		for need > 0 && s.memBlocks > 0 && s.memBlocks+need > s.cfg.BufferBlocks {
-			s.space.Wait(c)
-		}
 		sl := &slot{from: m.From, dest: m.Dest, disk: m.Disk, fin: m.Fin,
 			finBlocks: m.FinBlocks, finDisk: m.FinDisk}
 		for _, b := range m.Blocks {
 			sl.blocks = append(sl.blocks, &relayBlock{b: b, id: b.ID, offset: b.Offset, bytes: b.Bytes})
+		}
+		if s.cfg.Journal != nil {
+			// Write ahead, outside the lock: the message is fully durable
+			// (blocks in the spool partition, metadata journaled) before it
+			// can become visible to the forwarder.
+			s.lk.Unlock(c)
+			walBusy := s.walSlot(c, sl)
+			s.lk.Lock(c)
+			s.fl.SpillBusy.AddDur(c.Now(), walBusy)
+			if s.killed {
+				// The crash landed mid-journaling: the records already cover
+				// this message, so admitting it too would replay duplicates.
+				s.lk.Unlock(c)
+				continue
+			}
+		}
+		need := len(m.Blocks)
+		for need > 0 && s.memBlocks > 0 && s.memBlocks+need > s.cfg.BufferBlocks && !s.killed {
+			s.space.Wait(c)
+		}
+		if s.killed {
+			// Crashed while waiting for buffer room: the journal owns the
+			// message now (fault mode is the only way killed can be set).
+			s.lk.Unlock(c)
+			continue
 		}
 		s.queue = append(s.queue, sl)
 		s.setOccLocked(c, s.memBlocks+need)
@@ -352,8 +491,32 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 	s.recvDone = true
 	s.work.Broadcast()
 	s.spillWork.Broadcast()
+	s.maybeUnleaseLocked()
 	s.done.Broadcast()
 	s.lk.Unlock(c)
+}
+
+// walSlot writes the write-ahead copy of one admitted message: each block
+// into the spool partition plus a journal record, and one meta record for
+// disk refs and Fins. Runs without the stager lock (WriteBlock parks).
+// A failed write-ahead copy degrades gracefully: the record is kept, the
+// normal forwarding path still delivers the in-memory block, and only if
+// the endpoint then crashes does the unreadable spool copy surface as a
+// Lost declaration — the documented fallback.
+func (s *Stager) walSlot(c rt.Ctx, sl *slot) time.Duration {
+	start := c.Now()
+	for _, rb := range sl.blocks {
+		_ = s.fs.WriteBlock(c, rb.b)
+		// The spool copy is the stager's private durability copy, not a
+		// preserved block: the consumer must keep treating the forwarded
+		// in-memory block as network data.
+		rb.b.OnDisk = false
+		rb.rec = s.cfg.Journal.addBlock(rb.id, rb.offset, rb.bytes, sl.from, sl.dest)
+	}
+	if len(sl.disk) > 0 || sl.fin {
+		sl.meta = s.cfg.Journal.addMeta(sl.from, sl.dest, sl.disk, sl.fin, sl.finBlocks, sl.finDisk)
+	}
+	return c.Now() - start
 }
 
 // assembleLocked removes the next outgoing batch from the head of the
@@ -367,7 +530,7 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 // self-identify through their IDs, so the outgoing From is informational:
 // it names the Fin's producer when the message carries one (Fin attribution
 // must stay exact) and the first merged producer otherwise.
-func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRef, from, dest int, fin bool, finBlocks, finDisk int64, ok bool) {
+func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRef, from, dest int, fin bool, finBlocks, finDisk int64, metas []*Record, ok bool) {
 	head := s.queue[0]
 	from, dest = head.from, head.dest
 	var bytes int64
@@ -402,6 +565,9 @@ func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRe
 		// Slot fully consumed: its disk refs and Fin travel with (or after)
 		// its last block, never before.
 		disk = append(disk, sl.disk...)
+		if sl.meta != nil {
+			metas = append(metas, sl.meta)
+		}
 		if sl.fin {
 			fin = true
 			from = sl.from
@@ -427,15 +593,27 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 		var from, dest int
 		var fin, ok bool
 		var finBlocks, finDisk int64
+		var metas []*Record
 		for {
+			if s.killed {
+				// Crashed: abandon the queue without flushing — the
+				// write-ahead journal owns every stranded block and the
+				// recovery reader replays it.
+				s.forwardDone = true
+				s.finished = c.Now()
+				s.done.Broadcast()
+				s.lk.Unlock(c)
+				return
+			}
 			if len(s.queue) > 0 {
-				taken, disk, from, dest, fin, finBlocks, finDisk, ok = s.assembleLocked(c)
+				taken, disk, from, dest, fin, finBlocks, finDisk, metas, ok = s.assembleLocked(c)
 				if ok {
 					break
 				}
 			} else if s.recvDone {
 				s.forwardDone = true
 				s.finished = c.Now()
+				s.maybeUnleaseLocked()
 				s.done.Broadcast()
 				s.lk.Unlock(c)
 				return
@@ -485,6 +663,23 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 			s.cfg.Recorder.Add(s.traceName("forwarder"), "forward", start, start+busy)
 		}
 
+		if s.cfg.Journal != nil {
+			// Delivery retires the write-ahead records and reclaims the
+			// resident blocks' spool copies (spilled ones were already
+			// removed at re-read; lost ones were declared in the message).
+			for _, rb := range taken {
+				if rb.rec != nil {
+					s.cfg.Journal.markDelivered(rb.rec)
+				}
+				if !rb.spilled {
+					_ = s.fs.RemoveBlock(c, rb.id)
+				}
+			}
+			for _, mr := range metas {
+				s.cfg.Journal.markDelivered(mr)
+			}
+		}
+
 		s.lk.Lock(c)
 		s.fl.ForwardBusy.AddDur(c.Now(), busy)
 		s.fl.SpillBusy.AddDur(c.Now(), unspillBusy)
@@ -508,6 +703,12 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 		s.lk.Lock(c)
 		var victim *relayBlock
 		for victim == nil {
+			if s.killed {
+				s.spillDone = true
+				s.done.Broadcast()
+				s.lk.Unlock(c)
+				return
+			}
 			if s.memBlocks > s.cfg.HighWater {
 				victim = s.newestResidentLocked()
 			}
@@ -516,6 +717,7 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 			}
 			if s.recvDone {
 				s.spillDone = true
+				s.maybeUnleaseLocked()
 				s.done.Broadcast()
 				s.lk.Unlock(c)
 				return
@@ -525,11 +727,18 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 		victim.spilling = true
 		s.lk.Unlock(c)
 
-		start := c.Now()
-		err := s.fs.WriteBlock(c, victim.b)
-		busy := c.Now() - start
-		if s.cfg.Recorder != nil {
-			s.cfg.Recorder.Add(s.traceName("spiller"), "spill", start, start+busy)
+		// In fault mode the write-ahead copy made at admission already sits
+		// in the spool partition, so "spilling" is just dropping the
+		// in-memory payload.
+		var err error
+		var busy time.Duration
+		if s.cfg.Journal == nil {
+			start := c.Now()
+			err = s.fs.WriteBlock(c, victim.b)
+			busy = c.Now() - start
+			if s.cfg.Recorder != nil {
+				s.cfg.Recorder.Add(s.traceName("spiller"), "spill", start, start+busy)
+			}
 		}
 
 		s.lk.Lock(c)
@@ -542,6 +751,7 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 			}
 			s.spillDone = true
 			s.work.Broadcast()
+			s.maybeUnleaseLocked()
 			s.done.Broadcast()
 			s.lk.Unlock(c)
 			return

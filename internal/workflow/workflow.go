@@ -14,6 +14,7 @@ import (
 	"zipper/internal/core"
 	"zipper/internal/elastic"
 	"zipper/internal/fabric"
+	"zipper/internal/fault"
 	"zipper/internal/flow"
 	"zipper/internal/mpi"
 	"zipper/internal/pfs"
@@ -122,6 +123,18 @@ type Spec struct {
 	// KindHashRing run the endpoints behind epoch-versioned directories
 	// with counted stream termination.
 	Placement place.Kind
+	// Fault enables and tunes the survivable data plane (RunZipper only):
+	// leases renewed by heartbeats on every pool-managed stager, write-ahead
+	// journaling of admitted traffic, and the eviction/replay/respawn
+	// monitor. With Fault.Enabled the staging tier always runs pool-managed,
+	// even under rank-affine placement.
+	Fault fault.Config
+	// FaultKillEpoch, when > 0, arms the deterministic kill injector: the
+	// first time the stager pool's membership epoch reaches it, the lowest
+	// live member's stager is hard-killed (once per run). Under the
+	// simulator's virtual clock the crash lands at a bit-for-bit
+	// reproducible point in the run.
+	FaultKillEpoch int
 	// Window is Zipper's per-consumer receive window in messages.
 	Window int
 	// Trace enables span recording.
@@ -184,7 +197,18 @@ type Result struct {
 	// one axis.
 	ScaleEvents       []elastic.Event
 	StagerNodeSeconds float64
-	Rec               *trace.Recorder
+	// BlocksAnalyzed is the consumers' delivered-block total — with no
+	// losses it equals the producers' declared output, even across crashes.
+	BlocksAnalyzed int64
+	// Fault plane (zero/empty with Fault off): the failure detector's
+	// eviction count, the blocks its recovery reader re-forwarded from dead
+	// stagers' journals, the blocks the consumers saw declared
+	// unrecoverable, and the eviction/recovery timeline.
+	Evictions      int64
+	ReplayedBlocks int64
+	BlocksLost     int64
+	FailoverEvents []fault.Event
+	Rec            *trace.Recorder
 }
 
 // rig is a built machine instance.
@@ -458,6 +482,19 @@ func RunZipper(spec Spec) Result {
 	var fixedPool *place.Directory // placement-directed fixed tier (no scaler)
 	elasticOn := spec.Elastic.Enabled && nStage > 0
 	placed := spec.Placement != place.KindRankAffine
+	faultOn := spec.Fault.Enabled && nStage > 0
+	var fcfg fault.Config
+	if faultOn {
+		fcfg = spec.Fault.WithDefaults()
+	}
+	// Pool-managed tier state shared by the fault plane: every spawned
+	// instance with its journal, the pool the leases live in, and the spawn
+	// hook the monitor respawns through. All of it is touched only under the
+	// engine's one-process-at-a-time scheduling, so no locking is needed.
+	var insts []*stagerInst
+	var faultPool *place.Directory
+	var spawnFn func(slot int) *staging.Stager
+	var monitor *fault.Monitor
 	for q := 0; q < spec.Q; q++ {
 		n := 0
 		for p := 0; p < spec.P; p++ {
@@ -484,6 +521,41 @@ func RunZipper(spec Spec) Result {
 		}
 		zcfg.ConsumerDirectory = cdir
 	}
+	// mkManaged builds one pool-managed stager endpoint on a reserved slot,
+	// wiring the fault plane (journal, heartbeat, lease, unlease) when it is
+	// on. Both pool-managed tiers — elastic and fixed — spawn through it, so
+	// the monitor's respawn path reuses the exact construction.
+	mkManaged := func(slot int, slots []*staging.Stager, pool *place.Directory) *staging.Stager {
+		env := simenv.NewEnv(r.eng, r.stageNode[slot%len(r.stageNode)], spec.Machine.MemBandwidth)
+		scfg := staging.Config{
+			BufferBlocks:   spec.StagerBufferBlocks,
+			MaxBatchBlocks: zcfg.MaxBatchBlocks,
+			MaxBatchBytes:  zcfg.MaxBatchBytes,
+			Managed:        true,
+			Recorder:       r.rec,
+		}
+		spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", slot))
+		in := &stagerInst{slot: slot, spill: spill}
+		if faultOn {
+			// Each instance gets a fresh write-ahead journal — a respawned
+			// slot must not replay its predecessor's records — and a liveness
+			// lease renewed by its heartbeat thread; a clean drain releases
+			// the lease synchronously, so only a crash ever lapses it.
+			addr := spec.Q + slot
+			in.journal = staging.NewJournal()
+			scfg.Journal = in.journal
+			scfg.HeartbeatInterval = fcfg.Heartbeat
+			scfg.Heartbeat = func(c rt.Ctx) { pool.Beat(addr, c.Now()) }
+			scfg.Unlease = func() { pool.Unlease(addr) }
+			pool.Lease(addr, fcfg.LeaseTTL, r.eng.Now())
+		}
+		st := staging.NewStager(env, scfg, slot, net.Inbox(spec.Q+slot), net, spill)
+		in.st = st
+		slots[slot] = st
+		allStagers = append(allStagers, st)
+		insts = append(insts, in)
+		return st
+	}
 	switch {
 	case elasticOn:
 		// Elastic staging tier: reserve the endpoint ceiling, spawn the
@@ -491,6 +563,12 @@ func RunZipper(spec Spec) Result {
 		// drain ranks at runtime over the StagingNodes headroom. The pool
 		// resolves through the placement policy.
 		ecfg := spec.Elastic.WithDefaults(nStage)
+		if faultOn {
+			// Draining a member that may already be dead is unsound (its
+			// Retire would never be consumed); fault mode trades mid-run
+			// drains for crash safety.
+			ecfg.DisableDrain = true
+		}
 		slots := make([]*staging.Stager, ecfg.MaxStagers)
 		stagerLevel := func(addr int) *flow.Level {
 			if st := slots[addr-spec.Q]; st != nil {
@@ -499,21 +577,8 @@ func RunZipper(spec Spec) Result {
 			return nil
 		}
 		pool := place.New(spec.Placement.New(), stagerLevel)
-		spawn := func(slot int) *staging.Stager {
-			env := simenv.NewEnv(r.eng, r.stageNode[slot%len(r.stageNode)], spec.Machine.MemBandwidth)
-			scfg := staging.Config{
-				BufferBlocks:   spec.StagerBufferBlocks,
-				MaxBatchBlocks: zcfg.MaxBatchBlocks,
-				MaxBatchBytes:  zcfg.MaxBatchBytes,
-				Managed:        true,
-				Recorder:       r.rec,
-			}
-			spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", slot))
-			st := staging.NewStager(env, scfg, slot, net.Inbox(spec.Q+slot), net, spill)
-			slots[slot] = st
-			allStagers = append(allStagers, st)
-			return st
-		}
+		spawn := func(slot int) *staging.Stager { return mkManaged(slot, slots, pool) }
+		faultPool, spawnFn = pool, spawn
 		var initial []*flow.StagerFlows
 		for s := 0; s < ecfg.MinStagers; s++ {
 			st := spawn(s)
@@ -526,13 +591,16 @@ func RunZipper(spec Spec) Result {
 		scaler = elastic.NewScaler(scalerEnv, ecfg, pool,
 			&simHost{spawn: spawn, slots: slots, net: net, base: spec.Q}, spec.Q, initial)
 		scaler.Start()
-	case placed && nStage > 0:
-		// Placement-directed fixed tier: the same pool-managed endpoints as
-		// the elastic tier over a static membership, no scaler. Producers
-		// resolve their stager per drained batch through the placement
-		// policy; a janitor retires the endpoints once the producers finish
-		// and counted termination completes the consumers' streams from the
-		// flushed deliveries.
+	case (placed || faultOn) && nStage > 0:
+		// Placement-directed (or fault-protected) fixed tier: the same
+		// pool-managed endpoints as the elastic tier over a static
+		// membership, no scaler. Producers resolve their stager per drained
+		// batch through the placement policy; a janitor retires the
+		// endpoints once the producers finish and counted termination
+		// completes the consumers' streams from the flushed deliveries. The
+		// fault plane needs this shape even under rank-affine placement: an
+		// eviction is a membership epoch, and counted Fins are what let
+		// replayed blocks land after their relay died.
 		slots := make([]*staging.Stager, nStage)
 		stagerLevel := func(addr int) *flow.Level {
 			if st := slots[addr-spec.Q]; st != nil {
@@ -542,20 +610,11 @@ func RunZipper(spec Spec) Result {
 		}
 		fixedPool = place.New(spec.Placement.New(), stagerLevel)
 		for s := 0; s < nStage; s++ {
-			env := simenv.NewEnv(r.eng, r.stageNode[s%len(r.stageNode)], spec.Machine.MemBandwidth)
-			scfg := staging.Config{
-				BufferBlocks:   spec.StagerBufferBlocks,
-				MaxBatchBlocks: zcfg.MaxBatchBlocks,
-				MaxBatchBytes:  zcfg.MaxBatchBytes,
-				Managed:        true,
-				Recorder:       r.rec,
-			}
-			spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", s))
-			st := staging.NewStager(env, scfg, s, net.Inbox(spec.Q+s), net, spill)
-			slots[s] = st
-			allStagers = append(allStagers, st)
+			mkManaged(s, slots, fixedPool)
 			fixedPool.Add(spec.Q + s)
 		}
+		faultPool = fixedPool
+		spawnFn = func(slot int) *staging.Stager { return mkManaged(slot, slots, fixedPool) }
 		zcfg.Directory = fixedPool
 		zcfg.StagerLevel = stagerLevel
 	case nStage > 0:
@@ -591,28 +650,75 @@ func RunZipper(spec Spec) Result {
 		}
 		producers[p] = core.NewStagedProducer(env, zcfg, p, p*spec.Q/spec.P, stager, net, store)
 	}
+	if faultOn && faultPool != nil {
+		// The failure detector: sweeps the lease table every heartbeat,
+		// evicts lapsed members, and drives the fence → replay → respawn
+		// recovery sequence through the simulated host.
+		menv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
+		monitor = fault.NewMonitor(menv, fcfg, faultPool, &simFaultHost{
+			insts: &insts, spawn: spawnFn, net: net, pool: faultPool, scaler: scaler, base: spec.Q,
+		})
+		monitor.Start()
+	}
+	prodsDone := false
+	if faultOn && spec.FaultKillEpoch > 0 && faultPool != nil {
+		// The deterministic kill injector: the first time the pool's
+		// membership epoch reaches FaultKillEpoch, hard-kill the lowest live
+		// member's stager. Clocked on virtual time, so the same spec crashes
+		// at the same instant in every run.
+		kenv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
+		kenv.Go("fault.injector", func(c rt.Ctx) {
+			for !prodsDone {
+				if faultPool.Epoch() >= int64(spec.FaultKillEpoch) {
+					if members := faultPool.Members(); len(members) > 0 {
+						slot := members[0] - spec.Q
+						for i := len(insts) - 1; i >= 0; i-- {
+							if insts[i].slot == slot {
+								if st := insts[i].st; !st.Killed(c) && !st.Drained(c) {
+									st.Kill(c)
+								}
+								break
+							}
+						}
+					}
+					return
+				}
+				c.Sleep(fcfg.Heartbeat)
+			}
+		})
+	}
 	if scaler != nil {
 		// The janitor closes the loop's lifetime: once every producer has
-		// handed off its data, no relay traffic can appear, so the scaler
-		// stops and retires the remaining pool — the flush completes the
-		// consumers' counted streams.
+		// handed off its data, no relay traffic can appear, so the failure
+		// detector runs its final forced sweep (replays must land while the
+		// consumers are still counting, and no respawn may interleave with
+		// the shutdown), then the scaler stops and retires the remaining
+		// pool — the flush completes the consumers' counted streams.
 		jenv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
 		jenv.Go("elastic.janitor", func(c rt.Ctx) {
 			for _, p := range producers {
 				p.Wait(c)
 			}
+			prodsDone = true
+			if monitor != nil {
+				monitor.Stop(c)
+			}
 			scaler.Stop(c)
 		})
 	}
 	if fixedPool != nil {
-		// Same lifetime rule for the placement-directed fixed tier: retire
-		// every endpoint the elastic way (out of the membership, quiesce
-		// in-flight claims, then the provably-last Retire message) once the
-		// producers are done.
+		// Same lifetime rule for the pool-managed fixed tier: stop the
+		// failure detector, then retire every endpoint the elastic way (out
+		// of the membership, quiesce in-flight claims, then the
+		// provably-last Retire message) once the producers are done.
 		jenv := simenv.NewEnv(r.eng, r.stageNode[0], spec.Machine.MemBandwidth)
 		jenv.Go("place.janitor", func(c rt.Ctx) {
 			for _, p := range producers {
 				p.Wait(c)
+			}
+			prodsDone = true
+			if monitor != nil {
+				monitor.Stop(c)
 			}
 			fixedPool.RetireAll(c, func(addr int) {
 				net.Send(c, addr, rt.Message{Retire: true})
@@ -723,9 +829,16 @@ func RunZipper(spec Spec) Result {
 	var storeCons time.Duration
 	for _, c := range consumers {
 		st := c.FinalStats()
+		res.BlocksAnalyzed += st.BlocksAnalyzed
+		res.BlocksLost += st.BlocksLost
 		if st.StoreBusy > storeCons {
 			storeCons = st.StoreBusy
 		}
+	}
+	if monitor != nil {
+		res.Evictions = monitor.Evictions()
+		res.ReplayedBlocks = monitor.ReplayedBlocks()
+		res.FailoverEvents = monitor.Events()
 	}
 	for _, s := range allStagers {
 		st := s.FinalStats()
@@ -789,6 +902,92 @@ func (h *simHost) Retire(c rt.Ctx, slot int) {
 func (h *simHost) Drained(c rt.Ctx, slot int) bool {
 	st := h.slots[slot]
 	return st == nil || st.Drained(c)
+}
+
+// stagerInst tracks one stager endpoint instance and its fault-plane
+// attachments for the lifetime of a run. A slot can accumulate several
+// instances as the monitor respawns replacements into it; the latest entry
+// for a slot is the current occupant.
+type stagerInst struct {
+	slot           int
+	st             *staging.Stager
+	journal        *staging.Journal
+	spill          rt.BlockStore
+	evicted        bool
+	replayed, lost int64
+}
+
+// simFaultHost adapts the simulated workflow wiring to fault.Host: evicted
+// endpoints are fenced and joined in-engine, their journals replayed through
+// the simulated network, and replacements spawned with the same builder the
+// initial tier used. All fields are written only under the engine's
+// one-process-at-a-time scheduling, so no locking is needed.
+type simFaultHost struct {
+	insts  *[]*stagerInst
+	spawn  func(slot int) *staging.Stager
+	net    *simenv.Network
+	pool   *place.Directory
+	scaler *elastic.Scaler
+	base   int // transport address of slot 0
+}
+
+// latest returns the current (most recently spawned) instance on a slot.
+func (h *simFaultHost) latest(slot int) *stagerInst {
+	insts := *h.insts
+	for i := len(insts) - 1; i >= 0; i-- {
+		if insts[i].slot == slot {
+			return insts[i]
+		}
+	}
+	return nil
+}
+
+func (h *simFaultHost) Dead(c rt.Ctx, addr int) bool {
+	in := h.latest(addr - h.base)
+	return in != nil && in.st.Killed(c)
+}
+
+func (h *simFaultHost) Evict(c rt.Ctx, addr int) {
+	in := h.latest(addr - h.base)
+	if in == nil {
+		return
+	}
+	if h.scaler != nil {
+		h.scaler.Crashed(addr - h.base)
+	}
+	if !in.st.Killed(c) {
+		// Fence: a false-positive eviction must not leave a live occupant
+		// flushing blocks the recovery reader is about to replay.
+		in.st.Kill(c)
+	}
+	if in.st.NeedsRetire(c) {
+		h.net.Send(c, addr, rt.Message{Retire: true})
+	}
+	in.st.Wait(c)
+	in.evicted = true
+}
+
+func (h *simFaultHost) Recover(c rt.Ctx, addr int) (replayed, orphans, lost int64) {
+	in := h.latest(addr - h.base)
+	if in == nil || in.journal == nil {
+		return 0, 0, 0
+	}
+	replayed, orphans, lost = staging.Replay(c, in.journal, in.spill, h.net)
+	in.replayed += replayed
+	in.lost += lost
+	return replayed, orphans, lost
+}
+
+func (h *simFaultHost) Respawn(c rt.Ctx, addr int) bool {
+	if h.spawn == nil {
+		return false
+	}
+	st := h.spawn(addr - h.base)
+	h.pool.Add(addr)
+	if h.scaler != nil {
+		h.scaler.Respawned(addr-h.base, st.Flows())
+	}
+	return true
 }
 
 func maxDur(ds []time.Duration) time.Duration {

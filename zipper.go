@@ -64,16 +64,26 @@
 // rates diverge), or HashRing (consistent hashing, stable across elastic
 // membership epochs). Job.Stats reports the per-stager RelayImbalance the
 // load-aware policies exist to shrink.
+//
+// Config.Fault turns the staging tier into a survivable data plane: every
+// stager holds a lease in the placement directory renewed by heartbeats,
+// write-ahead journals its admitted traffic into its spool partition, and a
+// failure detector evicts members whose lease lapses — producers re-resolve
+// to the survivors on their very next batch, the dead endpoint's journal is
+// replayed straight to the consumers so the counted per-destination Fin
+// totals balance, and a replacement is respawned into the freed slot. An
+// injected crash (Job.InjectStagerCrash) therefore completes the run with
+// zero blocks lost; JobStats reports the eviction/recovery timeline.
 package zipper
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
 	"zipper/internal/block"
 	"zipper/internal/core"
 	"zipper/internal/elastic"
+	"zipper/internal/fault"
 	"zipper/internal/flow"
 	"zipper/internal/place"
 	"zipper/internal/rt"
@@ -139,6 +149,82 @@ type ElasticConfig = elastic.Config
 // ScaleEvent is one autoscaler action on the stager pool, reported in
 // JobStats.ScaleEvents as a scaling timeline.
 type ScaleEvent = elastic.Event
+
+// StagingConfig groups the in-transit staging tier's configuration — the
+// endpoint count, buffering, routing, placement, and autoscaling knobs the
+// tier reads as one unit. The flat Config fields of earlier revisions
+// (Config.Stagers, Config.StagerBufferBlocks, Config.RoutePolicy,
+// Config.Placement, Config.Adaptive, Config.Elastic) remain as deprecated
+// aliases: a zero field here inherits the flat value, a non-zero field here
+// wins, so existing callers compile and behave unchanged.
+type StagingConfig struct {
+	// Stagers is the number of in-transit staging endpoints — the third
+	// channel between the in-memory message path and the file-system path.
+	// Zero (the default) runs the paper's original two-channel protocol.
+	// With a fixed pool (Elastic off) every endpoint runs for the whole
+	// job; which stager a producer relays through is the Placement policy's
+	// decision (under the default RankAffine placement producer p is
+	// permanently assigned stager p mod Stagers). With Elastic on, Stagers
+	// is instead the reserved endpoint ceiling: the live pool is an
+	// epoch-versioned membership that starts at Elastic.MinStagers, grows
+	// and drains within [MinStagers, MaxStagers] ≤ Stagers, and producers
+	// re-resolve their stager from the current membership for every drained
+	// batch through the Placement policy.
+	Stagers int
+	// BufferBlocks is each stager's in-memory buffer capacity in blocks
+	// (default 64). Past ¾ of it the stager spills its newest buffered
+	// blocks to its own SpoolDir partition.
+	BufferBlocks int
+	// RoutePolicy picks the channel for each drained batch when Stagers ≥ 1:
+	// RouteDirect (never relay), RouteStaging (always relay), RouteHybrid
+	// (react per batch to live backpressure), or RouteAdaptive (the
+	// closed-loop controller).
+	RoutePolicy RoutePolicy
+	// Placement selects how producers resolve their consumer and stager
+	// endpoints: RankAffine (the default — the fixed assignments of earlier
+	// revisions, byte-identical), LeastOccupancy (every batch to the
+	// emptiest endpoint, read from the live occupancy gauges), or HashRing
+	// (consistent hashing, stable across elastic membership epochs). With a
+	// non-default placement the runtime routes through epoch-versioned
+	// place.Directory instances — consumers resolved per batch, stagers run
+	// pool-managed even when the tier is fixed-size — and stream
+	// termination is counted (per-destination Fin totals) rather than
+	// ordered, so mid-run reassignment never strands blocks.
+	Placement Placement
+	// Adaptive tunes the RouteAdaptive controller (ignored otherwise).
+	Adaptive AdaptiveTuning
+	// Elastic enables and tunes the staging-tier autoscaler. It needs
+	// Stagers ≥ 1 (the reserved endpoint ceiling) and a RoutePolicy that
+	// can reach the tier. Off (the default), the staging tier is the fixed
+	// pool of earlier revisions, unchanged.
+	Elastic ElasticConfig
+}
+
+// FaultConfig enables and tunes the survivable data plane — leases,
+// heartbeats, write-ahead journaling, and spool replay over the staging
+// tier (see the fault package). With Enabled the tier always runs
+// pool-managed behind an epoch-versioned directory (even a fixed RankAffine
+// tier), so an eviction is just another membership epoch to the producers.
+// The zero value of every field but Enabled selects a sensible default.
+type FaultConfig = fault.Config
+
+// FailoverEvent is one entry on the fault plane's eviction/recovery
+// timeline, reported in JobStats.FailoverEvents.
+type FailoverEvent = fault.Event
+
+// ConfigError is the typed validation failure NewJob returns: which Config
+// field was rejected, and why. Callers can branch on Field
+// programmatically; Error keeps the descriptive prose. Grouped fields are
+// named by their path ("Staging.Stagers", "Fault").
+type ConfigError struct {
+	Field  string // the Config field that failed validation
+	Reason string // what was wrong with it
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return "zipper: invalid " + e.Field + ": " + e.Reason
+}
 
 // BlockID identifies a block: producing rank, time step, and sequence number.
 type BlockID struct {
@@ -211,46 +297,47 @@ type Config struct {
 	MaxBatchBytes int64
 	// Window is each consumer's receive window in messages (default 4).
 	Window int
-	// Stagers is the number of in-transit staging endpoints — the third
-	// channel between the in-memory message path and the file-system path.
-	// Zero (the default) runs the paper's original two-channel protocol.
-	// With a fixed pool (Elastic off) every endpoint runs for the whole
-	// job; which stager a producer relays through is the Placement policy's
-	// decision (under the default RankAffine placement producer p is
-	// permanently assigned stager p mod Stagers). With Elastic on, Stagers
-	// is instead the reserved endpoint ceiling: the live pool is an
-	// epoch-versioned membership that starts at Elastic.MinStagers, grows
-	// and drains within [MinStagers, MaxStagers] ≤ Stagers, and producers
-	// re-resolve their stager from the current membership for every drained
-	// batch through the Placement policy (rank-affine by default, so a
-	// stable membership reproduces the fixed assignment).
+	// Staging groups the in-transit staging tier's configuration. The flat
+	// fields below (Stagers through Elastic) are this group's deprecated
+	// aliases, kept so existing callers compile unchanged: a zero field
+	// here inherits the flat value, and a non-zero field here wins.
+	Staging StagingConfig
+	// Fault enables and tunes the survivable data plane: leases and
+	// heartbeats on every staging endpoint, write-ahead journaling of
+	// admitted traffic, and eviction/replay/respawn recovery when an
+	// endpoint dies. It needs Staging.Stagers ≥ 1 and a RoutePolicy that
+	// can reach the tier.
+	Fault FaultConfig
+	// Stagers is the number of in-transit staging endpoints.
+	//
+	// Deprecated: set Staging.Stagers instead; this alias remains for
+	// existing callers and behaves identically.
 	Stagers int
-	// StagerBufferBlocks is each stager's in-memory buffer capacity in
-	// blocks (default 64). Past ¾ of it the stager spills its newest
-	// buffered blocks to its own SpoolDir partition.
+	// StagerBufferBlocks is each stager's in-memory buffer capacity.
+	//
+	// Deprecated: set Staging.BufferBlocks instead; this alias remains for
+	// existing callers and behaves identically.
 	StagerBufferBlocks int
-	// RoutePolicy picks the channel for each drained batch when Stagers ≥ 1:
-	// RouteDirect (never relay), RouteStaging (always relay), RouteHybrid
-	// (react per batch to live backpressure), or RouteAdaptive (the
-	// closed-loop controller).
+	// RoutePolicy picks the channel for each drained batch when Stagers ≥ 1.
+	//
+	// Deprecated: set Staging.RoutePolicy instead; this alias remains for
+	// existing callers and behaves identically.
 	RoutePolicy RoutePolicy
 	// Placement selects how producers resolve their consumer and stager
-	// endpoints: RankAffine (the default — the fixed assignments of earlier
-	// revisions, byte-identical), LeastOccupancy (every batch to the
-	// emptiest endpoint, read from the live occupancy gauges), or HashRing
-	// (consistent hashing, stable across elastic membership epochs). With a
-	// non-default placement the runtime routes through epoch-versioned
-	// place.Directory instances — consumers resolved per batch, stagers run
-	// pool-managed even when the tier is fixed-size — and stream
-	// termination is counted (per-destination Fin totals) rather than
-	// ordered, so mid-run reassignment never strands blocks.
+	// endpoints.
+	//
+	// Deprecated: set Staging.Placement instead; this alias remains for
+	// existing callers and behaves identically.
 	Placement Placement
 	// Adaptive tunes the RouteAdaptive controller (ignored otherwise).
+	//
+	// Deprecated: set Staging.Adaptive instead; this alias remains for
+	// existing callers and behaves identically.
 	Adaptive AdaptiveTuning
-	// Elastic enables and tunes the staging-tier autoscaler. It needs
-	// Stagers ≥ 1 (the reserved endpoint ceiling) and a RoutePolicy that can
-	// reach the tier. Off (the default), the staging tier is the fixed pool
-	// of earlier revisions, unchanged.
+	// Elastic enables and tunes the staging-tier autoscaler.
+	//
+	// Deprecated: set Staging.Elastic instead; this alias remains for
+	// existing callers and behaves identically.
 	Elastic ElasticConfig
 	// Preserve keeps every block on the file system for later validation.
 	Preserve bool
@@ -280,96 +367,179 @@ type Job struct {
 	all    []*jobStager
 	pool   *elastic.Pool
 	scaler *elastic.Scaler
+
+	// Fault plane (zero/nil with Fault off).
+	faultOn bool
+	fcfg    fault.Config // defaults resolved
+	monitor *fault.Monitor
 }
 
-// jobStager is one spawned stager instance of the elastic tier.
+// jobStager is one spawned stager instance of a pool-managed tier.
 type jobStager struct {
 	slot    int
 	st      *staging.Stager
 	drained bool // retired from the pool (mid-run drain or shutdown)
+
+	// Fault plane (zero/nil with Fault off).
+	journal   *staging.Journal // this instance's write-ahead journal
+	spill     rt.BlockStore    // the slot's spool partition
+	evicted   bool             // the failure detector evicted this instance
+	recovered bool             // this instance is a respawned replacement
+	replayed  int64            // blocks the recovery reader re-forwarded
+	lost      int64            // blocks declared unrecoverable at replay
+}
+
+// normalized resolves the deprecated flat staging aliases against the
+// grouped StagingConfig — a non-zero grouped field wins, a zero grouped
+// field inherits the flat value — and mirrors the result into both views,
+// so the runtime (and the tests pinning the equivalence) can read either.
+func (cfg Config) normalized() Config {
+	s := &cfg.Staging
+	if s.Stagers == 0 {
+		s.Stagers = cfg.Stagers
+	}
+	if s.BufferBlocks == 0 {
+		s.BufferBlocks = cfg.StagerBufferBlocks
+	}
+	if s.RoutePolicy == RouteDirect {
+		s.RoutePolicy = cfg.RoutePolicy
+	}
+	if s.Placement == RankAffine {
+		s.Placement = cfg.Placement
+	}
+	if s.Adaptive == (AdaptiveTuning{}) {
+		s.Adaptive = cfg.Adaptive
+	}
+	if s.Elastic == (ElasticConfig{}) {
+		s.Elastic = cfg.Elastic
+	}
+	cfg.Stagers = s.Stagers
+	cfg.StagerBufferBlocks = s.BufferBlocks
+	cfg.RoutePolicy = s.RoutePolicy
+	cfg.Placement = s.Placement
+	cfg.Adaptive = s.Adaptive
+	cfg.Elastic = s.Elastic
+	return cfg
 }
 
 // validate rejects configurations that would otherwise hang, panic, or
-// silently misbehave deep inside the runtime.
+// silently misbehave deep inside the runtime. Every rejection is a
+// *ConfigError naming the offending field.
 func (cfg Config) validate() error {
-	if cfg.Producers < 1 || cfg.Consumers < 1 {
-		return errors.New("zipper: Producers and Consumers must be ≥ 1")
+	cfg = cfg.normalized()
+	if cfg.Producers < 1 {
+		return &ConfigError{Field: "Producers", Reason: fmt.Sprintf("must be ≥ 1, got %d", cfg.Producers)}
+	}
+	if cfg.Consumers < 1 {
+		return &ConfigError{Field: "Consumers", Reason: fmt.Sprintf("must be ≥ 1, got %d", cfg.Consumers)}
 	}
 	if cfg.Consumers > cfg.Producers {
-		return fmt.Errorf("zipper: more consumers (%d) than producers (%d)", cfg.Consumers, cfg.Producers)
+		return &ConfigError{Field: "Consumers",
+			Reason: fmt.Sprintf("more consumers (%d) than producers (%d)", cfg.Consumers, cfg.Producers)}
 	}
 	if cfg.SpoolDir == "" {
-		return errors.New("zipper: SpoolDir is required")
+		return &ConfigError{Field: "SpoolDir",
+			Reason: "required: the directory standing in for the parallel file system"}
 	}
 	if cfg.BufferBlocks < 0 {
-		return fmt.Errorf("zipper: BufferBlocks must be ≥ 0 (0 selects the default), got %d", cfg.BufferBlocks)
+		return &ConfigError{Field: "BufferBlocks",
+			Reason: fmt.Sprintf("must be ≥ 0 (0 selects the default), got %d", cfg.BufferBlocks)}
 	}
 	if cfg.HighWater < 0 {
-		return fmt.Errorf("zipper: HighWater must be ≥ 0 (0 selects ¾ of BufferBlocks), got %d", cfg.HighWater)
+		return &ConfigError{Field: "HighWater",
+			Reason: fmt.Sprintf("must be ≥ 0 (0 selects ¾ of BufferBlocks), got %d", cfg.HighWater)}
 	}
 	if cfg.BufferBlocks > 0 && cfg.HighWater > cfg.BufferBlocks {
-		return fmt.Errorf("zipper: HighWater (%d) exceeds BufferBlocks (%d): the stealing threshold would be unreachable",
-			cfg.HighWater, cfg.BufferBlocks)
+		return &ConfigError{Field: "HighWater",
+			Reason: fmt.Sprintf("%d exceeds BufferBlocks (%d): the stealing threshold would be unreachable",
+				cfg.HighWater, cfg.BufferBlocks)}
 	}
 	if cfg.ConsumerBufferBlocks < 0 {
-		return fmt.Errorf("zipper: ConsumerBufferBlocks must be ≥ 0, got %d", cfg.ConsumerBufferBlocks)
+		return &ConfigError{Field: "ConsumerBufferBlocks",
+			Reason: fmt.Sprintf("must be ≥ 0, got %d", cfg.ConsumerBufferBlocks)}
 	}
 	if cfg.MaxBatchBlocks < 0 {
-		return fmt.Errorf("zipper: MaxBatchBlocks must be ≥ 0 (0 selects one block per message), got %d", cfg.MaxBatchBlocks)
+		return &ConfigError{Field: "MaxBatchBlocks",
+			Reason: fmt.Sprintf("must be ≥ 0 (0 selects one block per message), got %d", cfg.MaxBatchBlocks)}
 	}
 	if cfg.MaxBatchBytes < 0 {
-		return fmt.Errorf("zipper: MaxBatchBytes must be ≥ 0 (0 means unlimited), got %d", cfg.MaxBatchBytes)
+		return &ConfigError{Field: "MaxBatchBytes",
+			Reason: fmt.Sprintf("must be ≥ 0 (0 means unlimited), got %d", cfg.MaxBatchBytes)}
 	}
 	if cfg.Window < 0 {
-		return fmt.Errorf("zipper: Window must be ≥ 0 (0 selects the default), got %d", cfg.Window)
+		return &ConfigError{Field: "Window",
+			Reason: fmt.Sprintf("must be ≥ 0 (0 selects the default), got %d", cfg.Window)}
 	}
-	if cfg.Stagers < 0 {
-		return fmt.Errorf("zipper: Stagers must be ≥ 0, got %d", cfg.Stagers)
+	if cfg.Staging.Stagers < 0 {
+		return &ConfigError{Field: "Staging.Stagers",
+			Reason: fmt.Sprintf("must be ≥ 0, got %d", cfg.Staging.Stagers)}
 	}
-	if cfg.StagerBufferBlocks < 0 {
-		return fmt.Errorf("zipper: StagerBufferBlocks must be ≥ 0, got %d", cfg.StagerBufferBlocks)
+	if cfg.Staging.BufferBlocks < 0 {
+		return &ConfigError{Field: "Staging.BufferBlocks",
+			Reason: fmt.Sprintf("must be ≥ 0, got %d", cfg.Staging.BufferBlocks)}
 	}
 	switch cfg.RoutePolicy {
 	case RouteDirect, RouteStaging, RouteHybrid, RouteAdaptive:
 	default:
 		// RoutePolicy.String renders out-of-range values as "unknown(N)".
-		return fmt.Errorf("zipper: %v RoutePolicy (valid: %v, %v, %v, %v)",
-			cfg.RoutePolicy, RouteDirect, RouteStaging, RouteHybrid, RouteAdaptive)
+		return &ConfigError{Field: "Staging.RoutePolicy",
+			Reason: fmt.Sprintf("%v is not a policy (valid: %v, %v, %v, %v)",
+				cfg.RoutePolicy, RouteDirect, RouteStaging, RouteHybrid, RouteAdaptive)}
 	}
-	if cfg.RoutePolicy != RouteDirect && cfg.Stagers == 0 {
-		return fmt.Errorf("zipper: RoutePolicy %v needs Stagers ≥ 1", cfg.RoutePolicy)
+	if cfg.RoutePolicy != RouteDirect && cfg.Staging.Stagers == 0 {
+		return &ConfigError{Field: "Staging.Stagers",
+			Reason: fmt.Sprintf("RoutePolicy %v needs Stagers ≥ 1", cfg.RoutePolicy)}
 	}
 	if !cfg.Placement.Valid() {
 		// Placement.String renders out-of-range values as "unknown(N)".
-		return fmt.Errorf("zipper: %v Placement (valid: %v, %v, %v)",
-			cfg.Placement, RankAffine, LeastOccupancy, HashRing)
+		return &ConfigError{Field: "Staging.Placement",
+			Reason: fmt.Sprintf("%v is not a policy (valid: %v, %v, %v)",
+				cfg.Placement, RankAffine, LeastOccupancy, HashRing)}
 	}
 	if cfg.Adaptive.MinShare < 0 || cfg.Adaptive.MaxShare < 0 ||
 		cfg.Adaptive.MinShare > 1 || cfg.Adaptive.MaxShare > 1 {
-		return fmt.Errorf("zipper: Adaptive shares must lie in [0,1], got min %v max %v",
-			cfg.Adaptive.MinShare, cfg.Adaptive.MaxShare)
+		return &ConfigError{Field: "Staging.Adaptive",
+			Reason: fmt.Sprintf("shares must lie in [0,1], got min %v max %v",
+				cfg.Adaptive.MinShare, cfg.Adaptive.MaxShare)}
 	}
 	if cfg.Adaptive.MaxShare > 0 && cfg.Adaptive.MinShare > cfg.Adaptive.MaxShare {
-		return fmt.Errorf("zipper: Adaptive.MinShare (%v) exceeds MaxShare (%v)",
-			cfg.Adaptive.MinShare, cfg.Adaptive.MaxShare)
+		return &ConfigError{Field: "Staging.Adaptive",
+			Reason: fmt.Sprintf("MinShare (%v) exceeds MaxShare (%v)",
+				cfg.Adaptive.MinShare, cfg.Adaptive.MaxShare)}
 	}
 	if cfg.Adaptive.Tau < 0 || cfg.Adaptive.Decay < 0 {
-		return fmt.Errorf("zipper: Adaptive time constants must be ≥ 0 (0 selects the default)")
+		return &ConfigError{Field: "Staging.Adaptive",
+			Reason: "time constants must be ≥ 0 (0 selects the default)"}
 	}
 	if cfg.Elastic.Enabled && cfg.RoutePolicy == RouteDirect {
-		return fmt.Errorf("zipper: Elastic staging needs a RoutePolicy that can reach the tier (valid: %v, %v, %v)",
-			RouteStaging, RouteHybrid, RouteAdaptive)
+		return &ConfigError{Field: "Staging.Elastic",
+			Reason: fmt.Sprintf("elastic staging needs a RoutePolicy that can reach the tier (valid: %v, %v, %v)",
+				RouteStaging, RouteHybrid, RouteAdaptive)}
 	}
 	// The staging tier never outnumbers the producers (a stager with no
 	// possible traffic would never terminate), so elastic bounds must fit
 	// the effective ceiling — otherwise an explicitly requested floor would
 	// be silently shrunk instead of rejected.
-	ceiling := cfg.Stagers
+	ceiling := cfg.Staging.Stagers
 	if cfg.Producers < ceiling {
 		ceiling = cfg.Producers
 	}
 	if err := cfg.Elastic.Validate(ceiling); err != nil {
-		return fmt.Errorf("zipper: %w", err)
+		return &ConfigError{Field: "Staging.Elastic", Reason: err.Error()}
+	}
+	if cfg.Fault.Enabled {
+		if cfg.Staging.Stagers < 1 {
+			return &ConfigError{Field: "Fault",
+				Reason: "the fault plane protects the staging tier; it needs Staging.Stagers ≥ 1"}
+		}
+		if cfg.RoutePolicy == RouteDirect {
+			return &ConfigError{Field: "Fault",
+				Reason: fmt.Sprintf("the fault plane needs a RoutePolicy that can reach the staging tier (valid: %v, %v, %v)",
+					RouteStaging, RouteHybrid, RouteAdaptive)}
+		}
+	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return &ConfigError{Field: "Fault", Reason: err.Error()}
 	}
 	return nil
 }
@@ -377,6 +547,7 @@ func (cfg Config) validate() error {
 // NewJob validates the configuration, builds the network, staging, and
 // file-system paths, and starts the runtime threads for every endpoint.
 func NewJob(cfg Config) (*Job, error) {
+	cfg = cfg.normalized()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -447,6 +618,10 @@ func NewJob(cfg Config) (*Job, error) {
 	if stagers > cfg.Producers {
 		stagers = cfg.Producers
 	}
+	if cfg.Fault.Enabled && stagers > 0 {
+		j.faultOn = true
+		j.fcfg = cfg.Fault.WithDefaults()
+	}
 	stagerLevel := func(addr int) *flow.Level {
 		j.mu.RLock()
 		defer j.mu.RUnlock()
@@ -462,6 +637,12 @@ func NewJob(cfg Config) (*Job, error) {
 		// the scaler. The pool resolves through the configured Placement
 		// policy, fed by the live stager occupancy gauges.
 		ecfg := cfg.Elastic.WithDefaults(stagers)
+		if j.faultOn {
+			// Draining a member that may already be dead is unsound (its
+			// Retire would never be consumed); fault mode trades mid-run
+			// drains for crash safety.
+			ecfg.DisableDrain = true
+		}
 		j.pool = place.New(cfg.Placement.New(), stagerLevel)
 		j.slots = make([]*staging.Stager, ecfg.MaxStagers)
 		var initial []*flow.StagerFlows
@@ -477,13 +658,16 @@ func NewJob(cfg Config) (*Job, error) {
 		ccfg.StagerLevel = stagerLevel
 		j.scaler = elastic.NewScaler(env, ecfg, j.pool, (*jobHost)(j), cfg.Consumers, initial)
 		j.scaler.Start()
-	case placed && stagers > 0:
-		// Placement-directed fixed tier: the same pool-managed endpoints as
-		// the elastic tier over a static membership, no scaler. Producers
-		// resolve their stager per drained batch through the placement
-		// policy; Job.Wait retires the endpoints once the producers finish
-		// and counted termination completes the consumers' streams from the
-		// flushed deliveries.
+	case (placed || j.faultOn) && stagers > 0:
+		// Placement-directed (or fault-protected) fixed tier: the same
+		// pool-managed endpoints as the elastic tier over a static
+		// membership, no scaler. Producers resolve their stager per drained
+		// batch through the placement policy; Job.Wait retires the endpoints
+		// once the producers finish and counted termination completes the
+		// consumers' streams from the flushed deliveries. The fault plane
+		// needs this shape even under RankAffine placement: an eviction is a
+		// membership epoch, and counted Fins are what let replayed blocks
+		// land after their relay died.
 		j.pool = place.New(cfg.Placement.New(), stagerLevel)
 		j.slots = make([]*staging.Stager, stagers)
 		for s := 0; s < stagers; s++ {
@@ -519,6 +703,13 @@ func NewJob(cfg Config) (*Job, error) {
 			return j.stage[addr-cfg.Consumers].Level()
 		}
 	}
+	if j.faultOn && j.pool != nil {
+		// The failure detector: sweeps the lease table every heartbeat,
+		// evicts lapsed members, and drives the fence → replay → respawn
+		// recovery sequence through the job's fault host.
+		j.monitor = fault.NewMonitor(env, j.fcfg, j.pool, (*jobFaultHost)(j))
+		j.monitor.Start()
+	}
 	for p := 0; p < cfg.Producers; p++ {
 		stager := core.NoStager
 		if j.pool == nil && stagers > 0 {
@@ -533,8 +724,10 @@ func NewJob(cfg Config) (*Job, error) {
 }
 
 // spawnStager builds and starts a managed stager endpoint on reserved slot
-// `slot` of the elastic tier. A respawned slot reuses its spill partition —
-// the previous occupant flushed it before retiring.
+// `slot` of a pool-managed tier. A respawned slot reuses its spill
+// partition — a drained occupant flushed it before retiring, and a crashed
+// occupant's leftover spool copies belong to its journal, whose replay
+// removes them.
 func (j *Job) spawnStager(slot int) (*staging.Stager, error) {
 	spill, err := j.fs.Partition(fmt.Sprintf("stage%d", slot))
 	if err != nil {
@@ -547,10 +740,25 @@ func (j *Job) spawnStager(slot int) (*staging.Stager, error) {
 		Managed:        true,
 		Recorder:       j.cfg.Recorder,
 	}
+	in := &jobStager{slot: slot, spill: spill}
+	if j.faultOn {
+		// Each instance gets a fresh write-ahead journal — a respawned slot
+		// must not replay its predecessor's records — and a liveness lease,
+		// renewed by a heartbeat thread and released synchronously by the
+		// last thread of a clean drain, so only a crash ever lapses it.
+		addr := j.cfg.Consumers + slot
+		in.journal = staging.NewJournal()
+		scfg.Journal = in.journal
+		scfg.HeartbeatInterval = j.fcfg.Heartbeat
+		scfg.Heartbeat = func(c rt.Ctx) { j.pool.Beat(addr, c.Now()) }
+		scfg.Unlease = func() { j.pool.Unlease(addr) }
+		j.pool.Lease(addr, j.fcfg.LeaseTTL, j.env.Ctx().Now())
+	}
 	st := staging.NewStager(j.env, scfg, slot, j.net.Inbox(j.cfg.Consumers+slot), j.net, spill)
+	in.st = st
 	j.mu.Lock()
 	j.slots[slot] = st
-	j.all = append(j.all, &jobStager{slot: slot, st: st})
+	j.all = append(j.all, in)
 	j.mu.Unlock()
 	return st, nil
 }
@@ -593,6 +801,128 @@ func (h *jobHost) Drained(c rt.Ctx, slot int) bool {
 	return st == nil || st.Drained(c)
 }
 
+// jobFaultHost adapts a Job to the fault.Host interface — the platform half
+// of the failure detector — without exporting fencing and replay on the
+// public Job API. All methods run on the monitor's thread.
+type jobFaultHost Job
+
+// occupant returns the slot's most recently spawned instance.
+func (h *jobFaultHost) occupant(addr int) *jobStager {
+	j := (*Job)(h)
+	slot := addr - j.cfg.Consumers
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	for i := len(j.all) - 1; i >= 0; i-- {
+		if j.all[i].slot == slot {
+			return j.all[i]
+		}
+	}
+	return nil
+}
+
+// Dead implements fault.Host: the liveness oracle the shutdown sweep uses
+// to tell an undetected crash from a healthy member about to drain.
+func (h *jobFaultHost) Dead(c rt.Ctx, addr int) bool {
+	in := h.occupant(addr)
+	return in != nil && in.st.Killed(c)
+}
+
+// Evict implements fault.Host: fence the evicted occupant — kill it if the
+// eviction was a false positive, so a still-live flush can never race the
+// journal replay into duplicate deliveries — release its dead-mode receiver
+// with the Retire message, and join every thread. The membership change and
+// claim quiesce already happened.
+func (h *jobFaultHost) Evict(c rt.Ctx, addr int) {
+	j := (*Job)(h)
+	in := h.occupant(addr)
+	if in == nil {
+		return
+	}
+	if j.scaler != nil {
+		j.scaler.Crashed(in.slot)
+	}
+	if !in.st.Killed(c) {
+		in.st.Kill(c)
+	}
+	if in.st.NeedsRetire(c) {
+		j.net.Send(c, addr, rt.Message{Retire: true})
+	}
+	in.st.Wait(c)
+	j.mu.Lock()
+	in.drained = true
+	in.evicted = true
+	j.mu.Unlock()
+}
+
+// Recover implements fault.Host: the recovery reader replays the dead
+// occupant's write-ahead journal and orphan backlog straight to the
+// consumers, where counted Fin accounting absorbs the re-sent blocks.
+func (h *jobFaultHost) Recover(c rt.Ctx, addr int) (replayed, orphans, lost int64) {
+	j := (*Job)(h)
+	in := h.occupant(addr)
+	if in == nil || in.journal == nil {
+		return 0, 0, 0
+	}
+	replayed, orphans, lost = staging.Replay(c, in.journal, in.spill, j.net)
+	j.mu.Lock()
+	in.replayed += replayed
+	in.lost += lost
+	j.mu.Unlock()
+	return replayed, orphans, lost
+}
+
+// Respawn implements fault.Host: build a replacement endpoint on the freed
+// slot and re-admit it to the pool membership. The monitor re-leases it and
+// marks the address Recovered.
+func (h *jobFaultHost) Respawn(c rt.Ctx, addr int) bool {
+	j := (*Job)(h)
+	st, err := j.spawnStager(addr - j.cfg.Consumers)
+	if err != nil {
+		return false
+	}
+	j.mu.Lock()
+	for i := len(j.all) - 1; i >= 0; i-- {
+		if j.all[i].st == st {
+			j.all[i].recovered = true
+			break
+		}
+	}
+	j.mu.Unlock()
+	j.pool.Add(addr)
+	if j.scaler != nil {
+		j.scaler.Respawned(addr-j.cfg.Consumers, st.Flows())
+	}
+	return true
+}
+
+// InjectStagerCrash kills the stager instance currently occupying reserved
+// slot `slot` — the fault-injection hook behind the failover tests and
+// benchmarks. The kill is a hard stop: the forwarder abandons its queue,
+// the receiver degrades to a message-absorbing dead mode so producers never
+// block on the corpse, and the heartbeat stops, so the lease lapses and the
+// failure detector evicts, replays, and (attempts permitting) respawns the
+// slot. It reports false when the fault plane is off, the slot is empty,
+// or its occupant is already dead or drained. Inject only while the job is
+// running — a kill landing after Wait's final detector sweep is never
+// recovered.
+func (j *Job) InjectStagerCrash(slot int) bool {
+	if !j.faultOn {
+		return false
+	}
+	ctx := j.env.Ctx()
+	j.mu.RLock()
+	var st *staging.Stager
+	if slot >= 0 && slot < len(j.slots) {
+		st = j.slots[slot]
+	}
+	j.mu.RUnlock()
+	if st == nil || st.Killed(ctx) || st.Drained(ctx) {
+		return false
+	}
+	st.Kill(ctx)
+	return true
+}
+
 // Producer returns producer endpoint i.
 func (j *Job) Producer(i int) *Producer { return j.prod[i] }
 
@@ -609,6 +939,13 @@ func (j *Job) Wait() {
 		p.p.Wait(p.ctx)
 	}
 	ctx := j.env.Ctx()
+	if j.monitor != nil {
+		// Stop the failure detector first: its final forced sweep recovers
+		// kills whose lease never lapsed — the replays must happen while the
+		// consumers are still counting — and stopping it here guarantees no
+		// respawn can land in the middle of the tier shutdown below.
+		j.monitor.Stop(ctx)
+	}
 	if j.scaler == nil && j.pool != nil {
 		// Placement-directed fixed tier: the producers have finished, so no
 		// relay traffic can appear. Retire every endpoint the elastic way —
@@ -665,6 +1002,19 @@ type StagerStats struct {
 	Queued      int     // blocks currently resident in the in-memory buffer
 	Capacity    int     // the buffer's capacity in blocks
 	ForwardRate float64 // blocks/s the forwarder is delivering (live EWMA)
+
+	// Fault plane (zero with Fault off).
+	// Health is the fault plane's liveness state of this instance: "live",
+	// "suspect", "evicted", or "recovered" (a respawned replacement). Empty
+	// with the fault plane off.
+	Health string
+	// Evicted reports the failure detector evicted this instance (its lease
+	// lapsed, or the shutdown sweep found it dead); Drained is also set —
+	// the instance is gone from the pool — and ReplayedBlocks/LostBlocks
+	// hold its journal's replay outcome.
+	Evicted        bool
+	ReplayedBlocks int64 // blocks the recovery reader re-forwarded
+	LostBlocks     int64 // blocks declared unrecoverable at replay
 }
 
 // JobStats aggregates every endpoint's flow gauges in one call: per-endpoint
@@ -710,6 +1060,18 @@ type JobStats struct {
 	// failure ("" = none): the pool holds at its current size and retries
 	// after a cooldown, and this is where that condition becomes visible.
 	ElasticSpawnErr string
+	// Fault plane (zero/empty with Fault off).
+	// Evictions is the failure detector's lifetime eviction count and
+	// ReplayedBlocks the blocks the recovery reader re-forwarded from dead
+	// stagers' journals (orphaned-message blocks included).
+	Evictions      int64
+	ReplayedBlocks int64
+	// BlocksLost counts blocks declared unrecoverable, as the consumers'
+	// counted streams observed them. Zero means every block an evicted
+	// stager owed was recovered from its journal.
+	BlocksLost int64
+	// FailoverEvents is the eviction/recovery timeline so far.
+	FailoverEvents []FailoverEvent
 }
 
 // Stats aggregates producer, consumer, and stager counters in one call.
@@ -729,19 +1091,30 @@ func (j *Job) Stats() JobStats {
 	}
 	ctx := j.env.Ctx()
 	if j.pool != nil {
-		type instance struct {
-			st      *staging.Stager
-			drained bool
-		}
 		j.mu.RLock()
-		insts := make([]instance, 0, len(j.all))
+		insts := make([]jobStager, 0, len(j.all))
 		for _, in := range j.all {
-			insts = append(insts, instance{st: in.st, drained: in.drained})
+			insts = append(insts, *in)
 		}
 		j.mu.RUnlock()
 		for _, in := range insts {
 			s := in.st.Stats(ctx)
-			js.Stagers = append(js.Stagers, stagerStats(s, in.drained))
+			ps := stagerStats(s, in.drained)
+			if j.faultOn {
+				ps.Evicted = in.evicted
+				ps.ReplayedBlocks = in.replayed
+				ps.LostBlocks = in.lost
+				if in.evicted {
+					ps.Health = place.Evicted.String()
+				} else if h, ok := j.pool.Health(j.cfg.Consumers + in.slot); ok {
+					ps.Health = h.String()
+				} else if in.recovered {
+					ps.Health = place.Recovered.String()
+				} else {
+					ps.Health = place.Live.String()
+				}
+			}
+			js.Stagers = append(js.Stagers, ps)
 			js.BlocksSpilled += s.BlocksSpilled
 			if j.scaler == nil {
 				// Placement-directed fixed tier: every endpoint is billed to
@@ -755,6 +1128,11 @@ func (j *Job) Stats() JobStats {
 			if err := j.scaler.Err(); err != nil {
 				js.ElasticSpawnErr = err.Error()
 			}
+		}
+		if j.monitor != nil {
+			js.Evictions = j.monitor.Evictions()
+			js.ReplayedBlocks = j.monitor.ReplayedBlocks()
+			js.FailoverEvents = j.monitor.Events()
 		}
 	}
 	for _, st := range j.stage {
@@ -779,6 +1157,7 @@ func (j *Job) Stats() JobStats {
 		s := c.Stats()
 		js.Consumers = append(js.Consumers, s)
 		js.BlocksAnalyzed += s.BlocksAnalyzed
+		js.BlocksLost += s.BlocksLost
 		js.AnalyzeRate += s.AnalyzeRate
 	}
 	return js
@@ -888,6 +1267,7 @@ func (c *Consumer) Stats() ConsumerStats {
 		BlocksRead:     s.BlocksRead,
 		BlocksAnalyzed: s.BlocksAnalyzed,
 		BlocksStored:   s.BlocksStored,
+		BlocksLost:     s.BlocksLost,
 		AnalyzeRate:    s.AnalyzeRate,
 		Queued:         s.Queued,
 		Capacity:       s.Capacity,
@@ -899,6 +1279,7 @@ type ConsumerStats struct {
 	BlocksReceived int64 // via the network path
 	BlocksRead     int64 // via the file-system path
 	BlocksAnalyzed int64
+	BlocksLost     int64   // blocks an upstream relay declared unrecoverable
 	BlocksStored   int64   // persisted by the Preserve-mode output thread
 	AnalyzeRate    float64 // blocks/s delivered to the analysis (live EWMA)
 	Queued         int     // blocks currently resident in the consumer buffer
