@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement bench-failover
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement bench-failover bench-wire
 
 ci: fmt vet build test
 
@@ -55,3 +55,8 @@ bench-placement:
 # injected stager kills; gates blocks-lost == 0 and mean recovery time).
 bench-failover:
 	$(GO) run ./cmd/benchfailover -o BENCH_failover.json
+
+# Regenerate the committed wire baseline (vectored vs copy frame writer;
+# raw vs compressed bytes over a real-TCP staged job).
+bench-wire:
+	$(GO) run ./cmd/benchwire -o BENCH_wire.json

@@ -1,0 +1,193 @@
+// benchwire records the wire-path baseline in two sections. The frame
+// section measures the frame-v5 send path into a discard sink with the
+// vectored (writev) writer against the pre-v5 buffered-copy path on the
+// same 16-block large-payload message — the zero-copy claim. The reduction
+// section runs the shared benchharness wire workload (a staged job over
+// real TCP sockets, smooth plateau payloads) raw and compressed — the
+// bytes-on-wire claim. It writes both as JSON so CI and future
+// optimization PRs have a committed reference point, and fails when either
+// claim stops holding: the vectored writer must cut ns/block by at least
+// 20% and stay at ≤1 steady-state allocation per frame, and compression
+// must at least halve the bytes crossing the wire.
+//
+// Usage:
+//
+//	benchwire [-o BENCH_wire.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"zipper/internal/benchharness"
+	"zipper/internal/rt/realenv"
+)
+
+// minProcs floors GOMAXPROCS for the reduction section, whose TCP job runs
+// producer, stager, and consumer threads concurrently; on a 1-core box the
+// default GOMAXPROCS serializes them into lockstep and the timing side of
+// the measurement stops resembling a real deployment. The frame section is
+// single-threaded and indifferent.
+const minProcs = 8
+
+const (
+	frameCount      = 2000
+	frameBlocks     = 16
+	frameBlockBytes = 256 << 10
+
+	wireProducers  = 2
+	wireBlocks     = 200
+	wireBlockBytes = 64 << 10
+)
+
+// FrameRow is one frame-writer measurement.
+type FrameRow struct {
+	Variant        string  `json:"variant"`
+	NsPerFrame     float64 `json:"ns_per_frame"`
+	NsPerBlock     float64 `json:"ns_per_block"`
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	BytesPerFrame  int64   `json:"bytes_per_frame"`
+}
+
+// WireRow is one reduction variant's staged-TCP measurement.
+type WireRow struct {
+	Variant       string  `json:"variant"`
+	Blocks        int64   `json:"blocks"`
+	BytesRaw      int64   `json:"bytes_raw_two_legs"`
+	BytesOnWire   int64   `json:"bytes_on_wire"`
+	BytesReduced  int64   `json:"bytes_reduced"`
+	ReductionX    float64 `json:"reduction_factor"`
+	ThroughputMBs float64 `json:"throughput_mb_per_s"`
+}
+
+// Report is the file layout of BENCH_wire.json.
+type Report struct {
+	FrameCount      int        `json:"frame_count"`
+	FrameBlocks     int        `json:"frame_blocks"`
+	FrameBlockBytes int        `json:"frame_block_bytes"`
+	WireProducers   int        `json:"wire_producers"`
+	WireBlocks      int        `json:"wire_blocks_per_producer"`
+	WireBlockBytes  int        `json:"wire_block_bytes"`
+	GoVersion       string     `json:"go_version"`
+	FrameRows       []FrameRow `json:"frame_rows"`
+	WireRows        []WireRow  `json:"wire_rows"`
+}
+
+func frameRow(name string, vectoredMin int) FrameRow {
+	r := realenv.BenchWriteFrame(frameCount, frameBlocks, frameBlockBytes, vectoredMin)
+	return FrameRow{
+		Variant:    name,
+		NsPerFrame: r.NsPerFrame, NsPerBlock: r.NsPerBlock,
+		AllocsPerFrame: r.AllocsPerFrame, BytesPerFrame: r.BytesPerFrame,
+	}
+}
+
+func wireRow(v benchharness.WireVariant) (WireRow, error) {
+	dir, err := os.MkdirTemp("", "benchwire")
+	if err != nil {
+		return WireRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	start := time.Now()
+	st, err := benchharness.RunWire(dir, v, wireProducers, wireBlocks, wireBlockBytes)
+	elapsed := time.Since(start)
+	if err != nil {
+		return WireRow{}, err
+	}
+	total := int64(wireProducers * wireBlocks)
+	if st.BlocksAnalyzed != total {
+		return WireRow{}, fmt.Errorf("%s: analyzed %d of %d blocks", v.Name, st.BlocksAnalyzed, total)
+	}
+	// Every block crosses two wire legs (producer→stager socket,
+	// stager→consumer loopback), so the raw reference is twice the payload.
+	raw := 2 * total * int64(wireBlockBytes)
+	row := WireRow{
+		Variant: v.Name, Blocks: total,
+		BytesRaw: raw, BytesOnWire: st.BytesOnWire, BytesReduced: st.BytesReduced,
+	}
+	if st.BytesOnWire > 0 {
+		row.ReductionX = float64(raw) / float64(st.BytesOnWire)
+	}
+	if ns := elapsed.Nanoseconds(); ns > 0 {
+		row.ThroughputMBs = float64(total*int64(wireBlockBytes)) / (float64(ns) / 1e9) / 1e6
+	}
+	if st.BytesOnWire+st.BytesReduced != raw {
+		return WireRow{}, fmt.Errorf("%s: accounting leak: %d on wire + %d reduced != %d raw",
+			v.Name, st.BytesOnWire, st.BytesReduced, raw)
+	}
+	return row, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_wire.json", "output file")
+	flag.Parse()
+	if runtime.GOMAXPROCS(0) < minProcs {
+		runtime.GOMAXPROCS(minProcs)
+	}
+
+	rep := Report{
+		FrameCount: frameCount, FrameBlocks: frameBlocks, FrameBlockBytes: frameBlockBytes,
+		WireProducers: wireProducers, WireBlocks: wireBlocks, WireBlockBytes: wireBlockBytes,
+		GoVersion: runtime.Version(),
+	}
+
+	copyRow := frameRow("copy", -1)
+	vecRow := frameRow("vectored", 0)
+	rep.FrameRows = []FrameRow{copyRow, vecRow}
+	for _, r := range rep.FrameRows {
+		fmt.Printf("%-10s %12.0f ns/frame %10.1f ns/block %6.2f allocs/frame %d bytes/frame\n",
+			r.Variant, r.NsPerFrame, r.NsPerBlock, r.AllocsPerFrame, r.BytesPerFrame)
+	}
+
+	// The zero-copy bargain: skipping the bufio copy for large payloads must
+	// cut per-block send cost by at least 20%, and the vector assembly must
+	// not turn into an allocation habit (≤1 steady-state alloc per frame,
+	// with headroom for background-runtime noise in the counter).
+	if vecRow.NsPerBlock > 0.8*copyRow.NsPerBlock {
+		fatal(fmt.Errorf("frame regression: vectored %.1f ns/block vs copy %.1f — not a 20%% win",
+			vecRow.NsPerBlock, copyRow.NsPerBlock))
+	}
+	if vecRow.AllocsPerFrame > 1.5 {
+		fatal(fmt.Errorf("frame regression: vectored writer allocates %.2f objects/frame, want ≤1",
+			vecRow.AllocsPerFrame))
+	}
+
+	rows := map[string]WireRow{}
+	for _, v := range benchharness.WireVariants {
+		row, err := wireRow(v)
+		if err != nil {
+			fatal(err)
+		}
+		rep.WireRows = append(rep.WireRows, row)
+		rows[v.Name] = row
+		fmt.Printf("%-10s %d blocks %d raw %d on-wire %d reduced %.2fx %.0f MB/s\n",
+			row.Variant, row.Blocks, row.BytesRaw, row.BytesOnWire, row.BytesReduced,
+			row.ReductionX, row.ThroughputMBs)
+	}
+
+	// The reduction bargain: on the smooth plateau payload, compression must
+	// at least halve the bytes crossing the wire versus the raw relay.
+	rawR, compR := rows["raw"], rows["compress"]
+	if 2*compR.BytesOnWire > rawR.BytesOnWire {
+		fatal(fmt.Errorf("reduction regression: compress puts %d bytes on the wire vs raw %d — not a 2x cut",
+			compR.BytesOnWire, rawR.BytesOnWire))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchwire:", err)
+	os.Exit(1)
+}

@@ -467,3 +467,72 @@ func RunStaging(spoolDir string, v StagingVariant, producers, blocks, blockBytes
 	job.Wait()
 	return job.Stats(), nil
 }
+
+// WireVariant is one payload-reduction configuration of the wire
+// comparison.
+type WireVariant struct {
+	Name   string
+	Reduce zipper.ReduceConfig
+}
+
+// WireVariants is the canonical comparison: the raw relay, then the same
+// stream compressed at the producer before it ever touches a socket.
+var WireVariants = []WireVariant{
+	{Name: "raw"},
+	{Name: "compress", Reduce: zipper.ReduceConfig{Operator: zipper.ReduceCompress}},
+}
+
+// RunWire pushes `blocks` blocks of blockBytes from each of `producers`
+// producers through a real-TCP staged job (every block crosses two wire
+// legs: producer→stager over a socket, stager→consumer over the listener
+// loopback) under the variant's reduction config. The payload is a smooth
+// plateau field — the shape simulation output takes and the reason
+// in-transit compression pays. Returns the job-wide stats; BytesOnWire vs
+// BytesReduced is the measurement.
+func RunWire(spoolDir string, v WireVariant, producers, blocks, blockBytes int) (zipper.JobStats, error) {
+	job, err := zipper.NewJob(zipper.Config{
+		Producers: producers, Consumers: 1, SpoolDir: spoolDir,
+		TCPAddr:      "127.0.0.1:0",
+		BufferBlocks: 16, Window: 2, MaxBatchBlocks: 8, DisableSteal: true,
+		Staging: zipper.StagingConfig{
+			Stagers: 1, BufferBlocks: producers * blocks,
+			RoutePolicy: zipper.RouteStaging,
+			Reduce:      v.Reduce,
+		},
+	})
+	if err != nil {
+		return zipper.JobStats{}, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var sink byte
+		for {
+			blk, ok := job.Consumer(0).Read()
+			if !ok {
+				_ = sink
+				return
+			}
+			sink ^= blk.Data[0] ^ blk.Data[len(blk.Data)-1]
+			blk.Release()
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			prod := job.Producer(p)
+			for i := 0; i < blocks; i++ {
+				data := zipper.NewPayload(blockBytes)
+				for j := range data {
+					// Plateaus 64 bytes wide, drifting with the step: locally
+					// constant like a physical field, distinct across blocks.
+					data[j] = byte((j / 64) + i + p)
+				}
+				prod.Write(i, 0, data)
+			}
+			prod.Close()
+		}(p)
+	}
+	<-done
+	job.Wait()
+	return job.Stats(), nil
+}

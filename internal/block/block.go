@@ -32,6 +32,26 @@ type Block struct {
 	// OnDisk marks blocks that already reside on the parallel file system,
 	// so the Preserve-mode output thread need not store them again.
 	OnDisk bool
+	// Enc names the reduction operator applied to the payload (0 = none; the
+	// values are internal/reduce.Kind). While Enc is nonzero, Data holds the
+	// encoded payload and Bytes still carries the raw (decoded) size, so
+	// buffer accounting and analysis-side placement are unaffected by what
+	// happened on the wire.
+	Enc uint8
+	// EncBytes is the encoded payload size while Enc is nonzero: the bytes
+	// the block actually occupies on the wire and in a spill store. In real
+	// mode EncBytes == int64(len(Data)); in simulation mode Data stays nil
+	// and EncBytes carries the modeled reduced size.
+	EncBytes int64
+}
+
+// WireBytes reports the bytes this block occupies on the wire: the encoded
+// size while a reduction operator is applied, the raw size otherwise.
+func (b *Block) WireBytes() int64 {
+	if b.Enc != 0 {
+		return b.EncBytes
+	}
+	return b.Bytes
 }
 
 // New returns a real-mode block wrapping data.

@@ -6,6 +6,7 @@ import (
 
 	"zipper/internal/block"
 	"zipper/internal/flow"
+	"zipper/internal/reduce"
 	"zipper/internal/rt"
 )
 
@@ -29,6 +30,10 @@ type Consumer struct {
 	id  int
 	in  rt.Inbox
 	fs  rt.BlockStore
+	// dec restores reduced payloads at the receiver edge. It needs no
+	// configuration — the block's Enc tag selects the decode path — so every
+	// consumer owns one and any upstream hop is free to reduce.
+	dec *reduce.Decoder
 
 	lk        rt.Lock
 	avail     rt.Cond // a block became available for analysis or state change
@@ -74,7 +79,8 @@ func NewConsumer(env rt.Env, cfg Config, id int, producers int, in rt.Inbox, fs 
 	if producers < 1 {
 		panic("core: consumer needs at least one producer")
 	}
-	c := &Consumer{env: env, cfg: cfg, id: id, in: in, fs: fs, finsExpected: producers}
+	c := &Consumer{env: env, cfg: cfg, id: id, in: in, fs: fs, finsExpected: producers,
+		dec: reduce.NewDecoder()}
 	c.fl.Queue.SetCapacity(cfg.ConsumerBufferBlocks)
 	c.lk = env.NewLock(fmt.Sprintf("zcons.%d", id))
 	c.avail = c.lk.NewCond(fmt.Sprintf("zcons.%d.avail", id))
@@ -281,10 +287,34 @@ func (c *Consumer) receiverThread(x rt.Ctx) {
 		start := x.Now()
 		m, ok := c.in.Recv(x)
 		busy := x.Now() - start
+		// Restore reduced payloads before the blocks enter the buffer: the
+		// analysis (and the Preserve-mode output thread) only ever sees raw
+		// bytes. Decoding runs off-lock — it is the CPU-heavy half of the
+		// reduction trade — and the simulated platform charges the pass at
+		// memory bandwidth.
+		var decErr error
+		if ok {
+			for _, b := range m.Blocks {
+				if b.Enc == 0 {
+					continue
+				}
+				c.env.CopyDelay(x, b.Bytes)
+				if err := c.dec.DecodeBlock(b); err != nil {
+					decErr = err
+					break
+				}
+			}
+		}
 		c.lk.Lock(x)
 		c.fl.RecvBusy.AddDur(x.Now(), busy)
 		if !ok {
 			break // inbox closed under us: treat as end of stream
+		}
+		if decErr != nil {
+			// A payload that cannot be restored is stream corruption: fail
+			// the run loudly rather than hand garbage to the analysis.
+			c.err = fmt.Errorf("core: restoring reduced block: %w", decErr)
+			break
 		}
 		if c.cfg.Recorder != nil && len(m.Blocks) > 0 {
 			c.cfg.Recorder.Add(c.traceName("receiver"), "recv", start, start+busy)

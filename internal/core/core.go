@@ -30,6 +30,7 @@ import (
 
 	"zipper/internal/flow"
 	"zipper/internal/place"
+	"zipper/internal/reduce"
 	"zipper/internal/trace"
 )
 
@@ -167,6 +168,14 @@ type Config struct {
 	// counts relayed Fins to terminate, which directory-placed producers
 	// never send). The directory's membership must be static for the run.
 	ConsumerDirectory *place.Directory
+	// Reduce selects the in-transit payload reduction applied to relayed
+	// batches. With OnPressure unset, each producer's sender thread encodes
+	// the blocks of every batch it routes through a stager (the decode
+	// happens once, at the consumer's receiver); with OnPressure set the
+	// producer sends raw and the stager encodes only while its occupancy is
+	// above the spill high-water mark — the "compress instead of spill"
+	// rung. The zero value disables reduction entirely.
+	Reduce reduce.Config
 	// DisableSteal turns the writer thread off, yielding the
 	// message-passing-only baseline of §6.2.
 	DisableSteal bool
@@ -235,6 +244,8 @@ type ProducerStats struct {
 	BlocksRelayed int64         // blocks that left via the in-transit staging relay
 	BlocksStolen  int64         // blocks the writer thread routed via the file system
 	Messages      int64         // mixed messages sent (including the Fin)
+	BytesOnWire   int64         // payload bytes put on the network paths (encoded size when reduced)
+	BytesReduced  int64         // payload bytes reduction kept off the wire (raw − encoded)
 	WriteStall    time.Duration // time Write blocked on a full buffer
 	SendBusy      time.Duration // sender thread time spent in Send
 	StealBusy     time.Duration // writer thread time spent spilling

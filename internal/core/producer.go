@@ -6,6 +6,7 @@ import (
 
 	"zipper/internal/block"
 	"zipper/internal/flow"
+	"zipper/internal/reduce"
 	"zipper/internal/rt"
 )
 
@@ -21,6 +22,10 @@ type Producer struct {
 	tr     rt.Transport
 	fs     rt.BlockStore
 	router flow.Router
+	// enc reduces relayed payloads at the sender (nil when reduction is off
+	// or deferred to the stager's pressure gate). Owned by the sender
+	// thread, which is what gives the Delta operator its in-order stream.
+	enc *reduce.Encoder
 
 	// Per-destination delivery totals, maintained by the sender thread when
 	// a ConsumerDirectory resolves the consumer per batch: each consumer's
@@ -66,6 +71,9 @@ func NewStagedProducer(env rt.Env, cfg Config, rank, to, stager int, tr rt.Trans
 	}
 	p := &Producer{env: env, cfg: cfg, rank: rank, to: to, stager: stager, tr: tr, fs: fs}
 	p.router = cfg.router()
+	if cfg.Reduce.Enabled() && !cfg.Reduce.OnPressure {
+		p.enc = reduce.NewEncoder(cfg.Reduce)
+	}
 	if cfg.ConsumerDirectory != nil {
 		p.destBlocks = map[int]int64{}
 		p.destDisk = map[int]int64{}
@@ -167,6 +175,8 @@ func (p *Producer) snapshot(now time.Duration, live bool) ProducerStats {
 		BlocksRelayed: p.fl.Relayed.Total(),
 		BlocksStolen:  p.fl.Stolen.Total(),
 		Messages:      p.fl.Messages.Total(),
+		BytesOnWire:   p.fl.WireBytes.Total(),
+		BytesReduced:  p.fl.SavedBytes.Total(),
 		WriteStall:    p.fl.WriteStall.TotalDur(),
 		SendBusy:      p.fl.SendBusy.TotalDur(),
 		StealBusy:     p.fl.StealBusy.TotalDur(),
@@ -218,9 +228,21 @@ func (p *Producer) senderThread(c rt.Ctx) {
 		dest, to, route := p.routeLocked(c, len(blocks))
 		p.lk.Unlock(c)
 
-		var payload int64
+		if route == flow.Relay && p.enc != nil {
+			// Reduce the batch before it hits the wire. The encoder touches
+			// every raw byte, so the simulated platform charges the pass at
+			// memory bandwidth; decode happens once, at the consumer edge.
+			for _, b := range blocks {
+				p.env.CopyDelay(c, b.Bytes)
+				if err := p.enc.EncodeBlock(b); err != nil {
+					panic(fmt.Sprintf("core: reducing block %v: %v", b.ID, err))
+				}
+			}
+		}
+		var payload, wire int64
 		for _, b := range blocks {
 			payload += b.Bytes
+			wire += b.WireBytes()
 		}
 		start := c.Now()
 		p.tr.Send(c, dest, rt.Message{From: p.rank, Dest: to, Blocks: blocks, Disk: ids})
@@ -235,6 +257,10 @@ func (p *Producer) senderThread(c rt.Ctx) {
 		p.lk.Lock(c)
 		p.fl.SendBusy.AddDur(c.Now(), busy)
 		p.fl.Messages.Add(c.Now(), 1)
+		p.fl.WireBytes.Add(c.Now(), wire)
+		if saved := payload - wire; saved > 0 {
+			p.fl.SavedBytes.Add(c.Now(), saved)
+		}
 		if route == flow.Relay {
 			p.fl.Relayed.Add(c.Now(), int64(len(blocks)))
 		} else {

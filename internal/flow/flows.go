@@ -25,6 +25,9 @@ type ProducerFlows struct {
 	WriteStall Meter // ns Write sat blocked on a full buffer
 	SendBusy   Meter // ns the sender thread spent in Send
 	StealBusy  Meter // ns the writer thread spent spilling
+
+	WireBytes  Meter // payload bytes put on the wire (encoded size when reduced)
+	SavedBytes Meter // payload bytes reduction kept off the wire (raw − encoded)
 }
 
 // ConsumerFlows gauges one consumer runtime module. Queue is the live
@@ -60,6 +63,9 @@ type StagerFlows struct {
 	RecvBusy    Meter // ns the receiver thread spent in Recv
 	ForwardBusy Meter // ns the forwarder thread spent in Send
 	SpillBusy   Meter // ns spent writing + re-reading spilled blocks
+
+	WireBytes  Meter // payload bytes forwarded on the wire (encoded size when reduced)
+	SavedBytes Meter // payload bytes reduction kept off the wire (raw − encoded)
 
 	Queue Level // in-memory buffer fill in blocks, with capacity and peak
 }

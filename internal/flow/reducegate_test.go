@@ -1,0 +1,38 @@
+package flow
+
+import "testing"
+
+func TestReduceGateHysteresis(t *testing.T) {
+	g := NewReduceGate(8)
+	if g.Observe(7) {
+		t.Fatal("engaged below high water")
+	}
+	if !g.Observe(8) {
+		t.Fatal("did not engage at high water")
+	}
+	// Stays engaged while occupancy hovers between release and engage.
+	for _, occ := range []int{7, 6, 5} {
+		if !g.Observe(occ) {
+			t.Fatalf("released early at occupancy %d", occ)
+		}
+	}
+	if g.Observe(4) {
+		t.Fatal("did not release at half high water")
+	}
+	if !g.Observe(9) {
+		t.Fatal("did not re-engage")
+	}
+	if g.Engagements() != 2 {
+		t.Fatalf("engagements = %d, want 2", g.Engagements())
+	}
+}
+
+func TestReduceGateTinyBuffer(t *testing.T) {
+	g := NewReduceGate(1)
+	if !g.Observe(1) {
+		t.Fatal("did not engage")
+	}
+	if g.Observe(0) {
+		t.Fatal("did not release at empty")
+	}
+}

@@ -1,0 +1,253 @@
+package reduce
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"zipper/internal/block"
+)
+
+// smoothField builds a compressible float64 payload: a piecewise-constant
+// wave (64-sample plateaus) plus a small step-dependent drift — the shape
+// of a well-resolved simulation field, where neighboring cells repeat
+// values and adjacent steps barely differ.
+func smoothField(step, n int) []byte {
+	buf := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		v := math.Sin(float64(i/64)) + 0.001*float64(step)
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func mkBlock(rank, step, seq int, data []byte) *block.Block {
+	return block.New(block.ID{Rank: rank, Step: step, Seq: seq}, 0, data)
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	raw := smoothField(0, 4096)
+	b := mkBlock(0, 0, 0, append([]byte(nil), raw...))
+	e := NewEncoder(Config{Operator: Compress})
+	if err := e.EncodeBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Enc != uint8(Compress) {
+		t.Fatalf("block not encoded (enc=%d)", b.Enc)
+	}
+	if b.EncBytes >= b.Bytes {
+		t.Fatalf("compress grew the payload: %d ≥ %d", b.EncBytes, b.Bytes)
+	}
+	if b.Bytes != int64(len(raw)) {
+		t.Fatalf("raw size clobbered: %d", b.Bytes)
+	}
+	d := NewDecoder()
+	if err := d.DecodeBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Enc != 0 || b.EncBytes != 0 {
+		t.Fatalf("stamp not cleared: enc=%d encBytes=%d", b.Enc, b.EncBytes)
+	}
+	if !bytes.Equal(b.Data, raw) {
+		t.Fatal("compress round-trip corrupted payload")
+	}
+}
+
+func TestCompressSkipsIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]byte, 4096)
+	rng.Read(raw)
+	b := mkBlock(0, 0, 0, append([]byte(nil), raw...))
+	e := NewEncoder(Config{Operator: Compress})
+	if err := e.EncodeBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Enc != 0 {
+		t.Fatalf("random payload encoded anyway (encBytes=%d raw=%d)", b.EncBytes, b.Bytes)
+	}
+	if !bytes.Equal(b.Data, raw) {
+		t.Fatal("skipped encode still touched the payload")
+	}
+}
+
+func TestDeltaRoundTripAcrossSteps(t *testing.T) {
+	e := NewEncoder(Config{Operator: Delta})
+	d := NewDecoder()
+	var fullSize, deltaSize int64
+	for step := 0; step < 5; step++ {
+		raw := smoothField(step, 4096)
+		b := mkBlock(2, step, 7, append([]byte(nil), raw...))
+		if err := e.EncodeBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Enc != uint8(Delta) {
+			t.Fatalf("step %d not encoded", step)
+		}
+		if step == 0 {
+			fullSize = b.EncBytes
+		} else if step == 1 {
+			deltaSize = b.EncBytes
+		}
+		if err := d.DecodeBlock(b); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if !bytes.Equal(b.Data, raw) {
+			t.Fatalf("step %d: delta round-trip corrupted payload", step)
+		}
+	}
+	if deltaSize >= fullSize {
+		t.Fatalf("delta step (%d B) not smaller than full step (%d B)", deltaSize, fullSize)
+	}
+}
+
+func TestDeltaStreamsAreIndependent(t *testing.T) {
+	e := NewEncoder(Config{Operator: Delta})
+	d := NewDecoder()
+	// Interleave two (rank, seq) streams: each must delta against its own
+	// previous step, not whatever encoded last.
+	for step := 0; step < 3; step++ {
+		for _, seq := range []int{0, 1} {
+			raw := smoothField(step+seq*100, 1024)
+			b := mkBlock(0, step, seq, append([]byte(nil), raw...))
+			if err := e.EncodeBlock(b); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.DecodeBlock(b); err != nil {
+				t.Fatalf("step %d seq %d: %v", step, seq, err)
+			}
+			if !bytes.Equal(b.Data, raw) {
+				t.Fatalf("step %d seq %d corrupted", step, seq)
+			}
+		}
+	}
+}
+
+func TestDeltaBaseMismatchErrors(t *testing.T) {
+	e := NewEncoder(Config{Operator: Delta})
+	b0 := mkBlock(0, 0, 0, smoothField(0, 512))
+	b1 := mkBlock(0, 1, 0, smoothField(1, 512))
+	if err := e.EncodeBlock(b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EncodeBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	// Decode the delta frame without its base: must error, never emit a
+	// silently corrupt field.
+	d := NewDecoder()
+	if err := d.DecodeBlock(b1); err == nil {
+		t.Fatal("decoding a delta with no base succeeded")
+	}
+}
+
+func TestStrideRoundTripIsExpansion(t *testing.T) {
+	const n = 1024
+	raw := smoothField(0, n)
+	b := mkBlock(0, 0, 0, append([]byte(nil), raw...))
+	e := NewEncoder(Config{Operator: Stride, Stride: 4})
+	if err := e.EncodeBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Enc != uint8(Stride) {
+		t.Fatal("stride did not encode")
+	}
+	if b.EncBytes >= b.Bytes/3 {
+		t.Fatalf("stride 4 left %d of %d bytes", b.EncBytes, b.Bytes)
+	}
+	d := NewDecoder()
+	if err := d.DecodeBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(b.Data)) != b.Bytes {
+		t.Fatalf("expanded to %d bytes, want %d", len(b.Data), b.Bytes)
+	}
+	// Every kept sample must survive exactly; dropped samples are filled
+	// from the nearest kept value on the left.
+	for i := 0; i < n; i++ {
+		got := b.Data[i*8 : i*8+8]
+		want := raw[(i/4)*4*8 : (i/4)*4*8+8]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("sample %d: stride expansion wrong", i)
+		}
+	}
+}
+
+func TestSimModeModelsReduction(t *testing.T) {
+	for _, cfg := range []Config{
+		{Operator: Compress},
+		{Operator: Delta},
+		{Operator: Stride, Stride: 8},
+		{Operator: Compress, ModelRatio: 0.5},
+	} {
+		b := block.NewSized(block.ID{Rank: 1, Step: 2, Seq: 3}, 0, 1<<20)
+		e := NewEncoder(cfg)
+		if err := e.EncodeBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Enc != uint8(cfg.Operator) {
+			t.Fatalf("%v: sim block not stamped", cfg.Operator)
+		}
+		want := int64(float64(b.Bytes) * cfg.modelRatio())
+		if b.EncBytes != want {
+			t.Fatalf("%v: modeled %d bytes, want %d", cfg.Operator, b.EncBytes, want)
+		}
+		if b.Data != nil {
+			t.Fatal("sim encode materialized a payload")
+		}
+		if err := NewDecoder().DecodeBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Enc != 0 || b.EncBytes != 0 {
+			t.Fatal("sim decode left the stamp")
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{Operator: Compress},
+		{Operator: Compress, Level: 9},
+		{Operator: Delta, OnPressure: true},
+		{Operator: Stride, Stride: 2},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v: unexpected error %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Operator: Kind(9)},
+		{Operator: Stride},
+		{Operator: Stride, Stride: 1},
+		{Operator: Compress, Stride: 2},
+		{Operator: Compress, Level: 42},
+		{Operator: Compress, ModelRatio: 1.5},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v: validated", c)
+		}
+	}
+}
+
+func TestCorruptEncodedPayloadErrors(t *testing.T) {
+	// Flate garbage, truncated delta headers, and wrong stride sizes must
+	// all surface as errors, not panics or silent corruption.
+	cases := []*block.Block{
+		{ID: block.ID{}, Bytes: 64, Data: []byte{1, 2, 3}, Enc: uint8(Compress), EncBytes: 3},
+		{ID: block.ID{}, Bytes: 64, Data: []byte{}, Enc: uint8(Delta), EncBytes: 0},
+		{ID: block.ID{}, Bytes: 64, Data: []byte{deltaXOR, 1, 2}, Enc: uint8(Delta), EncBytes: 3},
+		{ID: block.ID{}, Bytes: 64, Data: []byte{7}, Enc: uint8(Delta), EncBytes: 1},
+		{ID: block.ID{}, Bytes: 64, Data: []byte{0}, Enc: uint8(Stride), EncBytes: 1},
+		{ID: block.ID{}, Bytes: 64, Data: []byte{4, 9}, Enc: uint8(Stride), EncBytes: 2},
+		{ID: block.ID{}, Bytes: 64, Data: []byte{1, 2, 3}, Enc: 200, EncBytes: 3},
+	}
+	for i, b := range cases {
+		if err := NewDecoder().DecodeBlock(b); err == nil {
+			t.Errorf("case %d: corrupt payload decoded", i)
+		}
+	}
+}

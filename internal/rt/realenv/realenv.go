@@ -109,9 +109,12 @@ func (b inbox) Recv(c rt.Ctx) (rt.Message, bool) {
 }
 
 // FileStore spills and preserves blocks as files in a directory, standing in
-// for the parallel file system. File layout: 20-byte header (offset, payload
-// length, CRC-32C of the payload) followed by the payload; the checksum
-// catches torn or corrupted spill files before they reach the analysis.
+// for the parallel file system. File layout: 29-byte header (offset, payload
+// length, CRC-32C of the payload, raw block size, reduction encoding)
+// followed by the payload; the checksum catches torn or corrupted spill
+// files before they reach the analysis, and the raw-size/encoding pair lets
+// a reduced payload spill and reload without losing its stamp (the payload
+// on disk is the encoded bytes — spilling never re-inflates).
 type FileStore struct {
 	dir string
 }
@@ -141,13 +144,18 @@ func (s *FileStore) path(id block.ID) string {
 // crcTable is the Castagnoli polynomial, hardware-accelerated on amd64.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// storeHeaderLen is the spill-file header size (see FileStore doc).
+const storeHeaderLen = 29
+
 // WriteBlock persists b and marks it OnDisk.
 func (s *FileStore) WriteBlock(c rt.Ctx, b *block.Block) error {
-	buf := make([]byte, 20+len(b.Data))
+	buf := make([]byte, storeHeaderLen+len(b.Data))
 	binary.LittleEndian.PutUint64(buf, uint64(b.Offset))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(len(b.Data)))
 	binary.LittleEndian.PutUint32(buf[16:], crc32.Checksum(b.Data, crcTable))
-	copy(buf[20:], b.Data)
+	binary.LittleEndian.PutUint64(buf[20:], uint64(b.Bytes))
+	buf[28] = b.Enc
+	copy(buf[storeHeaderLen:], b.Data)
 	if err := os.WriteFile(s.path(b.ID), buf, 0o644); err != nil {
 		return fmt.Errorf("realenv: spilling %v: %w", b.ID, err)
 	}
@@ -161,20 +169,29 @@ func (s *FileStore) ReadBlock(c rt.Ctx, id block.ID, bytes int64) (*block.Block,
 	if err != nil {
 		return nil, fmt.Errorf("realenv: reading %v: %w", id, err)
 	}
-	if len(buf) < 20 {
+	if len(buf) < storeHeaderLen {
 		return nil, fmt.Errorf("realenv: block file %v truncated (%d bytes)", id, len(buf))
 	}
 	offset := int64(binary.LittleEndian.Uint64(buf))
 	n := int64(binary.LittleEndian.Uint64(buf[8:]))
 	sum := binary.LittleEndian.Uint32(buf[16:])
-	if int64(len(buf)-20) != n {
-		return nil, fmt.Errorf("realenv: block file %v corrupt: header says %d bytes, file has %d", id, n, len(buf)-20)
+	rawBytes := int64(binary.LittleEndian.Uint64(buf[20:]))
+	enc := buf[28]
+	if int64(len(buf)-storeHeaderLen) != n {
+		return nil, fmt.Errorf("realenv: block file %v corrupt: header says %d bytes, file has %d", id, n, len(buf)-storeHeaderLen)
 	}
-	if got := crc32.Checksum(buf[20:], crcTable); got != sum {
+	if got := crc32.Checksum(buf[storeHeaderLen:], crcTable); got != sum {
 		return nil, fmt.Errorf("realenv: block file %v checksum mismatch: %#x != %#x", id, got, sum)
 	}
-	b := block.New(id, offset, buf[20:])
+	b := block.New(id, offset, buf[storeHeaderLen:])
 	b.OnDisk = true
+	if enc != 0 {
+		// The file holds a reduced payload: restore the stamp and the raw
+		// size so the decoder downstream knows what to rebuild.
+		b.Enc = enc
+		b.EncBytes = n
+		b.Bytes = rawBytes
+	}
 	return b, nil
 }
 

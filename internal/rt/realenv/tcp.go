@@ -29,7 +29,8 @@ import (
 //	i64 finBlocks | i64 finDisk | i64 lost
 //	i64 nDisk | nDisk × (i64 rank | i64 step | i64 seq | i64 bytes)
 //	i64 nBlocks | nBlocks × (i64 rank | i64 step | i64 seq | i64 offset |
-//	                         i64 bytes | i64 onDisk | i64 dataLen | data)
+//	                         i64 bytes | i64 onDisk | i64 enc | i64 dataLen)
+//	payload bytes of every block, concatenated in descriptor order
 //
 // Version 2 of the frame carries a batch of data blocks so one socket write
 // (and one read on the far side) moves a whole drained batch; version 3 adds
@@ -37,7 +38,14 @@ import (
 // naming the consumer the data is ultimately for; version 4 adds the Fin's
 // declared delivery totals (counted stream termination for the elastic
 // staging tier), the relay's Lost count, and the Retire flag that drains a
-// pool-managed stager.
+// pool-managed stager. Version 5 reorganizes the layout for zero-copy
+// sends: all descriptors are contiguous up front and the payloads are
+// concatenated at the end, so the sender can issue the whole frame as one
+// vectored write — [header | payload₁ | payload₂ | …] — straight from the
+// pooled block payloads, no intermediate copy. v5 also adds the per-block
+// `enc` word carrying the in-transit reduction operator (block.Enc), with
+// dataLen then holding the encoded payload size while `bytes` stays the
+// raw size.
 //
 // The Retire flag is carried for frame completeness only: the elastic drain
 // protocol's "Retire arrives last" guarantee requires a transport whose Send
@@ -46,12 +54,26 @@ import (
 // after the socket write, and frames from different connections interleave
 // at the listener, so a quiesced claim does NOT order a Retire behind
 // in-flight data here — do not drive a pool-managed stager across TCP.
+// zipper.NewJob enforces this: a TCP job with an elastic, fault-tolerant,
+// or non-rank-affine (pool-managed) staging tier is rejected at validation.
 const (
-	frameMagic  = 0x5a495034 // "ZIP4"
+	frameMagic  = 0x5a495035 // "ZIP5"
 	flagFin     = 1 << 0
 	flagRetire  = 1 << 1
 	maxFrameLen = 1 << 31
 	maxBatchLen = 1 << 20 // sanity cap on per-frame block and disk-ref counts
+
+	// defaultVectoredMin is the aggregate payload size at which Send
+	// switches from the buffered-copy path to one vectored write. Below it
+	// a single bufio copy+flush is cheaper than pinning iovecs; above it
+	// the memcpy into the 1 MiB bufio buffer dominates.
+	defaultVectoredMin = 16 << 10
+
+	// payloadChunk bounds the eager allocation for one claimed payload
+	// length: a reader first proves the wire can deliver this much before
+	// allocating the full claimed size, so a corrupt or adversarial
+	// descriptor costs at most one chunk, not maxFrameLen.
+	payloadChunk = 4 << 20
 )
 
 // TCPListener is the consumer-side endpoint set.
@@ -145,11 +167,18 @@ func (l *TCPListener) acceptLoop() {
 	}
 }
 
-// TCPTransport is the producer-side sender over one connection.
+// TCPTransport is the producer-side sender over one connection. The frame
+// header is assembled into a per-transport scratch buffer and large frames
+// go out as one vectored write over [header, payload₁, payload₂, …], so a
+// steady-state Send performs zero allocations and never copies payload
+// bytes.
 type TCPTransport struct {
-	mu sync.Mutex
-	w  *bufio.Writer
-	c  net.Conn
+	mu          sync.Mutex
+	w           *bufio.Writer
+	c           net.Conn
+	hdr         []byte   // reusable frame-header scratch
+	vecs        [][]byte // reusable backing for the vectored write
+	vectoredMin int
 }
 
 // DialTCP connects a producer process to the consumer-side listener.
@@ -158,19 +187,41 @@ func DialTCP(addr string) (*TCPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("realenv: dial %s: %w", addr, err)
 	}
-	return &TCPTransport{w: bufio.NewWriterSize(c, 1<<20), c: c}, nil
+	return newTCPTransport(c), nil
+}
+
+func newTCPTransport(c net.Conn) *TCPTransport {
+	return &TCPTransport{
+		w:           bufio.NewWriterSize(c, 1<<20),
+		c:           c,
+		vectoredMin: defaultVectoredMin,
+	}
+}
+
+// SetVectoredMin adjusts the payload size at which Send switches to the
+// vectored (writev) path: 0 restores the default, a negative value disables
+// the vectored path entirely so every frame takes the buffered-copy path —
+// the pre-v5 behavior, kept reachable for benchmarking the two against
+// each other.
+func (t *TCPTransport) SetVectoredMin(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == 0 {
+		n = defaultVectoredMin
+	}
+	t.vectoredMin = n
 }
 
 // Send frames and writes the message. It is safe for concurrent use by the
-// sender threads of multiple producers sharing the connection.
+// sender threads of multiple producers sharing the connection. Payload
+// ownership stays with the caller (as on the in-process path, where the
+// consumer releases blocks after analysis): the payload bytes are fully on
+// the wire when Send returns.
 func (t *TCPTransport) Send(c rt.Ctx, to int, m rt.Message) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := writeFrame(t.w, to, m); err != nil {
+	if err := t.writeFrame(to, m); err != nil {
 		panic(fmt.Sprintf("realenv: tcp send: %v", err))
-	}
-	if err := t.w.Flush(); err != nil {
-		panic(fmt.Sprintf("realenv: tcp flush: %v", err))
 	}
 }
 
@@ -178,7 +229,12 @@ func (t *TCPTransport) Send(c rt.Ctx, to int, m rt.Message) {
 // final frame.
 func (t *TCPTransport) Close() error { return t.c.Close() }
 
-func writeFrame(w io.Writer, to int, m rt.Message) error {
+// writeFrame assembles the v5 header into the transport's scratch buffer
+// and writes the frame: small frames are copied through the bufio writer
+// (one write syscall after Flush), large frames go out as one vectored
+// write whose iovecs point straight at the pooled block payloads. Callers
+// hold t.mu.
+func (t *TCPTransport) writeFrame(to int, m rt.Message) error {
 	var flags uint32
 	if m.Fin {
 		flags |= flagFin
@@ -186,7 +242,7 @@ func writeFrame(w io.Writer, to int, m rt.Message) error {
 	if m.Retire {
 		flags |= flagRetire
 	}
-	hdr := make([]byte, 0, 128)
+	hdr := t.hdr[:0]
 	hdr = binary.LittleEndian.AppendUint32(hdr, frameMagic)
 	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
 	hdr = appendI64(hdr, int64(to), int64(m.From), int64(m.Dest))
@@ -196,25 +252,53 @@ func writeFrame(w io.Writer, to int, m rt.Message) error {
 		hdr = appendI64(hdr, int64(d.ID.Rank), int64(d.ID.Step), int64(d.ID.Seq), d.Bytes)
 	}
 	hdr = appendI64(hdr, int64(len(m.Blocks)))
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	bh := make([]byte, 0, 7*8)
+	var payload int64
 	for _, b := range m.Blocks {
 		onDisk := int64(0)
 		if b.OnDisk {
 			onDisk = 1
 		}
-		bh = appendI64(bh[:0], int64(b.ID.Rank), int64(b.ID.Step), int64(b.ID.Seq),
-			b.Offset, b.Bytes, onDisk, int64(len(b.Data)))
-		if _, err := w.Write(bh); err != nil {
+		hdr = appendI64(hdr, int64(b.ID.Rank), int64(b.ID.Step), int64(b.ID.Seq),
+			b.Offset, b.Bytes, onDisk, int64(b.Enc), int64(len(b.Data)))
+		payload += int64(len(b.Data))
+	}
+	t.hdr = hdr // keep the grown scratch for the next frame
+
+	if t.vectoredMin >= 0 && payload >= int64(t.vectoredMin) {
+		// Vectored path: nothing is buffered (Send always leaves the bufio
+		// writer flushed), so the whole frame — header segment plus every
+		// payload in place — leaves in one writev.
+		if err := t.w.Flush(); err != nil {
 			return err
 		}
-		if _, err := w.Write(b.Data); err != nil {
+		vecs := append(t.vecs[:0], hdr)
+		for _, b := range m.Blocks {
+			if len(b.Data) > 0 {
+				vecs = append(vecs, b.Data)
+			}
+		}
+		t.vecs = vecs // keep the grown backing for the next frame
+		nb := net.Buffers(vecs)
+		_, err := nb.WriteTo(t.c)
+		for i := range vecs {
+			vecs[i] = nil // drop payload references until the next frame
+		}
+		return err
+	}
+
+	// Buffered-copy path: small frames amortize into one copied write.
+	if _, err := t.w.Write(hdr); err != nil {
+		return err
+	}
+	for _, b := range m.Blocks {
+		if len(b.Data) == 0 {
+			continue
+		}
+		if _, err := t.w.Write(b.Data); err != nil {
 			return err
 		}
 	}
-	return nil
+	return t.w.Flush()
 }
 
 func appendI64(b []byte, vs ...int64) []byte {
@@ -222,6 +306,31 @@ func appendI64(b []byte, vs ...int64) []byte {
 		b = binary.LittleEndian.AppendUint64(b, uint64(v))
 	}
 	return b
+}
+
+// readPayload returns a pooled payload of length n filled from r. Claimed
+// lengths beyond payloadChunk are proven against the wire chunk-first, so
+// a corrupt descriptor cannot force an allocation larger than one chunk
+// plus what the peer actually delivered.
+func readPayload(r io.Reader, n int64) ([]byte, error) {
+	if n <= payloadChunk {
+		buf := block.GetPayload(int(n))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	head := block.GetPayload(payloadChunk)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	buf := block.GetPayload(int(n))
+	copy(buf, head)
+	(&block.Block{Data: head}).Release()
+	if _, err := io.ReadFull(r, buf[payloadChunk:]); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 func readFrame(r io.Reader) (int, rt.Message, error) {
@@ -298,10 +407,14 @@ func readFrame(r io.Reader) (int, rt.Message, error) {
 	if err != nil || nBlocks < 0 || nBlocks > maxBatchLen {
 		return 0, m, fmt.Errorf("realenv: bad block count %d: %v", nBlocks, err)
 	}
-	var frameData int64 // aggregate payload: a corrupt header must not demand unbounded allocation
+	// Pass 1: the contiguous descriptor table. A corrupt header must not
+	// demand unbounded allocation, so descriptors are validated (and the
+	// aggregate payload capped) before any payload byte is read.
+	lens := make([]int64, 0, nBlocks)
+	var frameData int64
 	for i := int64(0); i < nBlocks; i++ {
-		var rank, step, seq, offset, bytes, onDisk, dataLen int64
-		for _, dst := range []*int64{&rank, &step, &seq, &offset, &bytes, &onDisk, &dataLen} {
+		var rank, step, seq, offset, bytes, onDisk, enc, dataLen int64
+		for _, dst := range []*int64{&rank, &step, &seq, &offset, &bytes, &onDisk, &enc, &dataLen} {
 			if *dst, err = i64(); err != nil {
 				return 0, m, err
 			}
@@ -312,21 +425,32 @@ func readFrame(r io.Reader) (int, rt.Message, error) {
 		if frameData += dataLen; frameData > maxFrameLen {
 			return 0, m, fmt.Errorf("realenv: frame payload exceeds %d bytes", int64(maxFrameLen))
 		}
+		if enc < 0 || enc > 255 {
+			return 0, m, fmt.Errorf("realenv: bad block encoding %d", enc)
+		}
 		blk := &block.Block{
 			ID:     block.ID{Rank: int(rank), Step: int(step), Seq: int(seq)},
 			Offset: offset,
 			Bytes:  bytes,
 			OnDisk: onDisk == 1,
+			Enc:    uint8(enc),
 		}
-		if dataLen > 0 {
-			// Pooled payload: the consumer releases it after analysis, so
-			// steady-state TCP receive allocates nothing for data.
-			blk.Data = block.GetPayload(int(dataLen))
-			if _, err := io.ReadFull(r, blk.Data); err != nil {
-				return 0, m, err
-			}
+		if blk.Enc != 0 {
+			blk.EncBytes = dataLen
 		}
 		m.Blocks = append(m.Blocks, blk)
+		lens = append(lens, dataLen)
+	}
+	// Pass 2: the concatenated payloads, in descriptor order.
+	for i, blk := range m.Blocks {
+		if lens[i] == 0 {
+			continue
+		}
+		// Pooled payload: the consumer releases it after analysis, so
+		// steady-state TCP receive allocates nothing for data.
+		if blk.Data, err = readPayload(r, lens[i]); err != nil {
+			return 0, m, err
+		}
 	}
 	return int(to), m, nil
 }

@@ -118,6 +118,18 @@ func (m Message) PayloadBytes() int64 {
 	return n
 }
 
+// WireBytes sums the payload bytes the message actually puts on the wire:
+// encoded sizes for blocks carrying a reduction encoding, raw sizes for the
+// rest. The simulated fabric charges this, so a reduced relay is cheaper in
+// virtual time exactly as it is in real bytes.
+func (m Message) WireBytes() int64 {
+	var n int64
+	for _, b := range m.Blocks {
+		n += b.WireBytes()
+	}
+	return n
+}
+
 // Transport sends mixed messages to consumer endpoints over the low-latency
 // network path. Send blocks while the destination's receive window is full —
 // the backpressure that ultimately stalls producers and triggers stealing.

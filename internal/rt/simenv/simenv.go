@@ -108,7 +108,10 @@ const (
 )
 
 func wireBytes(m rt.Message) int64 {
-	n := int64(messageOverhead) + diskIDWireBytes*int64(len(m.Disk)) + m.PayloadBytes()
+	// WireBytes (not PayloadBytes): a block carrying a reduction encoding
+	// charges its encoded size, so in-transit reduction is cheaper in
+	// virtual time exactly as it is on a real wire.
+	n := int64(messageOverhead) + diskIDWireBytes*int64(len(m.Disk)) + m.WireBytes()
 	if extra := len(m.Blocks) - 1; extra > 0 {
 		n += blockWireBytes * int64(extra)
 	}
@@ -196,10 +199,12 @@ func NewStore(fs *pfs.PFS, prefix string) *Store { return &Store{FS: fs, Prefix:
 
 func (s *Store) name(id block.ID) string { return s.Prefix + "/" + id.String() }
 
-// WriteBlock spills the block to the PFS model and marks it OnDisk.
+// WriteBlock spills the block to the PFS model and marks it OnDisk. A block
+// carrying a reduction encoding charges its encoded size: spilling never
+// re-inflates, matching the real store.
 func (s *Store) WriteBlock(c rt.Ctx, b *block.Block) error {
 	sc := proc(c)
-	s.FS.Write(sc.P, sc.Node, s.name(b.ID), 0, b.Bytes)
+	s.FS.Write(sc.P, sc.Node, s.name(b.ID), 0, b.WireBytes())
 	b.OnDisk = true
 	return nil
 }

@@ -42,6 +42,7 @@ import (
 
 	"zipper/internal/block"
 	"zipper/internal/flow"
+	"zipper/internal/reduce"
 	"zipper/internal/rt"
 	"zipper/internal/trace"
 )
@@ -76,6 +77,17 @@ type Config struct {
 	// it receives the Retire control message, then flushes its queue and
 	// spill partition to the consumers and exits. Producers is ignored.
 	Managed bool
+	// Reduce selects in-transit payload reduction at this endpoint. Blocks
+	// that arrive already encoded (producer-side reduction) pass through
+	// untouched. With OnPressure set, the stager's pressure ladder gains a
+	// middle rung: when occupancy crosses HighWater a flow.ReduceGate
+	// engages and the forwarder reduction-encodes what it sends (and the
+	// spiller what it spills, for stateless operators), while the PFS spill
+	// rung is pushed up to halfway between HighWater and the buffer top —
+	// bursts burn CPU before they burn PFS bandwidth. Without OnPressure
+	// the stager encodes nothing itself (producer-side reduction is where
+	// non-gated encoding lives).
+	Reduce reduce.Config
 	// Recorder, when non-nil, captures the stager threads' activity spans.
 	Recorder *trace.Recorder
 
@@ -136,6 +148,9 @@ type Stats struct {
 	DiskRefs        int64         // producer disk-ref announcements relayed
 	MessagesIn      int64         // mixed messages received
 	MessagesOut     int64         // mixed messages forwarded (re-batched)
+	BytesOnWire     int64         // payload bytes forwarded (encoded size when reduced)
+	BytesReduced    int64         // payload bytes reduction kept off the wire (raw − encoded)
+	ReduceBursts    int64         // times the compress-instead-of-spill gate engaged
 	MaxQueued       int64         // peak in-memory buffer occupancy in blocks
 	RecvBusy        time.Duration // receiver thread time in Recv
 	ForwardBusy     time.Duration // forwarder thread time in Send
@@ -149,12 +164,17 @@ type Stats struct {
 }
 
 // relayBlock is one buffered block: resident in memory, being spilled, or
-// spilled to the store (b == nil) awaiting re-read by the forwarder.
+// spilled to the store (b == nil) awaiting re-read by the forwarder. The
+// enc/encBytes pair snapshots the block's reduction stamp at spill time so
+// the forwarder's re-read can restore it on platforms whose store keeps no
+// payload (the simulated PFS).
 type relayBlock struct {
 	b        *block.Block
 	id       block.ID
 	offset   int64
 	bytes    int64
+	enc      uint8
+	encBytes int64
 	spilling bool
 	spilled  bool
 	rec      *Record // write-ahead journal entry (fault mode only)
@@ -183,10 +203,23 @@ type Stager struct {
 	tr  rt.Transport
 	fs  rt.BlockStore // spill partition; nil disables spilling
 
+	// Compress-instead-of-spill rung (Config.Reduce with OnPressure):
+	// gate flips under the stager lock as occupancy crosses its thresholds,
+	// fwdEnc encodes forwarded blocks while the gate is engaged (owned by
+	// the forwarder thread), spillEnc encodes spill victims for stateless
+	// operators (owned by the spiller thread), and spillAt is the raised
+	// spill threshold — reduction gets a chance to absorb the burst before
+	// the PFS rung engages. Without OnPressure, spillAt == HighWater and
+	// the rest are nil.
+	gate     *flow.ReduceGate
+	fwdEnc   *reduce.Encoder
+	spillEnc *reduce.Encoder
+	spillAt  int
+
 	lk        rt.Lock
 	work      rt.Cond // queue gained forwardable content or state change
 	space     rt.Cond // in-memory occupancy dropped
-	spillWork rt.Cond // occupancy rose above the high-water mark
+	spillWork rt.Cond // occupancy rose above the spill threshold
 
 	done rt.Cond // a runtime thread exited
 
@@ -216,6 +249,20 @@ func NewStager(env rt.Env, cfg Config, id int, in rt.Inbox, tr rt.Transport, fs 
 		panic("staging: a crash journal requires a managed stager with a spill store")
 	}
 	s := &Stager{env: env, cfg: cfg, id: id, in: in, tr: tr, fs: fs}
+	s.spillAt = cfg.HighWater
+	if cfg.Reduce.Enabled() && cfg.Reduce.OnPressure {
+		s.gate = flow.NewReduceGate(cfg.HighWater)
+		s.fwdEnc = reduce.NewEncoder(cfg.Reduce)
+		if cfg.Reduce.Operator.Stateless() {
+			s.spillEnc = reduce.NewEncoder(cfg.Reduce)
+		}
+		// Give reduction headroom to absorb the burst before the PFS rung:
+		// spill only from halfway between the old threshold and the top.
+		s.spillAt = cfg.HighWater + (cfg.BufferBlocks-cfg.HighWater)/2
+		if s.spillAt >= cfg.BufferBlocks {
+			s.spillAt = cfg.BufferBlocks - 1
+		}
+	}
 	s.fl.Queue.SetCapacity(cfg.BufferBlocks)
 	s.lk = env.NewLock(fmt.Sprintf("zstage.%d", id))
 	s.work = s.lk.NewCond(fmt.Sprintf("zstage.%d.work", id))
@@ -368,11 +415,16 @@ func (s *Stager) snapshot(now time.Duration, live bool) Stats {
 		DiskRefs:        s.fl.DiskRefs.Total(),
 		MessagesIn:      s.fl.MessagesIn.Total(),
 		MessagesOut:     s.fl.MessagesOut.Total(),
+		BytesOnWire:     s.fl.WireBytes.Total(),
+		BytesReduced:    s.fl.SavedBytes.Total(),
 		MaxQueued:       s.fl.Queue.Max(),
 		RecvBusy:        s.fl.RecvBusy.TotalDur(),
 		ForwardBusy:     s.fl.ForwardBusy.TotalDur(),
 		SpillBusy:       s.fl.SpillBusy.TotalDur(),
 		Finished:        s.finished,
+	}
+	if s.gate != nil {
+		st.ReduceBursts = s.gate.Engagements()
 	}
 	st.Queued, st.Capacity = s.fl.Queue.Get()
 	if live {
@@ -444,7 +496,8 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 		sl := &slot{from: m.From, dest: m.Dest, disk: m.Disk, fin: m.Fin,
 			finBlocks: m.FinBlocks, finDisk: m.FinDisk}
 		for _, b := range m.Blocks {
-			sl.blocks = append(sl.blocks, &relayBlock{b: b, id: b.ID, offset: b.Offset, bytes: b.Bytes})
+			sl.blocks = append(sl.blocks, &relayBlock{b: b, id: b.ID, offset: b.Offset,
+				bytes: b.Bytes, enc: b.Enc, encBytes: b.EncBytes})
 		}
 		if s.cfg.Journal != nil {
 			// Write ahead, outside the lock: the message is fully durable
@@ -477,7 +530,10 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 		s.fl.In.Add(c.Now(), int64(need))
 		s.fl.DiskRefs.Add(c.Now(), int64(len(m.Disk)))
 		s.work.Signal()
-		if s.memBlocks > s.cfg.HighWater {
+		if s.gate != nil {
+			s.gate.Observe(s.memBlocks)
+		}
+		if s.memBlocks > s.spillAt {
 			s.spillWork.Signal()
 		}
 		if m.Fin && !s.cfg.Managed {
@@ -620,6 +676,7 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 			}
 			s.work.Wait(c)
 		}
+		encodeNow := s.gate != nil && s.gate.Observe(s.memBlocks)
 		s.lk.Unlock(c)
 
 		blocks := make([]*block.Block, 0, len(taken))
@@ -631,8 +688,12 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 				blocks = append(blocks, rb.b)
 				continue
 			}
+			readSize := rb.bytes
+			if rb.enc != 0 {
+				readSize = rb.encBytes
+			}
 			start := c.Now()
-			b, err := s.fs.ReadBlock(c, rb.id, rb.bytes)
+			b, err := s.fs.ReadBlock(c, rb.id, readSize)
 			unspillBusy += c.Now() - start
 			if err != nil {
 				unspillErr = fmt.Errorf("staging: re-reading spilled block %v: %w", rb.id, err)
@@ -649,10 +710,37 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 			_ = s.fs.RemoveBlock(c, rb.id)
 			b.Offset = rb.offset
 			b.OnDisk = false
+			if rb.enc != 0 {
+				// Restore the reduction stamp on platforms whose spill store
+				// keeps no payload (realenv's file header already did this).
+				b.Enc = rb.enc
+				b.EncBytes = rb.encBytes
+				b.Bytes = rb.bytes
+			}
 			blocks = append(blocks, b)
 		}
 		if s.cfg.Recorder != nil && unspillBusy > 0 {
 			s.cfg.Recorder.Add(s.traceName("forwarder"), "unspill", c.Now()-unspillBusy, c.Now())
+		}
+		if encodeNow && s.fwdEnc != nil {
+			// Compress-instead-of-spill rung: occupancy is past the old spill
+			// threshold, so burn forwarder CPU shrinking what goes on the wire
+			// before the raised PFS rung engages. Blocks that arrived already
+			// encoded pass through untouched.
+			for _, b := range blocks {
+				if b.Enc != 0 {
+					continue
+				}
+				s.env.CopyDelay(c, b.Bytes)
+				if err := s.fwdEnc.EncodeBlock(b); err != nil {
+					panic(fmt.Sprintf("staging: reducing relayed block: %v", err))
+				}
+			}
+		}
+		var rawBytes, wireBytes int64
+		for _, b := range blocks {
+			rawBytes += b.Bytes
+			wireBytes += b.WireBytes()
 		}
 
 		start := c.Now()
@@ -685,6 +773,10 @@ func (s *Stager) forwarderThread(c rt.Ctx) {
 		s.fl.SpillBusy.AddDur(c.Now(), unspillBusy)
 		s.fl.MessagesOut.Add(c.Now(), 1)
 		s.fl.Forwarded.Add(c.Now(), int64(len(blocks)))
+		s.fl.WireBytes.Add(c.Now(), wireBytes)
+		if saved := rawBytes - wireBytes; saved > 0 {
+			s.fl.SavedBytes.Add(c.Now(), saved)
+		}
 		if unspillErr != nil && s.err == nil {
 			s.err = unspillErr
 		}
@@ -709,7 +801,7 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 				s.lk.Unlock(c)
 				return
 			}
-			if s.memBlocks > s.cfg.HighWater {
+			if s.memBlocks > s.spillAt {
 				victim = s.newestResidentLocked()
 			}
 			if victim != nil {
@@ -733,6 +825,16 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 		var err error
 		var busy time.Duration
 		if s.cfg.Journal == nil {
+			if s.spillEnc != nil && victim.b.Enc == 0 {
+				// Even once the raised rung engages, shrink the spill I/O
+				// itself: the victim rides to the PFS (and later back and
+				// onto the wire) encoded. Stateless operators only — the
+				// spiller takes blocks out of stream order.
+				s.env.CopyDelay(c, victim.b.Bytes)
+				if encErr := s.spillEnc.EncodeBlock(victim.b); encErr != nil {
+					panic(fmt.Sprintf("staging: reducing spill victim: %v", encErr))
+				}
+			}
 			start := c.Now()
 			err = s.fs.WriteBlock(c, victim.b)
 			busy = c.Now() - start
@@ -756,11 +858,14 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 			s.lk.Unlock(c)
 			return
 		}
+		victim.enc = victim.b.Enc
+		victim.encBytes = victim.b.EncBytes
+		spillBytes := victim.b.WireBytes()
 		victim.b.Release() // recycle the payload: the spill copy is authoritative now
 		victim.b = nil
 		victim.spilled = true
 		s.fl.Spilled.Add(c.Now(), 1)
-		s.fl.SpilledBytes.Add(c.Now(), victim.bytes)
+		s.fl.SpilledBytes.Add(c.Now(), spillBytes)
 		s.setOccLocked(c, s.memBlocks-1)
 		s.space.Broadcast()
 		s.work.Broadcast() // a forwarder parked on a mid-spill head can move again

@@ -1,0 +1,69 @@
+package workflow
+
+import (
+	"testing"
+
+	"zipper/internal/core"
+	"zipper/internal/reduce"
+)
+
+// TestZipperReducedWireBytes runs the staged sim workflow with and without
+// in-transit reduction. The simulated platform must charge the fabric the
+// reduced byte counts: fewer bytes on the wire, the savings visible in
+// BytesReduced, and a virtual end time no worse than the raw run — the
+// SIM-SITU fidelity requirement the reduction model exists to satisfy.
+func TestZipperReducedWireBytes(t *testing.T) {
+	raw := stagingTestSpec()
+	raw.Zipper.RoutePolicy = core.RouteStaging
+	base := RunZipper(raw)
+	if !base.OK {
+		t.Fatalf("raw run failed: %s", base.Fail)
+	}
+	if base.BytesReduced != 0 {
+		t.Fatalf("raw run reports %d bytes reduced", base.BytesReduced)
+	}
+
+	for _, mode := range []struct {
+		name string
+		cfg  reduce.Config
+	}{
+		{"producer-side", reduce.Config{Operator: reduce.Compress}},
+		{"on-pressure", reduce.Config{Operator: reduce.Compress, OnPressure: true}},
+	} {
+		spec := stagingTestSpec()
+		spec.Zipper.RoutePolicy = core.RouteStaging
+		spec.Zipper.Reduce = mode.cfg
+		res := RunZipper(spec)
+		if !res.OK {
+			t.Fatalf("%s run failed: %s", mode.name, res.Fail)
+		}
+		if res.BlocksAnalyzed != base.BlocksAnalyzed {
+			t.Fatalf("%s: analyzed %d blocks, raw run analyzed %d",
+				mode.name, res.BlocksAnalyzed, base.BlocksAnalyzed)
+		}
+		if mode.cfg.OnPressure {
+			// The gate engages only under pressure; this workload may or
+			// may not cross it, but accounting must still balance.
+			if res.BytesOnWire+res.BytesReduced != base.BytesOnWire {
+				t.Fatalf("%s: %d on wire + %d reduced != raw run's %d",
+					mode.name, res.BytesOnWire, res.BytesReduced, base.BytesOnWire)
+			}
+			continue
+		}
+		if res.BytesOnWire >= base.BytesOnWire {
+			t.Fatalf("%s: %d bytes on wire, raw run charged %d — the simulator is not modeling reduction",
+				mode.name, res.BytesOnWire, base.BytesOnWire)
+		}
+		if res.BytesReduced == 0 {
+			t.Fatalf("%s: BytesReduced is zero", mode.name)
+		}
+		if res.BytesOnWire+res.BytesReduced != base.BytesOnWire {
+			t.Fatalf("%s: %d on wire + %d reduced != raw run's %d",
+				mode.name, res.BytesOnWire, res.BytesReduced, base.BytesOnWire)
+		}
+		if res.E2E > base.E2E {
+			t.Fatalf("%s: reduced run ended at %v, raw run at %v — cheaper transfers must not slow the sim",
+				mode.name, res.E2E, base.E2E)
+		}
+	}
+}

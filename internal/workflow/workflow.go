@@ -177,6 +177,13 @@ type Result struct {
 	// per-message overhead. BlocksRelayed counts blocks that traveled the
 	// in-transit staging tier.
 	BlocksSent, BlocksRelayed, BlocksStolen, Messages int64
+	// BytesOnWire totals the payload bytes every network traversal carried
+	// (producer sends plus stager forwards — a relayed block crosses twice),
+	// at encoded size when in-transit reduction was in effect, and
+	// BytesReduced what reduction kept off those traversals. The simulator
+	// charges the fabric the same reduced byte counts, so a reduced run's
+	// E2E reflects the cheaper transfers.
+	BytesOnWire, BytesReduced int64
 	// StagerSpills counts blocks the staging tier overflowed to its spill
 	// partitions; StagerMaxQueued is the deepest any stager's memory
 	// buffer ran.
@@ -532,6 +539,7 @@ func RunZipper(spec Spec) Result {
 			MaxBatchBlocks: zcfg.MaxBatchBlocks,
 			MaxBatchBytes:  zcfg.MaxBatchBytes,
 			Managed:        true,
+			Reduce:         zcfg.Reduce,
 			Recorder:       r.rec,
 		}
 		spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", slot))
@@ -631,6 +639,7 @@ func RunZipper(spec Spec) Result {
 				MaxBatchBlocks: zcfg.MaxBatchBlocks,
 				MaxBatchBytes:  zcfg.MaxBatchBytes,
 				Producers:      n,
+				Reduce:         zcfg.Reduce,
 				Recorder:       r.rec,
 			}
 			spill := simenv.NewStore(r.fs, fmt.Sprintf("zipper-stage%d", s))
@@ -813,6 +822,8 @@ func RunZipper(spec Spec) Result {
 		res.BlocksRelayed += st.BlocksRelayed
 		res.BlocksStolen += st.BlocksStolen
 		res.Messages += st.Messages
+		res.BytesOnWire += st.BytesOnWire
+		res.BytesReduced += st.BytesReduced
 		if st.SendBusy > maxSend {
 			maxSend = st.SendBusy
 		}
@@ -843,6 +854,8 @@ func RunZipper(spec Spec) Result {
 	for _, s := range allStagers {
 		st := s.FinalStats()
 		res.StagerSpills += st.BlocksSpilled
+		res.BytesOnWire += st.BytesOnWire
+		res.BytesReduced += st.BytesReduced
 		res.StagerRelayed = append(res.StagerRelayed, st.BlocksIn)
 		if st.MaxQueued > res.StagerMaxQueued {
 			res.StagerMaxQueued = st.MaxQueued

@@ -1,0 +1,153 @@
+package zipper
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWireValidation pins the typed rejections the wire-path options add:
+// reduction needs a reachable staging tier, delta encoding needs a single
+// in-order relay path, and pool-managed tiers cannot run over TCP.
+func TestWireValidation(t *testing.T) {
+	dir := t.TempDir()
+	bad := []struct {
+		name  string
+		field string
+		cfg   Config
+	}{
+		{"reduce without stagers", "Staging.Reduce",
+			Config{Producers: 1, Consumers: 1, SpoolDir: dir,
+				Staging: StagingConfig{Reduce: ReduceConfig{Operator: ReduceCompress}}}},
+		{"reduce with RouteDirect", "Staging.Reduce",
+			Config{Producers: 2, Consumers: 1, SpoolDir: dir,
+				Staging: StagingConfig{Stagers: 1, Reduce: ReduceConfig{Operator: ReduceCompress}}}},
+		{"stride without a stride", "Staging.Reduce",
+			Config{Producers: 2, Consumers: 1, SpoolDir: dir,
+				Staging: StagingConfig{Stagers: 1, RoutePolicy: RouteStaging,
+					Reduce: ReduceConfig{Operator: ReduceStride}}}},
+		{"delta over an elastic tier", "Staging.Reduce",
+			Config{Producers: 4, Consumers: 1, SpoolDir: dir,
+				Staging: StagingConfig{Stagers: 2, RoutePolicy: RouteStaging,
+					Elastic: ElasticConfig{Enabled: true},
+					Reduce:  ReduceConfig{Operator: ReduceDelta}}}},
+		{"delta over a fault-protected tier", "Staging.Reduce",
+			Config{Producers: 4, Consumers: 1, SpoolDir: dir,
+				Staging: StagingConfig{Stagers: 2, RoutePolicy: RouteStaging,
+					Reduce: ReduceConfig{Operator: ReduceDelta}},
+				Fault: FaultConfig{Enabled: true}}},
+		{"delta under load-aware placement", "Staging.Reduce",
+			Config{Producers: 4, Consumers: 1, SpoolDir: dir,
+				Staging: StagingConfig{Stagers: 2, RoutePolicy: RouteStaging,
+					Placement: LeastOccupancy,
+					Reduce:    ReduceConfig{Operator: ReduceDelta}}}},
+		{"elastic tier over TCP", "TCPAddr",
+			Config{Producers: 4, Consumers: 1, SpoolDir: dir, TCPAddr: "127.0.0.1:0",
+				Staging: StagingConfig{Stagers: 2, RoutePolicy: RouteStaging,
+					Elastic: ElasticConfig{Enabled: true}}}},
+		{"fault plane over TCP", "TCPAddr",
+			Config{Producers: 4, Consumers: 1, SpoolDir: dir, TCPAddr: "127.0.0.1:0",
+				Staging: StagingConfig{Stagers: 2, RoutePolicy: RouteStaging},
+				Fault:   FaultConfig{Enabled: true}}},
+		{"placement-directed tier over TCP", "TCPAddr",
+			Config{Producers: 4, Consumers: 1, SpoolDir: dir, TCPAddr: "127.0.0.1:0",
+				Staging: StagingConfig{Stagers: 2, RoutePolicy: RouteStaging,
+					Placement: HashRing}}},
+	}
+	for _, tc := range bad {
+		_, err := NewJob(tc.cfg)
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", tc.name, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("%s: rejected field %q, want %q", tc.name, ce.Field, tc.field)
+		}
+	}
+}
+
+// TestJobTCPStagedReduced runs a complete job over real TCP sockets with
+// producer-side compression through the staging tier: the public-API
+// integration of frame v5 (vectored writes, encoded descriptors) plus
+// in-transit reduction. Every block must arrive intact and decoded, and the
+// byte accounting must show the reduction on both wire legs.
+func TestJobTCPStagedReduced(t *testing.T) {
+	job, err := NewJob(Config{
+		Producers: 2, Consumers: 1, SpoolDir: t.TempDir(),
+		TCPAddr: "127.0.0.1:0",
+		Staging: StagingConfig{Stagers: 1, BufferBlocks: 16, RoutePolicy: RouteStaging,
+			Reduce: ReduceConfig{Operator: ReduceCompress}},
+		BufferBlocks: 8, MaxBatchBlocks: 4, DisableSteal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 100
+	const blockBytes = 1024
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := job.Producer(i)
+			for s := 0; s < blocks; s++ {
+				data := NewPayload(blockBytes)
+				for j := range data {
+					data[j] = byte(i ^ s) // constant per block: compresses hard
+				}
+				p.Write(s, 0, data)
+			}
+			p.Close()
+		}()
+	}
+	n := 0
+	for {
+		blk, ok := job.Consumer(0).Read()
+		if !ok {
+			break
+		}
+		if len(blk.Data) != blockBytes {
+			t.Fatalf("block %+v arrived with %d bytes, want %d", blk.ID, len(blk.Data), blockBytes)
+		}
+		want := byte(blk.ID.Rank ^ blk.ID.Step)
+		for _, v := range blk.Data {
+			if v != want {
+				t.Fatalf("block %+v corrupted over the TCP relay", blk.ID)
+			}
+		}
+		blk.Release()
+		n++
+		time.Sleep(50 * time.Microsecond)
+	}
+	wg.Wait()
+	job.Wait()
+	if err := job.Consumer(0).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2*blocks {
+		t.Fatalf("analyzed %d blocks, want %d", n, 2*blocks)
+	}
+	st := job.Stats()
+	if st.BlocksRelayed != 2*blocks || st.BlocksSent != 0 {
+		t.Fatalf("channel split sent=%d relayed=%d, want 0/%d", st.BlocksSent, st.BlocksRelayed, 2*blocks)
+	}
+	raw := int64(2 * blocks * blockBytes)
+	// Two wire legs (producer→stager over TCP, stager→consumer loopback),
+	// both carrying the encoded payload.
+	if st.BytesOnWire >= 2*raw {
+		t.Fatalf("BytesOnWire=%d, want under the %d two raw legs would cost", st.BytesOnWire, 2*raw)
+	}
+	if st.BytesReduced == 0 {
+		t.Fatal("BytesReduced is zero despite compression on a constant payload")
+	}
+	if st.BytesOnWire+st.BytesReduced != 2*raw {
+		t.Fatalf("accounting leak: %d on wire + %d reduced != %d", st.BytesOnWire, st.BytesReduced, 2*raw)
+	}
+}

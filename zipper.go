@@ -86,6 +86,7 @@ import (
 	"zipper/internal/fault"
 	"zipper/internal/flow"
 	"zipper/internal/place"
+	"zipper/internal/reduce"
 	"zipper/internal/rt"
 	"zipper/internal/rt/realenv"
 	"zipper/internal/staging"
@@ -198,7 +199,45 @@ type StagingConfig struct {
 	// can reach the tier. Off (the default), the staging tier is the fixed
 	// pool of earlier revisions, unchanged.
 	Elastic ElasticConfig
+	// Reduce selects in-transit payload reduction for relayed blocks. It
+	// needs Stagers ≥ 1 and a RoutePolicy that can reach the tier (the
+	// operators apply at relay time; the direct and file-system paths
+	// always carry raw payloads). Off (the default), every byte travels
+	// unreduced — byte-identical to earlier revisions.
+	Reduce ReduceConfig
 }
+
+// ReduceConfig selects and tunes in-transit payload reduction — the
+// bandwidth-limiting operator applied to relayed blocks on their way through
+// the staging tier (see the reduce package). The zero value disables
+// reduction. With OnPressure unset each producer's sender thread encodes
+// every batch it relays; with OnPressure set the producer sends raw and the
+// stager encodes only while its buffer occupancy is above the spill
+// high-water mark — the "compress instead of spill" rung, which also pushes
+// the actual PFS spill threshold higher so bursts burn CPU before they burn
+// file-system bandwidth.
+type ReduceConfig = reduce.Config
+
+// ReduceOperator names one in-transit payload reduction operator.
+type ReduceOperator = reduce.Kind
+
+const (
+	// ReduceNone disables payload reduction (the default).
+	ReduceNone = reduce.None
+	// ReduceCompress flate-compresses each relayed block, skipping blocks
+	// that don't shrink. Lossless; the safe default for unknown payloads.
+	ReduceCompress = reduce.Compress
+	// ReduceDelta XOR-encodes each block against the previous step of the
+	// same (rank, seq) stream, then flate-compresses the sparse residue.
+	// Lossless; strongest on smooth time-evolving fields. It needs a single
+	// in-order relay path per stream, so it is rejected with elastic,
+	// fault-protected, or non-RankAffine-placed tiers.
+	ReduceDelta = reduce.Delta
+	// ReduceStride keeps every k-th float64 word (ReduceConfig.Stride).
+	// Lossy: the consumer sees a nearest-left expansion. For analyses that
+	// subsample anyway.
+	ReduceStride = reduce.Stride
+)
 
 // FaultConfig enables and tunes the survivable data plane — leases,
 // heartbeats, write-ahead journaling, and spool replay over the staging
@@ -297,6 +336,19 @@ type Config struct {
 	MaxBatchBytes int64
 	// Window is each consumer's receive window in messages (default 4).
 	Window int
+	// TCPAddr, when non-empty, carries every producer→endpoint message over
+	// real TCP sockets instead of the in-process channel network: NewJob
+	// binds a frame-v5 listener to this address ("127.0.0.1:0" picks a free
+	// port), hosts the consumer and stager inboxes behind it, and gives each
+	// producer its own dialed connection. Stagers forward to consumers over
+	// the listener's loopback. Endpoints still share the process; what
+	// changes is that payloads traverse the kernel TCP stack through the
+	// vectored zero-copy frame writer — the configuration cmd/benchwire
+	// measures. Pool-managed staging tiers (Elastic, Fault, or a
+	// non-RankAffine Placement) are rejected over TCP: their Retire fencing
+	// needs delivery ordering across endpoints that concurrent TCP streams
+	// do not provide.
+	TCPAddr string
 	// Staging groups the in-transit staging tier's configuration. The flat
 	// fields below (Stagers through Elastic) are this group's deprecated
 	// aliases, kept so existing callers compile unchanged: a zero field
@@ -357,6 +409,12 @@ type Job struct {
 	prod  []*Producer
 	cons  []*Consumer
 	stage []*staging.Stager // fixed staging tier (Elastic off)
+
+	// Real-TCP wire mode (Config.TCPAddr): the listener hosting every
+	// consumer and stager inbox, plus each producer's dialed connection.
+	// Both nil on the in-process network.
+	ln    *realenv.TCPListener
+	dials []*realenv.TCPTransport
 
 	// Elastic staging tier state. slots maps each reserved endpoint slot to
 	// its current stager instance (a retired slot keeps its last instance
@@ -527,6 +585,39 @@ func (cfg Config) validate() error {
 	if err := cfg.Elastic.Validate(ceiling); err != nil {
 		return &ConfigError{Field: "Staging.Elastic", Reason: err.Error()}
 	}
+	if err := cfg.Staging.Reduce.Validate(); err != nil {
+		return &ConfigError{Field: "Staging.Reduce", Reason: err.Error()}
+	}
+	if cfg.Staging.Reduce.Enabled() {
+		if cfg.Staging.Stagers < 1 || cfg.RoutePolicy == RouteDirect {
+			return &ConfigError{Field: "Staging.Reduce",
+				Reason: fmt.Sprintf("reduction applies at relay time; it needs Stagers ≥ 1 and a RoutePolicy that can reach the tier (valid: %v, %v, %v)",
+					RouteStaging, RouteHybrid, RouteAdaptive)}
+		}
+		if cfg.Staging.Reduce.Operator == ReduceDelta &&
+			(cfg.Elastic.Enabled || cfg.Fault.Enabled || cfg.Placement != RankAffine) {
+			return &ConfigError{Field: "Staging.Reduce",
+				Reason: "delta encoding needs a single in-order relay path per stream: it cannot run with Elastic, Fault, or a non-RankAffine Placement"}
+		}
+	}
+	if cfg.TCPAddr != "" {
+		// The frame codec's Retire caveat, enforced: a pool-managed tier's
+		// fencing assumes the Retire message is provably the last delivery
+		// to an endpoint, which holds on the in-process network but not
+		// across independently flushed TCP streams.
+		switch {
+		case cfg.Elastic.Enabled:
+			return &ConfigError{Field: "TCPAddr",
+				Reason: "elastic staging is pool-managed; its Retire fencing is unsound over TCP streams"}
+		case cfg.Fault.Enabled:
+			return &ConfigError{Field: "TCPAddr",
+				Reason: "the fault plane is pool-managed; its eviction fencing is unsound over TCP streams"}
+		case cfg.Placement != RankAffine:
+			return &ConfigError{Field: "TCPAddr",
+				Reason: fmt.Sprintf("placement %v runs the tier pool-managed; its Retire fencing is unsound over TCP streams (only %v works over TCP)",
+					cfg.Placement, RankAffine)}
+		}
+	}
 	if cfg.Fault.Enabled {
 		if cfg.Staging.Stagers < 1 {
 			return &ConfigError{Field: "Fault",
@@ -556,7 +647,6 @@ func NewJob(cfg Config) (*Job, error) {
 	if window <= 0 {
 		window = 4
 	}
-	net := realenv.NewNetwork(cfg.Consumers+cfg.Stagers, window)
 	fs, err := realenv.NewFileStore(cfg.SpoolDir)
 	if err != nil {
 		return nil, err
@@ -570,12 +660,33 @@ func NewJob(cfg Config) (*Job, error) {
 		DisableSteal:         cfg.DisableSteal,
 		RoutePolicy:          cfg.RoutePolicy,
 		Adaptive:             cfg.Adaptive,
+		Reduce:               cfg.Staging.Reduce,
 		Recorder:             cfg.Recorder,
 	}
 	if cfg.Preserve {
 		ccfg.Mode = core.Preserve
 	}
-	j := &Job{env: env, cfg: cfg, net: net, fs: fs}
+	j := &Job{env: env, cfg: cfg, fs: fs}
+	// The wire: the in-process channel network by default, or — with
+	// TCPAddr set — a frame-v5 TCP listener hosting every consumer and
+	// stager inbox, each producer on its own dialed connection, and the
+	// stagers forwarding over the listener's loopback.
+	var inboxAt func(i int) rt.Inbox
+	var relayTr rt.Transport
+	if cfg.TCPAddr == "" {
+		net := realenv.NewNetwork(cfg.Consumers+cfg.Stagers, window)
+		j.net = net
+		inboxAt = net.Inbox
+		relayTr = net
+	} else {
+		ln, err := realenv.ListenTCP(cfg.TCPAddr, cfg.Consumers+cfg.Stagers, window)
+		if err != nil {
+			return nil, err
+		}
+		j.ln = ln
+		inboxAt = ln.Inbox
+		relayTr = ln.Loopback()
+	}
 	placed := cfg.Placement != RankAffine
 	for q := 0; q < cfg.Consumers; q++ {
 		n := 0
@@ -590,7 +701,7 @@ func NewJob(cfg Config) (*Job, error) {
 			n = cfg.Producers
 		}
 		j.cons = append(j.cons, &Consumer{
-			c:   core.NewConsumer(env, ccfg, q, n, net.Inbox(q), fs),
+			c:   core.NewConsumer(env, ccfg, q, n, inboxAt(q), fs),
 			ctx: env.Ctx(),
 		})
 	}
@@ -695,9 +806,10 @@ func NewJob(cfg Config) (*Job, error) {
 				MaxBatchBlocks: cfg.MaxBatchBlocks,
 				MaxBatchBytes:  cfg.MaxBatchBytes,
 				Producers:      n,
+				Reduce:         cfg.Staging.Reduce,
 				Recorder:       cfg.Recorder,
 			}
-			j.stage = append(j.stage, staging.NewStager(env, scfg, s, net.Inbox(cfg.Consumers+s), net, spill))
+			j.stage = append(j.stage, staging.NewStager(env, scfg, s, inboxAt(cfg.Consumers+s), relayTr, spill))
 		}
 		ccfg.StagerLevel = func(addr int) *flow.Level {
 			return j.stage[addr-cfg.Consumers].Level()
@@ -715,12 +827,34 @@ func NewJob(cfg Config) (*Job, error) {
 		if j.pool == nil && stagers > 0 {
 			stager = cfg.Consumers + p%stagers
 		}
+		var tr rt.Transport = j.net
+		if j.ln != nil {
+			t, err := realenv.DialTCP(j.ln.Addr())
+			if err != nil {
+				j.closeWire()
+				return nil, err
+			}
+			j.dials = append(j.dials, t)
+			tr = t
+		}
 		j.prod = append(j.prod, &Producer{
-			p:   core.NewStagedProducer(env, ccfg, p, p*cfg.Consumers/cfg.Producers, stager, net, fs),
+			p:   core.NewStagedProducer(env, ccfg, p, p*cfg.Consumers/cfg.Producers, stager, tr, fs),
 			ctx: env.Ctx(),
 		})
 	}
 	return j, nil
+}
+
+// closeWire tears down the real-TCP wire, if the job has one: every
+// producer's dialed connection, then the listener. A no-op on the
+// in-process network.
+func (j *Job) closeWire() {
+	for _, t := range j.dials {
+		_ = t.Close()
+	}
+	if j.ln != nil {
+		_ = j.ln.Close()
+	}
 }
 
 // spawnStager builds and starts a managed stager endpoint on reserved slot
@@ -738,6 +872,7 @@ func (j *Job) spawnStager(slot int) (*staging.Stager, error) {
 		MaxBatchBlocks: j.cfg.MaxBatchBlocks,
 		MaxBatchBytes:  j.cfg.MaxBatchBytes,
 		Managed:        true,
+		Reduce:         j.cfg.Staging.Reduce,
 		Recorder:       j.cfg.Recorder,
 	}
 	in := &jobStager{slot: slot, spill: spill}
@@ -979,6 +1114,7 @@ func (j *Job) Wait() {
 	for _, c := range j.cons {
 		c.c.Wait(c.ctx)
 	}
+	j.closeWire()
 }
 
 // StagerStats summarizes one in-transit stager endpoint's activity,
@@ -990,9 +1126,12 @@ type StagerStats struct {
 	BlocksIn        int64 // blocks received from producers
 	BlocksForwarded int64 // blocks delivered to consumers
 	BlocksSpilled   int64 // blocks that overflowed to the stager's spill partition
-	SpilledBytes    int64 // payload bytes that overflowed to the spill partition
+	SpilledBytes    int64 // bytes that overflowed to the spill partition (encoded size when reduced)
 	MessagesIn      int64 // relayed mixed messages received
 	MessagesOut     int64 // re-batched mixed messages forwarded
+	BytesOnWire     int64 // payload bytes forwarded to consumers (encoded size when reduced)
+	BytesReduced    int64 // payload bytes reduction kept off the wire (raw − encoded)
+	ReduceBursts    int64 // times the compress-instead-of-spill gate engaged
 	MaxQueued       int64 // peak in-memory buffer occupancy in blocks
 
 	// Drained reports an elastic-tier instance retired from the pool (by a
@@ -1034,7 +1173,15 @@ type JobStats struct {
 	BlocksAnalyzed int64 // delivered to the analysis applications
 	BlocksSpilled  int64 // overflowed inside stagers
 	Messages       int64 // producer mixed messages (including Fins)
-	WriteStall     float64
+	// BytesOnWire totals the payload bytes every network traversal carried
+	// (producer sends plus stager forwards — a relayed block crosses the
+	// wire twice and is counted twice), at encoded size when reduction was
+	// in effect. BytesReduced is what reduction kept off those traversals;
+	// with reduction off both producer and stager legs carry raw bytes and
+	// BytesReduced is 0.
+	BytesOnWire  int64
+	BytesReduced int64
+	WriteStall   float64
 	// RelayImbalance is the max/mean ratio of blocks received per stager
 	// endpoint across the whole staging tier (retired elastic instances
 	// included): 1.0 means every stager carried an equal share of the relay
@@ -1085,6 +1232,8 @@ func (j *Job) Stats() JobStats {
 		js.BlocksRelayed += s.BlocksRelayed
 		js.BlocksStolen += s.BlocksStolen
 		js.Messages += s.Messages
+		js.BytesOnWire += s.BytesOnWire
+		js.BytesReduced += s.BytesReduced
 		js.WriteStall += s.WriteStall
 		js.WriteRate += s.WriteRate
 		js.DeliverRate += s.DeliverRate
@@ -1116,6 +1265,8 @@ func (j *Job) Stats() JobStats {
 			}
 			js.Stagers = append(js.Stagers, ps)
 			js.BlocksSpilled += s.BlocksSpilled
+			js.BytesOnWire += s.BytesOnWire
+			js.BytesReduced += s.BytesReduced
 			if j.scaler == nil {
 				// Placement-directed fixed tier: every endpoint is billed to
 				// its finish time, like the legacy fixed pool.
@@ -1139,6 +1290,8 @@ func (j *Job) Stats() JobStats {
 		s := st.Stats(ctx)
 		js.Stagers = append(js.Stagers, stagerStats(s, false))
 		js.BlocksSpilled += s.BlocksSpilled
+		js.BytesOnWire += s.BytesOnWire
+		js.BytesReduced += s.BytesReduced
 		js.StagerNodeSeconds += s.Finished.Seconds()
 	}
 	if n := len(js.Stagers); n > 0 {
@@ -1172,6 +1325,9 @@ func stagerStats(s staging.Stats, drained bool) StagerStats {
 		SpilledBytes:    s.SpilledBytes,
 		MessagesIn:      s.MessagesIn,
 		MessagesOut:     s.MessagesOut,
+		BytesOnWire:     s.BytesOnWire,
+		BytesReduced:    s.BytesReduced,
+		ReduceBursts:    s.ReduceBursts,
 		MaxQueued:       s.MaxQueued,
 		Drained:         drained,
 		Queued:          s.Queued,
@@ -1206,6 +1362,8 @@ func (p *Producer) Stats() ProducerStats {
 		BlocksRelayed: s.BlocksRelayed,
 		BlocksStolen:  s.BlocksStolen,
 		Messages:      s.Messages,
+		BytesOnWire:   s.BytesOnWire,
+		BytesReduced:  s.BytesReduced,
 		WriteStall:    s.WriteStall.Seconds(),
 		WriteRate:     s.WriteRate,
 		DeliverRate:   s.DeliverRate,
@@ -1222,8 +1380,10 @@ type ProducerStats struct {
 	// Messages counts mixed messages sent, including the final Fin. With
 	// MaxBatchBlocks > 1 this falls below BlocksSent as batches form; the
 	// ratio Messages/BlocksSent is the batching efficiency.
-	Messages   int64
-	WriteStall float64 // seconds Write spent blocked on a full buffer
+	Messages     int64
+	BytesOnWire  int64   // payload bytes this producer put on the network paths (encoded size when reduced)
+	BytesReduced int64   // payload bytes reduction kept off the wire (raw − encoded)
+	WriteStall   float64 // seconds Write spent blocked on a full buffer
 	// Live EWMA gauges at snapshot time.
 	WriteRate   float64 // blocks/s the application is writing
 	DeliverRate float64 // blocks/s leaving by any channel
