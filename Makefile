@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement bench-failover bench-wire
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement bench-failover bench-wire bench-control
 
 ci: fmt vet build test
 
@@ -60,3 +60,9 @@ bench-failover:
 # raw vs compressed bytes over a real-TCP staged job).
 bench-wire:
 	$(GO) run ./cmd/benchwire -o BENCH_wire.json
+
+# Regenerate the committed multi-job control-plane baseline (shared fleet vs
+# peak-provisioned private tiers; gates ≥25% node-second saving, the
+# high-priority tenant within 1.5x its fair-share stall yardstick, zero loss).
+bench-control:
+	$(GO) run ./cmd/benchcontrol -o BENCH_control.json

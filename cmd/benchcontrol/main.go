@@ -1,0 +1,221 @@
+// benchcontrol records the multi-job control-plane baseline: the shared
+// heterogeneous fleet scenario (the same one `zippertrace fleet` renders —
+// a steady normal-priority job, a latency-sensitive high-priority job, and
+// a spill-heavy low-priority job that joins the running fleet late) versus
+// each of those jobs running alone on its own peak-provisioned private
+// tier. Both sides run on the simulated platform in virtual time, so every
+// number in the report is bit-for-bit reproducible.
+//
+// The consolidation bargain, gated on both axes:
+//
+//   - Aggregate stager node-seconds (each stager billed to its finish time,
+//     summed across every tier that had to exist) must drop at least 25%
+//     when the jobs share one fleet instead of each holding a private one.
+//   - The high-priority tenant's worst producer write-stall — the max is
+//     the p99 proxy at this producer count — must stay within 1.5x its
+//     private-tier baseline: consolidation is only a bargain if the
+//     latency-sensitive job doesn't pay for it.
+//   - Zero blocks lost everywhere; the low-priority tenant may stall (that
+//     is the preemption working) but never loses data.
+//
+// Usage:
+//
+//	benchcontrol [-steps N] [-o BENCH_control.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"zipper/internal/exp"
+	"zipper/internal/workflow"
+)
+
+// JobRow is one tenant's outcome inside a fleet run.
+type JobRow struct {
+	Name          string  `json:"name"`
+	Priority      string  `json:"priority"`
+	BlocksWritten int64   `json:"blocks_written"`
+	BlocksSpilled int64   `json:"blocks_spilled"`
+	BlocksLost    int64   `json:"blocks_lost"`
+	WriteStallS   float64 `json:"write_stall_s"`
+	Preempted     int     `json:"preempted"`
+}
+
+// FleetRow is one fleet execution: the shared run, or one job's private tier.
+type FleetRow struct {
+	Variant     string   `json:"variant"`
+	Stagers     int      `json:"stagers"`
+	E2ES        float64  `json:"e2e_s"`
+	NodeSeconds float64  `json:"stager_node_seconds"`
+	Preemptions int      `json:"preemptions"`
+	Spills      int64    `json:"stager_spills"`
+	Jobs        []JobRow `json:"jobs"`
+}
+
+// Report is the file layout of BENCH_control.json.
+type Report struct {
+	Steps              int    `json:"steps"`
+	Stagers            int    `json:"stagers"`
+	StagerBufferBlocks int    `json:"stager_buffer_blocks"`
+	GoVersion          string `json:"go_version"`
+	// Shared is the one consolidated fleet; Private is each job alone on an
+	// identically provisioned tier (the capacity it would have to hold
+	// without a control plane to multiplex it).
+	Shared  FleetRow   `json:"shared"`
+	Private []FleetRow `json:"private"`
+	// PrivateNodeSeconds is the private tiers' aggregate cost and SavingFrac
+	// the consolidation saving: 1 - shared/private.
+	PrivateNodeSeconds float64 `json:"private_node_seconds"`
+	SavingFrac         float64 `json:"saving_frac"`
+	// Yardstick is the high-priority job alone on a fair-share-sized tier
+	// (its slice of the shared fleet, not the peak-provisioned private one).
+	// The isolation gate compares against this: the shared run adds only
+	// interference, not capacity, so any stall blow-up beyond it is the
+	// other tenants' fault.
+	Yardstick FleetRow `json:"stall_yardstick"`
+}
+
+func run(variant string, spec workflow.FleetSpec) (FleetRow, error) {
+	spec.Sample = 0 // the bench wants outcomes, not the timeline
+	res := workflow.RunFleet(spec)
+	if !res.OK {
+		return FleetRow{}, fmt.Errorf("%s: %s", variant, res.Fail)
+	}
+	row := FleetRow{
+		Variant: variant, Stagers: spec.Stagers,
+		E2ES: res.E2E.Seconds(), NodeSeconds: res.StagerNodeSeconds,
+		Preemptions: res.Preemptions, Spills: res.StagerSpills,
+	}
+	for _, j := range res.Jobs {
+		if j.BlocksLost != 0 {
+			return FleetRow{}, fmt.Errorf("%s: job %s lost %d blocks", variant, j.Name, j.BlocksLost)
+		}
+		if j.BlocksAnalyzed != j.BlocksWritten || j.BlocksWritten == 0 {
+			return FleetRow{}, fmt.Errorf("%s: job %s analyzed %d of %d blocks",
+				variant, j.Name, j.BlocksAnalyzed, j.BlocksWritten)
+		}
+		row.Jobs = append(row.Jobs, JobRow{
+			Name:          j.Name,
+			BlocksWritten: j.BlocksWritten, BlocksSpilled: j.BlocksSpilled,
+			BlocksLost:  j.BlocksLost,
+			WriteStallS: j.WriteStall.Seconds(), Preempted: j.Preempted,
+		})
+	}
+	return row, nil
+}
+
+func main() {
+	steps := flag.Int("steps", 6, "time steps per job")
+	out := flag.String("o", "BENCH_control.json", "output file")
+	flag.Parse()
+
+	spec := exp.FleetScenario(*steps)
+	rep := Report{
+		Steps: *steps, Stagers: spec.Stagers,
+		StagerBufferBlocks: spec.StagerBufferBlocks,
+		GoVersion:          runtime.Version(),
+	}
+	shared, err := run("shared", spec)
+	if err != nil {
+		fatal(err)
+	}
+	// The scenario's jobs carry their priority in the spec, not the result;
+	// attach it by name for the report.
+	for i := range shared.Jobs {
+		for _, j := range spec.Jobs {
+			if j.Name == shared.Jobs[i].Name {
+				shared.Jobs[i].Priority = j.Quota.Priority.String()
+			}
+		}
+	}
+	rep.Shared = shared
+	fmt.Printf("%-14s stagers=%d e2e=%.3fs node-seconds=%.2f preemptions=%d\n",
+		shared.Variant, shared.Stagers, shared.E2ES, shared.NodeSeconds, shared.Preemptions)
+
+	// Private baselines: each job alone, from t=0, on a tier provisioned
+	// exactly like the shared one — without a control plane to multiplex,
+	// every job holds that capacity for its whole runtime.
+	for _, job := range spec.Jobs {
+		pspec := exp.FleetScenario(*steps)
+		job.StartAfter = 0
+		pspec.Jobs = []workflow.FleetJob{job}
+		row, err := run("private:"+job.Name, pspec)
+		if err != nil {
+			fatal(err)
+		}
+		row.Jobs[0].Priority = job.Quota.Priority.String()
+		rep.Private = append(rep.Private, row)
+		rep.PrivateNodeSeconds += row.NodeSeconds
+		fmt.Printf("%-14s stagers=%d e2e=%.3fs node-seconds=%.2f stall=%.4fs\n",
+			row.Variant, row.Stagers, row.E2ES, row.NodeSeconds, row.Jobs[0].WriteStallS)
+	}
+	rep.SavingFrac = 1 - rep.Shared.NodeSeconds/rep.PrivateNodeSeconds
+	fmt.Printf("consolidation: %.2f shared vs %.2f private node-seconds — %.0f%% saving\n",
+		rep.Shared.NodeSeconds, rep.PrivateNodeSeconds, rep.SavingFrac*100)
+
+	// The isolation yardstick: the high-priority job alone on its fair share
+	// of the shared fleet (1 of the Stagers stagers, same per-stager buffer).
+	// The peak-provisioned private rows above hold double quiet's shared-run
+	// quota, so their stall would flatter the comparison.
+	var yardName string
+	for _, job := range spec.Jobs {
+		if job.Quota.Priority.String() != "high" {
+			continue
+		}
+		yspec := exp.FleetScenario(*steps)
+		job.StartAfter = 0
+		yspec.Jobs = []workflow.FleetJob{job}
+		yspec.Stagers = (spec.Stagers + len(spec.Jobs) - 1) / len(spec.Jobs)
+		row, err := run("yardstick:"+job.Name, yspec)
+		if err != nil {
+			fatal(err)
+		}
+		row.Jobs[0].Priority = job.Quota.Priority.String()
+		rep.Yardstick = row
+		yardName = job.Name
+		fmt.Printf("%-14s stagers=%d e2e=%.3fs stall=%.4fs\n",
+			row.Variant, row.Stagers, row.E2ES, row.Jobs[0].WriteStallS)
+	}
+
+	// Gate 1: the fleet must earn its keep — ≥25% fewer stager node-seconds
+	// than the sum of private tiers.
+	if rep.SavingFrac < 0.25 {
+		fatal(fmt.Errorf("consolidation regression: %.2f shared vs %.2f private node-seconds (%.0f%% saving, want ≥ 25%%)",
+			rep.Shared.NodeSeconds, rep.PrivateNodeSeconds, rep.SavingFrac*100))
+	}
+	// Gate 2: the high-priority tenant must not pay for the consolidation —
+	// its worst write-stall stays within 1.5x the fair-share yardstick's.
+	for _, j := range rep.Shared.Jobs {
+		if j.Name != yardName {
+			continue
+		}
+		base := rep.Yardstick.Jobs[0].WriteStallS
+		if j.WriteStallS > base*1.5 {
+			fatal(fmt.Errorf("isolation regression: %s stalled %.4fs on the shared fleet vs %.4fs on its fair-share yardstick (> 1.5x)",
+				j.Name, j.WriteStallS, base))
+		}
+	}
+	// Gate 3: the preemption story must actually appear — the low-priority
+	// flood is contained by eviction, not luck.
+	if rep.Shared.Preemptions == 0 {
+		fatal(fmt.Errorf("the shared run fired no preemptions — the scenario lost its pressure story"))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcontrol:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,12 @@
 // Usage:
 //
 //	benchplacement [-o BENCH_placement.json]
+//
+// Caveat: the measurement needs concurrent producer/stager/consumer
+// progress, so GOMAXPROCS is floored at 8 (a warning is printed when the
+// floor engages). On a 1-core box the un-floored pipeline serializes into
+// lockstep — no queue ever forms and no occupancy signal exists — so
+// numbers from such hosts describe the scheduler, not the placement plane.
 package main
 
 import (
@@ -94,8 +100,11 @@ func run(sc benchharness.PlacementScenario, v benchharness.PlacementVariant) (Ro
 func main() {
 	out := flag.String("o", "BENCH_placement.json", "output file")
 	flag.Parse()
-	if runtime.GOMAXPROCS(0) < minProcs {
+	if procs := runtime.GOMAXPROCS(0); procs < minProcs {
 		runtime.GOMAXPROCS(minProcs)
+		fmt.Fprintf(os.Stderr,
+			"benchplacement: raising GOMAXPROCS %d -> %d: the pipeline's thread interleaving is the thing being measured; on few-core hosts the numbers reflect scheduling, not placement\n",
+			procs, minProcs)
 	}
 
 	sc := benchharness.PlacementScenarioDefault

@@ -13,6 +13,7 @@
 //	zippertrace elastic [-steps N]              # autoscaled stager pool
 //	zippertrace placement [-steps N]            # endpoint placement policies
 //	zippertrace failover [-steps N]             # crash, replay, respawn
+//	zippertrace fleet [-steps N]                # multi-job shared-fleet control plane
 package main
 
 import (
@@ -54,6 +55,8 @@ func main() {
 		fmt.Print(exp.FormatPlacement(exp.RunPlacementSweep(*steps)))
 	case "failover":
 		print1(exp.RunFailoverTrace(*steps))
+	case "fleet":
+		print1(exp.RunFleetTrace(*steps))
 	case "compare-cfd", "compare-lammps":
 		app, window := "cfd", 1300*time.Millisecond
 		if cmd == "compare-lammps" {
@@ -79,5 +82,5 @@ func print1(f exp.TraceFigure) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|elastic|placement|failover|compare-cfd|compare-lammps [-cores N] [-steps N]")
+	fmt.Fprintln(os.Stderr, "usage: zippertrace dimes|flexpath|decaf|staging|elastic|placement|failover|fleet|compare-cfd|compare-lammps [-cores N] [-steps N]")
 }

@@ -1,0 +1,477 @@
+package zipper
+
+// Multi-job control plane: a Fleet is one shared in-transit stager tier that
+// many concurrent Jobs multiplex over, with per-tenant admission quotas,
+// weighted fair share, and priority preemption (see internal/control). Each
+// Submit admits one job as a tenant: the control plane assigns it a slice of
+// the fleet through its own epoch-versioned place.Directory, the shared
+// stagers account its buffer residency and spills on its own tenant state,
+// and the reconcile loop continuously rebalances slices and quotas as jobs
+// arrive and finish. A Fleet of one job with no quotas behaves like a plain
+// NewJob with the same staging tier — the single tenant holds the whole
+// fleet and its quota equals the full buffer, so no admission decision ever
+// differs.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zipper/internal/control"
+	"zipper/internal/core"
+	"zipper/internal/flow"
+	"zipper/internal/rt"
+	"zipper/internal/rt/realenv"
+	"zipper/internal/staging"
+)
+
+// QuotaConfig is a fleet-submitted job's resource envelope: guaranteed
+// stager buffer blocks, weighted bandwidth share, and preemption priority.
+// See the control package for the semantics; NewJob ignores it.
+type QuotaConfig = control.Quota
+
+// Priority is a fleet tenant's preemption class.
+type Priority = control.Priority
+
+const (
+	// PriorityLow marks best-effort batch tenants: first to lose capacity
+	// under pressure (the default).
+	PriorityLow = control.PriorityLow
+	// PriorityNormal is the middle class.
+	PriorityNormal = control.PriorityNormal
+	// PriorityHigh marks latency-sensitive tenants whose quota pressure
+	// triggers preemption of lower classes.
+	PriorityHigh = control.PriorityHigh
+)
+
+// FleetEvent is one control-plane action on the shared fleet — admit,
+// finish, assign, preempt, or resize — reported in FleetStats.Events.
+type FleetEvent = control.Event
+
+// FleetConfig configures a shared stager fleet.
+type FleetConfig struct {
+	// Stagers is the shared in-transit tier's size (≥ 1). Every submitted
+	// job relays through a control-plane-assigned slice of these endpoints.
+	Stagers int
+	// StagerBufferBlocks is each shared stager's in-memory buffer capacity
+	// in blocks (default 64). The control plane splits each buffer among
+	// the tenants assigned to it.
+	StagerBufferBlocks int
+	// SpoolDir is the directory standing in for the parallel file system.
+	// Required. Stager spill partitions and per-job spool partitions live
+	// under it.
+	SpoolDir string
+	// MaxJobs caps how many jobs the fleet admits over its lifetime
+	// (default 4). Tenant ids index pre-sized per-tenant state at every
+	// stager, so ids are never reused.
+	MaxJobs int
+	// MaxConsumers reserves the consumer address space (default
+	// 4 × MaxJobs). The wire's endpoint count is fixed at construction;
+	// each Submit allocates its job's consumer endpoints from this pool and
+	// is rejected once it runs dry.
+	MaxConsumers int
+	// MaxBatchBlocks / MaxBatchBytes bound the stagers' re-batched
+	// forwarded messages (defaults as in staging.Config).
+	MaxBatchBlocks int
+	MaxBatchBytes  int64
+	// Window is each endpoint's receive window in messages (default 4).
+	Window int
+	// Reconcile is the control plane's reconcile period (default 2ms).
+	Reconcile time.Duration
+	// PreemptOccupancy is the quota-fraction at which a tenant counts as
+	// pressured, triggering preemption of a lower-priority spill-heavy
+	// tenant (default 0.75).
+	PreemptOccupancy float64
+}
+
+// withDefaults resolves zero fields.
+func (cfg FleetConfig) withDefaults() FleetConfig {
+	if cfg.StagerBufferBlocks <= 0 {
+		cfg.StagerBufferBlocks = 64
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4
+	}
+	if cfg.MaxConsumers <= 0 {
+		cfg.MaxConsumers = 4 * cfg.MaxJobs
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	return cfg
+}
+
+// Fleet is one shared stager tier plus the control plane that multiplexes
+// submitted jobs over it. Build with NewFleet, admit jobs with Submit, Wait
+// each returned Job as usual, and Close once every job has finished.
+type Fleet struct {
+	env     *realenv.Env
+	cfg     FleetConfig // defaults resolved
+	net     *realenv.Network
+	fs      *realenv.FileStore
+	plane   *control.Plane
+	stagers []*staging.Stager // immutable after NewFleet
+
+	// rankTenant maps global producer ranks to tenant ids. Copy-on-write
+	// behind an atomic so the stagers' receiver threads resolve tenants
+	// without a lock the Submit path could be parked under.
+	rankTenant atomic.Value // []int
+
+	mu       sync.Mutex
+	tenants  []*control.Tenant
+	jobs     []*Job
+	nextCons int // next free consumer address in [0, MaxConsumers)
+	nextRank int // next free global producer rank
+	closed   bool
+}
+
+// stagerBase is the transport address of fleet stager 0: the consumer
+// address space [0, MaxConsumers) comes first.
+func (f *Fleet) stagerBase() int { return f.cfg.MaxConsumers }
+
+// NewFleet validates the configuration, builds the shared wire and stager
+// tier, and starts the control plane's reconcile loop.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Stagers < 1 {
+		return nil, &ConfigError{Field: "Stagers",
+			Reason: fmt.Sprintf("a fleet is a shared staging tier; it needs Stagers ≥ 1, got %d", cfg.Stagers)}
+	}
+	if cfg.StagerBufferBlocks < 0 {
+		return nil, &ConfigError{Field: "StagerBufferBlocks",
+			Reason: fmt.Sprintf("must be ≥ 0 (0 selects the default), got %d", cfg.StagerBufferBlocks)}
+	}
+	if cfg.SpoolDir == "" {
+		return nil, &ConfigError{Field: "SpoolDir",
+			Reason: "required: the directory standing in for the parallel file system"}
+	}
+	if cfg.MaxJobs < 0 || cfg.MaxConsumers < 0 {
+		return nil, &ConfigError{Field: "MaxJobs",
+			Reason: fmt.Sprintf("reservations must be ≥ 0 (0 selects the default), got MaxJobs %d MaxConsumers %d",
+				cfg.MaxJobs, cfg.MaxConsumers)}
+	}
+	cfg = cfg.withDefaults()
+	env := realenv.New()
+	fs, err := realenv.NewFileStore(cfg.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{env: env, cfg: cfg, fs: fs}
+	f.rankTenant.Store([]int(nil))
+	f.net = realenv.NewNetwork(cfg.MaxConsumers+cfg.Stagers, cfg.Window)
+	for s := 0; s < cfg.Stagers; s++ {
+		spill, err := fs.Partition(fmt.Sprintf("stage%d", s))
+		if err != nil {
+			return nil, err
+		}
+		scfg := staging.Config{
+			BufferBlocks:   cfg.StagerBufferBlocks,
+			MaxBatchBlocks: cfg.MaxBatchBlocks,
+			MaxBatchBytes:  cfg.MaxBatchBytes,
+			Managed:        true,
+			Tenants:        cfg.MaxJobs,
+			Tenant:         f.tenantOfRank,
+		}
+		f.stagers = append(f.stagers,
+			staging.NewStager(env, scfg, s, f.net.Inbox(f.stagerBase()+s), f.net, spill))
+	}
+	addrs := make([]int, cfg.Stagers)
+	for s := range addrs {
+		addrs[s] = f.stagerBase() + s
+	}
+	f.plane = control.NewPlane(control.Config{
+		Interval:         cfg.Reconcile,
+		PreemptOccupancy: cfg.PreemptOccupancy,
+		MaxTenants:       cfg.MaxJobs,
+	}, addrs, cfg.StagerBufferBlocks, (*fleetHost)(f))
+	f.plane.Start(env)
+	return f, nil
+}
+
+// tenantOfRank resolves a global producer rank to its tenant id — the
+// resolver the shared stagers call per arriving message. Lock-free: the
+// rank table is copy-on-write.
+func (f *Fleet) tenantOfRank(rank int) int {
+	ranks := f.rankTenant.Load().([]int)
+	if rank >= 0 && rank < len(ranks) {
+		return ranks[rank]
+	}
+	return 0
+}
+
+// fleetHost adapts a Fleet to the control.Host interface without exporting
+// the plane's callbacks on the public API. The stager slice is immutable
+// after NewFleet, so no method needs the fleet mutex.
+type fleetHost Fleet
+
+func (h *fleetHost) stagerAt(addr int) *staging.Stager {
+	return h.stagers[addr-h.cfg.MaxConsumers]
+}
+
+// TenantLevel implements control.Host.
+func (h *fleetHost) TenantLevel(addr, tenant int) *flow.Level {
+	return h.stagerAt(addr).TenantLevel(tenant)
+}
+
+// TenantSpilled implements control.Host.
+func (h *fleetHost) TenantSpilled(addr, tenant int) int64 {
+	return h.stagerAt(addr).TenantSpilled(tenant)
+}
+
+// SetTenantQuota implements control.Host.
+func (h *fleetHost) SetTenantQuota(c rt.Ctx, addr, tenant, blocks int) {
+	h.stagerAt(addr).SetTenantQuota(c, tenant, blocks)
+}
+
+// Submit validates cfg, admits it to the control plane as a new tenant
+// (Config.Quota is its resource envelope), and builds its producer and
+// consumer endpoints over the shared wire. The returned Job is used exactly
+// like a NewJob one — Producer/Consumer/Wait/Stats — except that the shared
+// staging tier outlives it: its Wait releases the tenant's capacity back to
+// the fleet instead of retiring stagers, and its Stats carry no stager
+// entries (see FleetStats for the shared tier).
+//
+// The job's staging tier is the fleet's: Staging.Stagers, Placement,
+// Elastic, Fault, Reduce, and TCPAddr must be unset, and SpoolDir is
+// optional (the job gets its own partition of the fleet's). Rejections are
+// *ConfigError values; over-subscribed quotas and an exhausted MaxJobs or
+// MaxConsumers reservation are admission rejections, not panics.
+func (f *Fleet) Submit(cfg Config) (*Job, error) {
+	cfg = cfg.normalized()
+	switch {
+	case cfg.Staging.Stagers != 0:
+		return nil, &ConfigError{Field: "Staging.Stagers",
+			Reason: "a fleet job relays through the shared tier; size it with FleetConfig.Stagers"}
+	case cfg.Staging.Placement != RankAffine:
+		return nil, &ConfigError{Field: "Staging.Placement",
+			Reason: "a fleet job's stager placement is the control plane's decision; Placement must be left default"}
+	case cfg.Elastic.Enabled:
+		return nil, &ConfigError{Field: "Staging.Elastic",
+			Reason: "the shared fleet is fixed-size from a job's point of view; resize it through the fleet, not per job"}
+	case cfg.Fault.Enabled:
+		return nil, &ConfigError{Field: "Fault",
+			Reason: "the fault plane protects a private staging tier; it is not available per fleet job"}
+	case cfg.Staging.Reduce.Enabled():
+		return nil, &ConfigError{Field: "Staging.Reduce",
+			Reason: "in-transit reduction is a tier property; it is not available per fleet job"}
+	case cfg.TCPAddr != "":
+		return nil, &ConfigError{Field: "TCPAddr",
+			Reason: "a fleet shares one in-process wire; per-job TCP endpoints are not available"}
+	}
+	// Core validation against the fleet-provided tier shape.
+	probe := cfg
+	if probe.SpoolDir == "" {
+		probe.SpoolDir = f.cfg.SpoolDir
+	}
+	probe.Staging.Stagers = f.cfg.Stagers
+	probe = probe.normalized()
+	if err := probe.validate(); err != nil {
+		return nil, err
+	}
+
+	ctx := f.env.Ctx()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, &ConfigError{Field: "Jobs", Reason: "the fleet is closed"}
+	}
+	if f.nextCons+cfg.Consumers > f.cfg.MaxConsumers {
+		return nil, &ConfigError{Field: "Consumers",
+			Reason: fmt.Sprintf("consumer reservation exhausted: %d requested, %d of MaxConsumers %d free",
+				cfg.Consumers, f.cfg.MaxConsumers-f.nextCons, f.cfg.MaxConsumers)}
+	}
+	name := fmt.Sprintf("job%d", len(f.tenants))
+	tenant, err := f.plane.Admit(ctx, control.JobSpec{Name: name, Quota: cfg.Quota})
+	if err != nil {
+		var ce *control.ConfigError
+		if errors.As(err, &ce) {
+			return nil, &ConfigError{Field: ce.Field, Reason: ce.Reason}
+		}
+		return nil, err
+	}
+	tid := tenant.ID()
+	// Publish the job's global rank range before its producers exist: the
+	// shared stagers must resolve the very first message's tenant.
+	consBase, rankBase := f.nextCons, f.nextRank
+	f.nextCons += cfg.Consumers
+	f.nextRank += cfg.Producers
+	old := f.rankTenant.Load().([]int)
+	ranks := make([]int, f.nextRank)
+	copy(ranks, old)
+	for i := rankBase; i < f.nextRank; i++ {
+		ranks[i] = tid
+	}
+	f.rankTenant.Store(ranks)
+	f.tenants = append(f.tenants, tenant)
+
+	jobfs := f.fs
+	if cfg.SpoolDir == "" {
+		jobfs, err = f.fs.Partition(name)
+		if err != nil {
+			return nil, err
+		}
+	} else if jobfs, err = realenv.NewFileStore(cfg.SpoolDir); err != nil {
+		return nil, err
+	}
+	ccfg := core.Config{
+		BufferBlocks:         cfg.BufferBlocks,
+		HighWater:            cfg.HighWater,
+		ConsumerBufferBlocks: cfg.ConsumerBufferBlocks,
+		MaxBatchBlocks:       cfg.MaxBatchBlocks,
+		MaxBatchBytes:        cfg.MaxBatchBytes,
+		DisableSteal:         cfg.DisableSteal,
+		RoutePolicy:          cfg.RoutePolicy,
+		Adaptive:             cfg.Adaptive,
+		Recorder:             cfg.Recorder,
+	}
+	if cfg.Preserve {
+		ccfg.Mode = core.Preserve
+	}
+	if cfg.RoutePolicy != RouteDirect {
+		// The tenant's slice of the fleet: an epoch-versioned directory the
+		// control plane edits and the producers Peek/Claim/Done against,
+		// with tenant-scoped occupancy as the routing signal — another
+		// tenant's backlog never shows up in this job's gauges.
+		ccfg.Directory = tenant.Directory()
+		ccfg.StagerLevel = func(addr int) *flow.Level {
+			return (*fleetHost)(f).TenantLevel(addr, tid)
+		}
+	}
+	j := &Job{env: f.env, cfg: cfg, net: f.net, fs: jobfs, fleet: f, tenant: tenant}
+	for q := 0; q < cfg.Consumers; q++ {
+		n := 0
+		for p := 0; p < cfg.Producers; p++ {
+			if p*cfg.Consumers/cfg.Producers == q {
+				n++
+			}
+		}
+		addr := consBase + q
+		j.cons = append(j.cons, &Consumer{
+			c:   core.NewConsumer(f.env, ccfg, addr, n, f.net.Inbox(addr), jobfs),
+			ctx: f.env.Ctx(),
+		})
+	}
+	for p := 0; p < cfg.Producers; p++ {
+		dest := consBase + p*cfg.Consumers/cfg.Producers
+		j.prod = append(j.prod, &Producer{
+			p:   core.NewStagedProducer(f.env, ccfg, rankBase+p, dest, core.NoStager, f.net, jobfs),
+			ctx: f.env.Ctx(),
+		})
+	}
+	f.jobs = append(f.jobs, j)
+	return j, nil
+}
+
+// jobFinished releases a fleet job's tenant capacity: Job.Wait calls it
+// after the job's streams complete, and the plane's synchronous reconcile
+// redistributes the slice to the remaining tenants.
+func (f *Fleet) jobFinished(j *Job) {
+	f.mu.Lock()
+	if j.finished {
+		f.mu.Unlock()
+		return
+	}
+	j.finished = true
+	f.mu.Unlock()
+	f.plane.Finish(f.env.Ctx(), j.tenant)
+}
+
+// Close stops the control plane and retires the shared stager tier: each
+// endpoint leaves every tenant directory, in-flight claims quiesce, and the
+// provably-last Retire message flushes it. Call Close after every submitted
+// job's Wait has returned; it is then the analogue of the tier shutdown a
+// private Job performs inside its own Wait. Close is idempotent.
+func (f *Fleet) Close() {
+	ctx := f.env.Ctx()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	tenants := append([]*control.Tenant(nil), f.tenants...)
+	f.mu.Unlock()
+	f.plane.Stop(ctx)
+	for s, st := range f.stagers {
+		addr := f.stagerBase() + s
+		for _, t := range tenants {
+			t.Directory().Remove(addr)
+			t.Directory().Quiesce(ctx, addr)
+		}
+		f.net.Send(ctx, addr, rt.Message{Retire: true})
+		st.Wait(ctx)
+	}
+}
+
+// FleetTenantStats is one tenant's view in FleetStats.
+type FleetTenantStats struct {
+	Name     string
+	Priority string
+	Active   bool
+	// Stagers is the tenant's current slice size and QuotaBlocks its total
+	// admission cap across the slice (0 after Finish).
+	Stagers     int
+	QuotaBlocks int
+	// BlocksRelayed / BlocksSpilled are the tenant's lifetime totals across
+	// the shared tier.
+	BlocksRelayed int64
+	BlocksSpilled int64
+	// Preempted counts how many times this tenant was the preemption victim.
+	Preempted int
+}
+
+// FleetStats aggregates the shared tier and the control plane's timeline.
+// Stager totals are final only after Close.
+type FleetStats struct {
+	JobsAdmitted int
+	JobsActive   int
+	Stagers      []StagerStats
+	Tenants      []FleetTenantStats
+	// BlocksRelayed / BlocksSpilled are fleet-wide stager totals.
+	BlocksRelayed int64
+	BlocksSpilled int64
+	// StagerNodeSeconds is the shared tier's provisioned cost: each
+	// stager's finish time summed, complete after Close. The number the
+	// shared fleet is judged on against N private tiers — see
+	// BENCH_control.json.
+	StagerNodeSeconds float64
+	// Preemptions is the control plane's lifetime preemption count, and
+	// Events its admit/finish/assign/preempt/resize timeline.
+	Preemptions int
+	Events      []FleetEvent
+}
+
+// Stats aggregates the shared stager tier, per-tenant accounting, and the
+// control plane's event timeline in one call. May be called mid-run; call
+// after Close for final stager totals.
+func (f *Fleet) Stats() FleetStats {
+	ctx := f.env.Ctx()
+	snaps := f.plane.Snapshot()
+	var fs FleetStats
+	fs.JobsAdmitted = len(snaps)
+	fs.Preemptions = f.plane.Preemptions()
+	fs.Events = f.plane.Events()
+	for _, st := range f.stagers {
+		s := st.Stats(ctx)
+		fs.Stagers = append(fs.Stagers, stagerStats(s, false))
+		fs.BlocksRelayed += s.BlocksIn
+		fs.BlocksSpilled += s.BlocksSpilled
+		fs.StagerNodeSeconds += s.Finished.Seconds()
+	}
+	for _, sn := range snaps {
+		t := FleetTenantStats{
+			Name: sn.Name, Priority: sn.Priority.String(), Active: sn.Active,
+			Stagers: len(sn.Stagers), QuotaBlocks: sn.QuotaBlocks, Preempted: sn.Preempted,
+		}
+		for _, st := range f.stagers {
+			t.BlocksRelayed += st.TenantIn(sn.ID)
+			t.BlocksSpilled += st.TenantSpilled(sn.ID)
+		}
+		if sn.Active {
+			fs.JobsActive++
+		}
+		fs.Tenants = append(fs.Tenants, t)
+	}
+	return fs
+}

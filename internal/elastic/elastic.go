@@ -238,6 +238,13 @@ type Scaler struct {
 	lastAct   time.Duration
 	lastSpill int64
 	pending   []poolChange // fault-plane notifications awaiting the scaler thread
+
+	// onResize (set before Start via SetOnResize) fires after every
+	// pool-membership change; lastEpoch is the pool epoch it last fired
+	// for. Scaler thread only (single-writer rule) — epoch comparison also
+	// catches membership edits the fault plane made directly on the pool.
+	onResize  func(c rt.Ctx, members []int)
+	lastEpoch int64
 }
 
 // poolChange is one fault-plane notification: fl == nil records a crash
@@ -271,7 +278,19 @@ func NewScaler(env rt.Env, cfg Config, pool *Pool, host Host, base int, initial 
 	for slot := len(initial); slot < cfg.MaxStagers; slot++ {
 		s.free = append(s.free, slot)
 	}
+	s.lastEpoch = pool.Epoch()
 	return s
+}
+
+// SetOnResize registers a hook invoked on the scaler thread after every
+// pool-membership change — grow, drain, crash, respawn — with the live
+// membership (transport addresses, ascending). It is the bridge to the
+// multi-job control plane: a fleet passes control.Plane.Resize here so
+// tenant fair shares are recomputed whenever the shared pool changes size.
+// The hook may park (it runs with no scaler mutex held); it must not call
+// back into the scaler. Call before Start.
+func (s *Scaler) SetOnResize(fn func(c rt.Ctx, members []int)) {
+	s.onResize = fn
 }
 
 // Start launches the control loop as a runtime thread.
@@ -349,6 +368,7 @@ func (s *Scaler) tick(c rt.Ctx) {
 	s.applyPending(now)
 	s.reap(c, now)
 	if !(s.lastAct == 0 || now-s.lastAct >= s.cfg.Cooldown) {
+		s.notifyResize(c) // fault-plane edits surface even inside a cooldown
 		return
 	}
 	sig := s.observe(now)
@@ -359,6 +379,21 @@ func (s *Scaler) tick(c rt.Ctx) {
 		s.grow(c, now, sig.Occupancy)
 	case -1:
 		s.drain(c, now, sig.Occupancy)
+	}
+	s.notifyResize(c)
+}
+
+// notifyResize fires the SetOnResize hook when the pool membership changed
+// since the last notification — whether this tick's grow/drain did it or
+// the fault plane edited the pool directly (epoch comparison sees both).
+// Runs on the scaler thread with no mutex held: the hook may park.
+func (s *Scaler) notifyResize(c rt.Ctx) {
+	if s.onResize == nil {
+		return
+	}
+	if ep := s.pool.Epoch(); ep != s.lastEpoch {
+		s.lastEpoch = ep
+		s.onResize(c, s.pool.Members())
 	}
 }
 

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetTraceRenders pins the zippertrace fleet view: the shared-fleet
+// scenario must complete with zero loss, fire preemptions against the noisy
+// tenant, and render both the per-tenant occupancy chart and the control
+// event log.
+func TestFleetTraceRenders(t *testing.T) {
+	fig := RunFleetTrace(4)
+	if strings.HasPrefix(fig.Detail, "crash:") {
+		t.Fatal(fig.Detail)
+	}
+	for _, want := range []string{
+		"per-tenant occupancy/quota timeline",
+		"control events:",
+		"preempt quiet  victim=noisy",
+		"lost=0",
+	} {
+		if !strings.Contains(fig.Detail, want) {
+			t.Errorf("detail missing %q:\n%s", want, fig.Detail)
+		}
+	}
+	if strings.Contains(fig.Detail, "lost=1") || strings.Contains(fig.Detail, "0 preemptions") {
+		t.Fatalf("fleet scenario lost its pressure story:\n%s", fig.Detail)
+	}
+}

@@ -1,6 +1,8 @@
 package place_test
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -184,5 +186,71 @@ func TestDirectoryLeastOccupancyReadsLevels(t *testing.T) {
 	levels[5].Set(time.Millisecond, 9)
 	if a, _ := d.Peek(1); a != 4 {
 		t.Fatalf("after the fill flipped, Peek(1) = %d, want 4", a)
+	}
+}
+
+// TestDirectoryConcurrentClaimChurn races two claimant threads (the
+// multi-tenant control plane's shape: several tenants resolving endpoints
+// through one directory) against a churn thread bumping the epoch with
+// Add/Remove, under -race. The invariants: a Claim that resolved is always
+// matched by exactly one Done (no panic, no leak), claims never resolve to
+// an address outside the membership union, and after the churn settles a
+// Remove+Quiesce drains to zero — proving the in-flight accounting balanced
+// across every epoch bump.
+func TestDirectoryConcurrentClaimChurn(t *testing.T) {
+	d := place.New(place.RankAffine(), nil)
+	d.Add(10)
+	d.Add(11)
+	env := realenv.New()
+	ctx := env.Ctx()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for claimant := 0; claimant < 2; claimant++ {
+		rank := claimant
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := d.Peek(rank); !ok {
+					continue
+				}
+				addr, ok := d.Claim(rank)
+				if !ok {
+					continue
+				}
+				if addr != 10 && addr != 11 && addr != 12 {
+					t.Errorf("claim resolved to %d, not a member", addr)
+				}
+				runtime.Gosched() // hold the claim across other threads' epoch bumps
+				d.Done(addr)
+			}
+		}()
+	}
+	// Churn: endpoint 12 joins and leaves repeatedly; each departure waits
+	// out in-flight claims exactly like a real drain would.
+	for i := 0; i < 200; i++ {
+		d.Add(12)
+		runtime.Gosched()
+		d.Remove(12)
+		d.Quiesce(ctx, 12)
+	}
+	close(stop)
+	wg.Wait()
+	if got := d.Epoch(); got != 2+400 {
+		t.Fatalf("epoch %d after 2 adds + 200 churn cycles, want %d", got, 2+400)
+	}
+	// The surviving members drain cleanly: every claim was matched by a Done.
+	for _, addr := range d.Members() {
+		d.Remove(addr)
+		d.Quiesce(ctx, addr)
+	}
+	if n := d.Size(); n != 0 {
+		t.Fatalf("membership %d after full drain, want 0", n)
 	}
 }

@@ -91,6 +91,19 @@ type Config struct {
 	// Recorder, when non-nil, captures the stager threads' activity spans.
 	Recorder *trace.Recorder
 
+	// Tenants is the number of tenant classes sharing this stager under a
+	// multi-job control plane (0 leaves the stager single-tenant: no
+	// per-tenant state exists and every path below is byte-identical to the
+	// pre-tenancy stager). Tenant states are pre-sized here and never
+	// reallocated, so TenantLevel/TenantSpilled are safe from any thread
+	// without the stager lock.
+	Tenants int
+	// Tenant resolves an arriving message's producer rank to its tenant
+	// class in [0, Tenants). Required when Tenants > 0. Called under the
+	// stager lock on the receiver thread: it must be cheap and must never
+	// park (a table lookup, not a platform call).
+	Tenant func(from int) int
+
 	// Journal, when non-nil, makes the stager crash-durable: every admitted
 	// block is written ahead to the spill partition and journaled before it
 	// is queued, metadata (disk refs, Fins) gets journal records carrying
@@ -177,7 +190,21 @@ type relayBlock struct {
 	encBytes int64
 	spilling bool
 	spilled  bool
-	rec      *Record // write-ahead journal entry (fault mode only)
+	rec      *Record      // write-ahead journal entry (fault mode only)
+	ten      *tenantState // tenant charged for the resident block (multi-tenant only)
+}
+
+// tenantState is one tenant's slice of a shared stager: the admission cap
+// the control plane pushed, the blocks currently resident on the tenant's
+// account, and the tenant-scoped gauges that keep one job's backlog out of
+// another job's routing signals. quota/used mutate only under the stager
+// lock; the gauges are lock-order leaves readable from any thread.
+type tenantState struct {
+	quota   int        // admission cap in resident blocks; 0 = uncapped
+	used    int        // resident blocks charged to this tenant
+	level   flow.Level // used vs quota (capacity falls back to BufferBlocks)
+	in      flow.Meter // lifetime blocks admitted
+	spilled flow.Meter // lifetime blocks spilled off this tenant's account
 }
 
 // slot is one received mixed message, decomposed and queued in arrival
@@ -234,6 +261,7 @@ type Stager struct {
 	err         error
 	finished    time.Duration
 	fl          flow.StagerFlows
+	ten         []*tenantState // pre-sized per-tenant states; nil when single-tenant
 }
 
 // NewStager builds the runtime module for stager endpoint id, draining `in`
@@ -261,6 +289,17 @@ func NewStager(env rt.Env, cfg Config, id int, in rt.Inbox, tr rt.Transport, fs 
 		s.spillAt = cfg.HighWater + (cfg.BufferBlocks-cfg.HighWater)/2
 		if s.spillAt >= cfg.BufferBlocks {
 			s.spillAt = cfg.BufferBlocks - 1
+		}
+	}
+	if cfg.Tenants > 0 {
+		if cfg.Tenant == nil {
+			panic("staging: Tenants > 0 requires a Tenant resolver")
+		}
+		s.ten = make([]*tenantState, cfg.Tenants)
+		for i := range s.ten {
+			ts := &tenantState{}
+			ts.level.SetCapacity(cfg.BufferBlocks)
+			s.ten[i] = ts
 		}
 	}
 	s.fl.Queue.SetCapacity(cfg.BufferBlocks)
@@ -303,6 +342,80 @@ func (s *Stager) Level() *flow.Level { return &s.fl.Queue }
 
 // Flows exposes the module's live flow gauges.
 func (s *Stager) Flows() *flow.StagerFlows { return &s.fl }
+
+// TenantLevel exposes tenant's occupancy gauge (resident blocks vs its
+// admission quota) — the per-tenant routing signal and the pressure gauge
+// the control plane's preemption rule reads. Safe from any thread; nil for
+// a single-tenant stager or an out-of-range tenant.
+func (s *Stager) TenantLevel(tenant int) *flow.Level {
+	if s.ten == nil || tenant < 0 || tenant >= len(s.ten) {
+		return nil
+	}
+	return &s.ten[tenant].level
+}
+
+// TenantSpilled returns tenant's lifetime spilled-block count at this
+// endpoint. Safe from any thread; 0 for a single-tenant stager.
+func (s *Stager) TenantSpilled(tenant int) int64 {
+	if s.ten == nil || tenant < 0 || tenant >= len(s.ten) {
+		return 0
+	}
+	return s.ten[tenant].spilled.Total()
+}
+
+// TenantIn returns tenant's lifetime admitted-block count at this endpoint.
+// Safe from any thread; 0 for a single-tenant stager.
+func (s *Stager) TenantIn(tenant int) int64 {
+	if s.ten == nil || tenant < 0 || tenant >= len(s.ten) {
+		return 0
+	}
+	return s.ten[tenant].in.Total()
+}
+
+// SetTenantQuota sets tenant's admission cap in resident blocks (0 =
+// uncapped): the receiver holds tenant's messages once its resident count
+// would exceed the cap, which is the backpressure that keeps one job's
+// burst from consuming another job's share of the buffer. The control
+// plane's reconcile loop is the caller. No-op on a single-tenant stager.
+func (s *Stager) SetTenantQuota(c rt.Ctx, tenant, blocks int) {
+	if s.ten == nil || tenant < 0 || tenant >= len(s.ten) {
+		return
+	}
+	s.lk.Lock(c)
+	ts := s.ten[tenant]
+	ts.quota = blocks
+	capacity := blocks
+	if capacity <= 0 || capacity > s.cfg.BufferBlocks {
+		capacity = s.cfg.BufferBlocks
+	}
+	ts.level.SetCapacity(capacity)
+	// A raised quota may unblock a receiver parked on the tenant's old cap.
+	s.space.Broadcast()
+	s.lk.Unlock(c)
+}
+
+// tenantOf resolves an arriving message's tenant state (nil when
+// single-tenant; out-of-range ranks fold to tenant 0).
+func (s *Stager) tenantOf(from int) *tenantState {
+	if s.ten == nil {
+		return nil
+	}
+	t := s.cfg.Tenant(from)
+	if t < 0 || t >= len(s.ten) {
+		t = 0
+	}
+	return s.ten[t]
+}
+
+// chargeTenantLocked moves delta resident blocks onto (or off) ts's account
+// and refreshes its occupancy gauge.
+func (s *Stager) chargeTenantLocked(c rt.Ctx, ts *tenantState, delta int) {
+	if ts == nil {
+		return
+	}
+	ts.used += delta
+	ts.level.Set(c.Now(), ts.used)
+}
 
 // Err reports a runtime failure (an unwritable or unreadable spill block).
 // After a failure the stager keeps forwarding what it can so streams still
@@ -493,11 +606,12 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 			// and let the forwarder flush the queue and spill partition.
 			break
 		}
+		ts := s.tenantOf(m.From)
 		sl := &slot{from: m.From, dest: m.Dest, disk: m.Disk, fin: m.Fin,
 			finBlocks: m.FinBlocks, finDisk: m.FinDisk}
 		for _, b := range m.Blocks {
 			sl.blocks = append(sl.blocks, &relayBlock{b: b, id: b.ID, offset: b.Offset,
-				bytes: b.Bytes, enc: b.Enc, encBytes: b.EncBytes})
+				bytes: b.Bytes, enc: b.Enc, encBytes: b.EncBytes, ten: ts})
 		}
 		if s.cfg.Journal != nil {
 			// Write ahead, outside the lock: the message is fully durable
@@ -514,8 +628,15 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 				continue
 			}
 		}
+		// Admission is whole-message against both caps: the shared buffer,
+		// and — multi-tenant — the sender's own quota. Each cap yields when
+		// the relevant occupancy is zero so oversized batches still make
+		// progress, and a tenant with nothing resident is never blocked by
+		// another tenant's quota arithmetic.
 		need := len(m.Blocks)
-		for need > 0 && s.memBlocks > 0 && s.memBlocks+need > s.cfg.BufferBlocks && !s.killed {
+		for need > 0 && !s.killed &&
+			((s.memBlocks > 0 && s.memBlocks+need > s.cfg.BufferBlocks) ||
+				(ts != nil && ts.quota > 0 && ts.used > 0 && ts.used+need > ts.quota)) {
 			s.space.Wait(c)
 		}
 		if s.killed {
@@ -526,6 +647,10 @@ func (s *Stager) receiverThread(c rt.Ctx) {
 		}
 		s.queue = append(s.queue, sl)
 		s.setOccLocked(c, s.memBlocks+need)
+		if ts != nil && need > 0 {
+			s.chargeTenantLocked(c, ts, need)
+			ts.in.Add(c.Now(), int64(need))
+		}
 		s.fl.MessagesIn.Add(c.Now(), 1)
 		s.fl.In.Add(c.Now(), int64(need))
 		s.fl.DiskRefs.Add(c.Now(), int64(len(m.Disk)))
@@ -586,13 +711,35 @@ func (s *Stager) walSlot(c rt.Ctx, sl *slot) time.Duration {
 // self-identify through their IDs, so the outgoing From is informational:
 // it names the Fin's producer when the message carries one (Fin attribution
 // must stay exact) and the first merged producer otherwise.
+//
+// On a multi-tenant stager the batch does not have to start at the head:
+// one tenant's slow consumer must not stall every other tenant's traffic
+// behind it. When the transport reports receive credits, the batch starts
+// at the earliest run whose destination can accept a message right now —
+// per-destination FIFO order is preserved because a destination's earliest
+// slot is always its first in the queue. With no credit anywhere (or no
+// credit visibility) the head run is taken and the send blocks: that is
+// the natural backpressure. Single-tenant stagers keep strict FIFO so the
+// private-tier forwarding order is untouched.
 func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRef, from, dest int, fin bool, finBlocks, finDisk int64, metas []*Record, ok bool) {
-	head := s.queue[0]
+	start := 0
+	if s.cfg.Tenants > 1 {
+		if ct, hasCredit := s.tr.(rt.CreditTransport); hasCredit {
+			for i, sl := range s.queue {
+				if ct.Credits(sl.dest) > 0 {
+					start = i
+					break
+				}
+			}
+		}
+	}
+	head := s.queue[start]
 	from, dest = head.from, head.dest
 	var bytes int64
 	freed := 0
-	for len(s.queue) > 0 && !fin {
-		sl := s.queue[0]
+	end := start
+	for end < len(s.queue) && !fin {
+		sl := s.queue[end]
 		if sl.dest != dest {
 			break
 		}
@@ -613,6 +760,7 @@ func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRe
 			bytes += rb.bytes
 			if !rb.spilled {
 				freed++
+				s.chargeTenantLocked(c, rb.ten, -1)
 			}
 		}
 		if blocked {
@@ -629,7 +777,10 @@ func (s *Stager) assembleLocked(c rt.Ctx) (taken []*relayBlock, disk []rt.DiskRe
 			from = sl.from
 			finBlocks, finDisk = sl.finBlocks, sl.finDisk
 		}
-		s.queue = s.queue[1:]
+		end++
+	}
+	if end > start {
+		s.queue = append(s.queue[:start], s.queue[end:]...)
 	}
 	if freed > 0 {
 		s.setOccLocked(c, s.memBlocks-freed)
@@ -864,6 +1015,13 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 		victim.b.Release() // recycle the payload: the spill copy is authoritative now
 		victim.b = nil
 		victim.spilled = true
+		if victim.ten != nil {
+			// The spill moves the block off the tenant's resident account —
+			// the spill-heavy tenant pays the PFS detour, and its spilled
+			// meter is the signal the control plane's preemption rule reads.
+			s.chargeTenantLocked(c, victim.ten, -1)
+			victim.ten.spilled.Add(c.Now(), 1)
+		}
 		s.fl.Spilled.Add(c.Now(), 1)
 		s.fl.SpilledBytes.Add(c.Now(), spillBytes)
 		s.setOccLocked(c, s.memBlocks-1)
@@ -874,8 +1032,22 @@ func (s *Stager) spillerThread(c rt.Ctx) {
 }
 
 // newestResidentLocked finds the youngest in-memory block — the one whose
-// turn to be forwarded is farthest away.
+// turn to be forwarded is farthest away. On a multi-tenant stager the scan
+// first targets the tenant holding the largest fraction of its quota, so
+// the spill cost of a shared burst lands on the account that caused it; if
+// that tenant has no spillable block the global newest is taken as before.
 func (s *Stager) newestResidentLocked() *relayBlock {
+	if ts := s.pressuredTenantLocked(); ts != nil {
+		for i := len(s.queue) - 1; i >= 0; i-- {
+			sl := s.queue[i]
+			for j := len(sl.blocks) - 1; j >= 0; j-- {
+				rb := sl.blocks[j]
+				if rb.ten == ts && !rb.spilled && !rb.spilling {
+					return rb
+				}
+			}
+		}
+	}
 	for i := len(s.queue) - 1; i >= 0; i-- {
 		sl := s.queue[i]
 		for j := len(sl.blocks) - 1; j >= 0; j-- {
@@ -886,4 +1058,26 @@ func (s *Stager) newestResidentLocked() *relayBlock {
 		}
 	}
 	return nil
+}
+
+// pressuredTenantLocked returns the tenant with the highest resident
+// occupancy relative to its admission quota (ties to the lower tenant id),
+// or nil on a single-tenant stager or when nothing is resident.
+func (s *Stager) pressuredTenantLocked() *tenantState {
+	var best *tenantState
+	var bestFrac float64
+	for _, ts := range s.ten {
+		if ts.used == 0 {
+			continue
+		}
+		capacity := ts.quota
+		if capacity <= 0 {
+			capacity = s.cfg.BufferBlocks
+		}
+		frac := float64(ts.used) / float64(capacity)
+		if best == nil || frac > bestFrac {
+			best, bestFrac = ts, frac
+		}
+	}
+	return best
 }

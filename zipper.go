@@ -81,6 +81,7 @@ import (
 	"sync"
 
 	"zipper/internal/block"
+	"zipper/internal/control"
 	"zipper/internal/core"
 	"zipper/internal/elastic"
 	"zipper/internal/fault"
@@ -398,6 +399,11 @@ type Config struct {
 	DisableSteal bool
 	// Recorder, when non-nil, captures runtime-thread activity spans.
 	Recorder *trace.Recorder
+	// Quota is the job's resource envelope when submitted to a shared
+	// Fleet: guaranteed stager buffer blocks, weighted bandwidth share, and
+	// preemption priority. NewJob ignores it — a private job owns its whole
+	// staging tier.
+	Quota QuotaConfig
 }
 
 // Job is a running Zipper workflow.
@@ -430,6 +436,13 @@ type Job struct {
 	faultOn bool
 	fcfg    fault.Config // defaults resolved
 	monitor *fault.Monitor
+
+	// Shared-fleet mode (Fleet.Submit): the fleet this job is a tenant of
+	// and its control-plane handle. Both nil for a private NewJob. finished
+	// (under fleet.mu) keeps the tenant's capacity release idempotent.
+	fleet    *Fleet
+	tenant   *control.Tenant
+	finished bool
 }
 
 // jobStager is one spawned stager instance of a pool-managed tier.
@@ -1113,6 +1126,11 @@ func (j *Job) Wait() {
 	}
 	for _, c := range j.cons {
 		c.c.Wait(c.ctx)
+	}
+	if j.fleet != nil {
+		// Fleet tenant: the shared stagers outlive this job. Release its
+		// capacity so the control plane redistributes the slice.
+		j.fleet.jobFinished(j)
 	}
 	j.closeWire()
 }
