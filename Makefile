@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement bench-failover bench-wire bench-control
+.PHONY: ci fmt vet build test test-full bench-smoke bench-batching bench-staging bench-adaptive bench-elastic bench-placement bench-failover bench-wire bench-control bench-ring
 
 ci: fmt vet build test
 
@@ -60,6 +60,12 @@ bench-failover:
 # raw vs compressed bytes over a real-TCP staged job).
 bench-wire:
 	$(GO) run ./cmd/benchwire -o BENCH_wire.json
+
+# Regenerate the committed intra-node fast-path baseline (SPSC ring vs
+# channel transport ns/message; parallel vs inline reduction throughput;
+# ring + parallel-reduce accounting identity).
+bench-ring:
+	$(GO) run ./cmd/benchring -o BENCH_ring.json
 
 # Regenerate the committed multi-job control-plane baseline (shared fleet vs
 # peak-provisioned private tiers; gates ≥25% node-second saving, the

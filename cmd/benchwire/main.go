@@ -13,6 +13,12 @@
 // Usage:
 //
 //	benchwire [-o BENCH_wire.json]
+//
+// Caveat: the reduction section needs concurrent producer/stager/consumer
+// progress, so GOMAXPROCS is floored at 8 (a warning is printed when the
+// floor engages). On a 1-core box the un-floored TCP job serializes into
+// lockstep and its throughput numbers describe the scheduler, not the
+// wire; the byte accounting is unaffected either way.
 package main
 
 import (
@@ -125,8 +131,11 @@ func wireRow(v benchharness.WireVariant) (WireRow, error) {
 func main() {
 	out := flag.String("o", "BENCH_wire.json", "output file")
 	flag.Parse()
-	if runtime.GOMAXPROCS(0) < minProcs {
+	if procs := runtime.GOMAXPROCS(0); procs < minProcs {
 		runtime.GOMAXPROCS(minProcs)
+		fmt.Fprintf(os.Stderr,
+			"benchwire: raising GOMAXPROCS %d -> %d: the reduction section's TCP job needs concurrent producer/stager/consumer progress; on few-core hosts un-floored timing numbers describe the scheduler, not the wire\n",
+			procs, minProcs)
 	}
 
 	rep := Report{

@@ -78,6 +78,11 @@ type FleetConfig struct {
 	MaxBatchBytes  int64
 	// Window is each endpoint's receive window in messages (default 4).
 	Window int
+	// RingDepth selects the intra-node fast path for the shared wire: when
+	// > 0 every sending thread gets private lock-free SPSC ring lanes of
+	// this depth instead of the buffered-channel endpoints (see
+	// StagingConfig.RingDepth). 0 keeps channels, byte-identical.
+	RingDepth int
 	// Reconcile is the control plane's reconcile period (default 2ms).
 	Reconcile time.Duration
 	// PreemptOccupancy is the quota-fraction at which a tenant counts as
@@ -151,6 +156,10 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			Reason: fmt.Sprintf("reservations must be ≥ 0 (0 selects the default), got MaxJobs %d MaxConsumers %d",
 				cfg.MaxJobs, cfg.MaxConsumers)}
 	}
+	if cfg.RingDepth < 0 {
+		return nil, &ConfigError{Field: "RingDepth",
+			Reason: fmt.Sprintf("must be ≥ 0 (0 = channel transport, > 0 = SPSC ring depth in messages), got %d", cfg.RingDepth)}
+	}
 	cfg = cfg.withDefaults()
 	env := realenv.New()
 	fs, err := realenv.NewFileStore(cfg.SpoolDir)
@@ -159,7 +168,11 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	f := &Fleet{env: env, cfg: cfg, fs: fs}
 	f.rankTenant.Store([]int(nil))
-	f.net = realenv.NewNetwork(cfg.MaxConsumers+cfg.Stagers, cfg.Window)
+	if cfg.RingDepth > 0 {
+		f.net = realenv.NewRingNetwork(cfg.MaxConsumers+cfg.Stagers, cfg.RingDepth)
+	} else {
+		f.net = realenv.NewNetwork(cfg.MaxConsumers+cfg.Stagers, cfg.Window)
+	}
 	for s := 0; s < cfg.Stagers; s++ {
 		spill, err := fs.Partition(fmt.Sprintf("stage%d", s))
 		if err != nil {
@@ -173,8 +186,10 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			Tenants:        cfg.MaxJobs,
 			Tenant:         f.tenantOfRank,
 		}
+		// Each shared stager's forwarder is one sending thread: its own
+		// port (a private SPSC lane set on the ring wire).
 		f.stagers = append(f.stagers,
-			staging.NewStager(env, scfg, s, f.net.Inbox(f.stagerBase()+s), f.net, spill))
+			staging.NewStager(env, scfg, s, f.net.Inbox(f.stagerBase()+s), f.net.Port(), spill))
 	}
 	addrs := make([]int, cfg.Stagers)
 	for s := range addrs {
@@ -354,8 +369,9 @@ func (f *Fleet) Submit(cfg Config) (*Job, error) {
 	}
 	for p := 0; p < cfg.Producers; p++ {
 		dest := consBase + p*cfg.Consumers/cfg.Producers
+		// Each producer's sender is one sending thread: its own port.
 		j.prod = append(j.prod, &Producer{
-			p:   core.NewStagedProducer(f.env, ccfg, rankBase+p, dest, core.NoStager, f.net, jobfs),
+			p:   core.NewStagedProducer(f.env, ccfg, rankBase+p, dest, core.NoStager, f.net.Port(), jobfs),
 			ctx: f.env.Ctx(),
 		})
 	}

@@ -70,43 +70,50 @@ func (c *cond) Wait(rt.Ctx) { c.c.Wait() }
 func (c *cond) Signal()     { c.c.Signal() }
 func (c *cond) Broadcast()  { c.c.Broadcast() }
 
-// Network is the in-process message path: one buffered channel per endpoint
-// (consumers first, then any in-transit stagers). The channel capacity is the
-// receive window; senders block when it is full, providing the backpressure
-// the runtime's stealing and routing logic react to.
+// Network is the in-process message path: `endpoints` receive endpoints
+// (consumers first, then any in-transit stagers) over a pluggable endpoint
+// set. The default set is one buffered channel per endpoint whose capacity
+// is the receive window; NewRingNetwork swaps in pairwise lock-free SPSC
+// rings — the intra-node fast path for co-located ranks. On either set,
+// senders block while the destination window is full, providing the
+// backpressure the runtime's stealing and routing logic react to.
 type Network struct {
-	inboxes []chan rt.Message
+	eps endpointSet
 }
 
-// NewNetwork creates `endpoints` receive endpoints with the given
-// receive-window depth (messages).
+// NewNetwork creates `endpoints` channel-backed receive endpoints with the
+// given receive-window depth (messages) — the pinned default path.
 func NewNetwork(endpoints, window int) *Network {
-	if window < 1 {
-		window = 1
-	}
-	n := &Network{}
-	for i := 0; i < endpoints; i++ {
-		n.inboxes = append(n.inboxes, make(chan rt.Message, window))
-	}
-	return n
+	return &Network{eps: newChanEndpoints(endpoints, window)}
 }
 
-// Send delivers m to endpoint `to`, blocking while its window is full.
-func (n *Network) Send(c rt.Ctx, to int, m rt.Message) { n.inboxes[to] <- m }
+// NewRingNetwork creates `endpoints` ring-backed receive endpoints: every
+// sending thread that takes a Port gets a private wait-free SPSC lane of
+// `depth` messages (rounded up to a power of two) into each endpoint it
+// addresses. Selected by Config.Staging.RingDepth > 0.
+func NewRingNetwork(endpoints, depth int) *Network {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Network{eps: newRingEndpoints(endpoints, depth)}
+}
+
+// Send delivers m to endpoint `to`, blocking while its window is full. Safe
+// from any thread; hot senders should prefer a Port.
+func (n *Network) Send(c rt.Ctx, to int, m rt.Message) { n.eps.Send(c, to, m) }
 
 // Credits reports how many more messages endpoint `to` can accept right now
-// — the hybrid routing policy's direct-path backpressure signal.
-func (n *Network) Credits(to int) int { return cap(n.inboxes[to]) - len(n.inboxes[to]) }
+// — the hybrid routing policy's direct-path backpressure signal. On the
+// ring set this is derived from ring occupancy (free lane slots).
+func (n *Network) Credits(to int) int { return n.eps.Credits(to) }
 
 // Inbox returns endpoint i's receive side.
-func (n *Network) Inbox(i int) rt.Inbox { return inbox(n.inboxes[i]) }
+func (n *Network) Inbox(i int) rt.Inbox { return n.eps.Inbox(i) }
 
-type inbox chan rt.Message
-
-func (b inbox) Recv(c rt.Ctx) (rt.Message, bool) {
-	m, ok := <-b
-	return m, ok
-}
+// Port returns a transport handle for one sending thread. On the ring set
+// it mints the thread's private SPSC lanes; on the channel set it is the
+// network itself, so callers can hold a port unconditionally.
+func (n *Network) Port() rt.Transport { return n.eps.Port() }
 
 // FileStore spills and preserves blocks as files in a directory, standing in
 // for the parallel file system. File layout: 29-byte header (offset, payload

@@ -76,34 +76,52 @@ const (
 	payloadChunk = 4 << 20
 )
 
-// TCPListener is the consumer-side endpoint set.
+// TCPListener is the consumer-side endpoint set, hosted behind the accept
+// loop: each accepted connection's reader delivers into the shared set.
 type TCPListener struct {
-	ln      net.Listener
-	inboxes []chan rt.Message
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
+	ln     net.Listener
+	eps    endpointSet
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
 }
 
 // ListenTCP starts the consumer-side endpoint set on addr (use
-// "127.0.0.1:0" for tests) with one window-deep inbox per endpoint.
+// "127.0.0.1:0" for tests) with one window-deep channel inbox per endpoint.
 // `endpoints` counts consumers plus any stager goroutines the caller will
 // run in this process (stager inboxes follow the consumer inboxes).
 func ListenTCP(addr string, endpoints, window int) (*TCPListener, error) {
-	if endpoints < 1 {
-		return nil, fmt.Errorf("realenv: need ≥1 endpoint, got %d", endpoints)
-	}
 	if window < 1 {
 		window = 1
+	}
+	return listenTCP(addr, endpoints, func() endpointSet {
+		return newChanEndpoints(endpoints, window)
+	})
+}
+
+// ListenTCPRing starts the consumer-side endpoint set on addr over the SPSC
+// ring transport: each accepted connection's reader goroutine — naturally a
+// single producer — gets a private wait-free lane into the endpoints it
+// addresses, and in-process stagers forward through LoopbackPort lanes.
+// Selected by Config.Staging.RingDepth > 0 on a TCP job.
+func ListenTCPRing(addr string, endpoints, depth int) (*TCPListener, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	return listenTCP(addr, endpoints, func() endpointSet {
+		return newRingEndpoints(endpoints, depth)
+	})
+}
+
+func listenTCP(addr string, endpoints int, mkSet func() endpointSet) (*TCPListener, error) {
+	if endpoints < 1 {
+		return nil, fmt.Errorf("realenv: need ≥1 endpoint, got %d", endpoints)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("realenv: listen: %w", err)
 	}
-	l := &TCPListener{ln: ln}
-	for i := 0; i < endpoints; i++ {
-		l.inboxes = append(l.inboxes, make(chan rt.Message, window))
-	}
+	l := &TCPListener{ln: ln, eps: mkSet()}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
@@ -113,22 +131,27 @@ func ListenTCP(addr string, endpoints, window int) (*TCPListener, error) {
 func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
 
 // Inbox returns endpoint i's receive side.
-func (l *TCPListener) Inbox(i int) rt.Inbox { return inbox(l.inboxes[i]) }
+func (l *TCPListener) Inbox(i int) rt.Inbox { return l.eps.Inbox(i) }
 
 // Loopback returns a transport that delivers straight into this listener's
-// inboxes — the path a stager goroutine running in the listening process
-// uses to forward relayed frames to its consumers.
+// endpoint set — the path a stager goroutine running in the listening
+// process uses to forward relayed frames to its consumers. Safe from any
+// thread; hot forwarders should prefer LoopbackPort.
 func (l *TCPListener) Loopback() rt.Transport { return loopback{l} }
+
+// LoopbackPort returns a loopback transport handle for one forwarding
+// thread: on the ring set it mints the thread's private SPSC lanes, on the
+// channel set it is the shared loopback, so callers can hold one per stager
+// unconditionally.
+func (l *TCPListener) LoopbackPort() rt.Transport { return l.eps.Port() }
 
 type loopback struct{ l *TCPListener }
 
-func (lb loopback) Send(c rt.Ctx, to int, m rt.Message) { lb.l.inboxes[to] <- m }
+func (lb loopback) Send(c rt.Ctx, to int, m rt.Message) { lb.l.eps.Send(c, to, m) }
 
 // Credits reports endpoint `to`'s remaining window, for hybrid routing
 // inside the listening process.
-func (lb loopback) Credits(to int) int {
-	return cap(lb.l.inboxes[to]) - len(lb.l.inboxes[to])
-}
+func (lb loopback) Credits(to int) int { return lb.l.eps.Credits(to) }
 
 // Close stops accepting; established connections drain until their peers
 // close.
@@ -152,16 +175,21 @@ func (l *TCPListener) acceptLoop() {
 		go func() {
 			defer l.wg.Done()
 			defer conn.Close()
+			// Each connection has exactly one reader goroutine, so the
+			// reader is a natural single producer: on the ring set its port
+			// is a private wait-free lane per addressed endpoint.
+			port := l.eps.Port()
+			endpoints := l.eps.Endpoints()
 			r := bufio.NewReaderSize(conn, 1<<20)
 			for {
 				to, m, err := readFrame(r)
 				if err != nil {
 					return // EOF or peer failure: connection done
 				}
-				if to < 0 || to >= len(l.inboxes) {
+				if to < 0 || to >= endpoints {
 					return // corrupt target: drop the connection
 				}
-				l.inboxes[to] <- m
+				port.Send(nil, to, m)
 			}
 		}()
 	}

@@ -206,6 +206,17 @@ type StagingConfig struct {
 	// always carry raw payloads). Off (the default), every byte travels
 	// unreduced — byte-identical to earlier revisions.
 	Reduce ReduceConfig
+	// RingDepth selects the intra-node fast path: when > 0, co-located
+	// endpoint pairs exchange messages over padded lock-free SPSC rings of
+	// this depth (messages, rounded up to a power of two) instead of
+	// buffered Go channels — every sending thread gets a private wait-free
+	// lane per endpoint it addresses, and Credits derives from ring
+	// occupancy so the routing policies read the same backpressure signal.
+	// Applies to the whole in-process network and, on a TCP job, to the
+	// listener's endpoint set (per-connection reader lanes plus the
+	// stagers' loopback lanes). 0 (the default) keeps the channel
+	// transport, pinned byte-identical to earlier revisions.
+	RingDepth int
 }
 
 // ReduceConfig selects and tunes in-transit payload reduction — the
@@ -415,6 +426,7 @@ type Job struct {
 	prod  []*Producer
 	cons  []*Consumer
 	stage []*staging.Stager // fixed staging tier (Elastic off)
+	pipe  *reduce.Pipeline  // shared parallel-encode pool (Reduce.Workers != 0)
 
 	// Real-TCP wire mode (Config.TCPAddr): the listener hosting every
 	// consumer and stager inbox, plus each producer's dialed connection.
@@ -598,6 +610,10 @@ func (cfg Config) validate() error {
 	if err := cfg.Elastic.Validate(ceiling); err != nil {
 		return &ConfigError{Field: "Staging.Elastic", Reason: err.Error()}
 	}
+	if cfg.Staging.RingDepth < 0 {
+		return &ConfigError{Field: "Staging.RingDepth",
+			Reason: fmt.Sprintf("must be ≥ 0 (0 = channel transport, > 0 = SPSC ring depth in messages), got %d", cfg.Staging.RingDepth)}
+	}
 	if err := cfg.Staging.Reduce.Validate(); err != nil {
 		return &ConfigError{Field: "Staging.Reduce", Reason: err.Error()}
 	}
@@ -685,20 +701,47 @@ func NewJob(cfg Config) (*Job, error) {
 	// stager inbox, each producer on its own dialed connection, and the
 	// stagers forwarding over the listener's loopback.
 	var inboxAt func(i int) rt.Inbox
-	var relayTr rt.Transport
 	if cfg.TCPAddr == "" {
-		net := realenv.NewNetwork(cfg.Consumers+cfg.Stagers, window)
+		var net *realenv.Network
+		if cfg.Staging.RingDepth > 0 {
+			net = realenv.NewRingNetwork(cfg.Consumers+cfg.Stagers, cfg.Staging.RingDepth)
+		} else {
+			net = realenv.NewNetwork(cfg.Consumers+cfg.Stagers, window)
+		}
 		j.net = net
 		inboxAt = net.Inbox
-		relayTr = net
 	} else {
-		ln, err := realenv.ListenTCP(cfg.TCPAddr, cfg.Consumers+cfg.Stagers, window)
+		var ln *realenv.TCPListener
+		var err error
+		if cfg.Staging.RingDepth > 0 {
+			ln, err = realenv.ListenTCPRing(cfg.TCPAddr, cfg.Consumers+cfg.Stagers, cfg.Staging.RingDepth)
+		} else {
+			ln, err = realenv.ListenTCP(cfg.TCPAddr, cfg.Consumers+cfg.Stagers, window)
+		}
 		if err != nil {
 			return nil, err
 		}
 		j.ln = ln
 		inboxAt = ln.Inbox
-		relayTr = ln.Loopback()
+	}
+	// Each stager's forwarder is one sending thread, so it gets its own
+	// relay transport port: on the ring network that is a private wait-free
+	// SPSC lane per consumer; on the channel network (and the channel
+	// loopback) the port is the shared multi-producer-safe transport,
+	// byte-identical to earlier revisions.
+	relayPort := func() rt.Transport {
+		if j.ln != nil {
+			return j.ln.LoopbackPort()
+		}
+		return j.net.Port()
+	}
+	// One shared encode pipeline per job when parallel reduction is on:
+	// every producer sender and stager forwarder fans its batch encode out
+	// across the same bounded worker pool. Stateless operators only —
+	// validation already rejected Delta with Workers != 0.
+	if cfg.Staging.Reduce.Enabled() && cfg.Staging.Reduce.Workers != 0 {
+		j.pipe = reduce.NewPipeline(cfg.Staging.Reduce, cfg.Staging.Reduce.Workers)
+		ccfg.ReducePipeline = j.pipe
 	}
 	placed := cfg.Placement != RankAffine
 	for q := 0; q < cfg.Consumers; q++ {
@@ -820,9 +863,10 @@ func NewJob(cfg Config) (*Job, error) {
 				MaxBatchBytes:  cfg.MaxBatchBytes,
 				Producers:      n,
 				Reduce:         cfg.Staging.Reduce,
+				Pipeline:       j.pipe,
 				Recorder:       cfg.Recorder,
 			}
-			j.stage = append(j.stage, staging.NewStager(env, scfg, s, inboxAt(cfg.Consumers+s), relayTr, spill))
+			j.stage = append(j.stage, staging.NewStager(env, scfg, s, inboxAt(cfg.Consumers+s), relayPort(), spill))
 		}
 		ccfg.StagerLevel = func(addr int) *flow.Level {
 			return j.stage[addr-cfg.Consumers].Level()
@@ -840,7 +884,11 @@ func NewJob(cfg Config) (*Job, error) {
 		if j.pool == nil && stagers > 0 {
 			stager = cfg.Consumers + p%stagers
 		}
-		var tr rt.Transport = j.net
+		// Each producer's sender is one sending thread: its own port.
+		var tr rt.Transport
+		if j.net != nil {
+			tr = j.net.Port()
+		}
 		if j.ln != nil {
 			t, err := realenv.DialTCP(j.ln.Addr())
 			if err != nil {
@@ -886,6 +934,7 @@ func (j *Job) spawnStager(slot int) (*staging.Stager, error) {
 		MaxBatchBytes:  j.cfg.MaxBatchBytes,
 		Managed:        true,
 		Reduce:         j.cfg.Staging.Reduce,
+		Pipeline:       j.pipe,
 		Recorder:       j.cfg.Recorder,
 	}
 	in := &jobStager{slot: slot, spill: spill}
@@ -902,7 +951,9 @@ func (j *Job) spawnStager(slot int) (*staging.Stager, error) {
 		scfg.Unlease = func() { j.pool.Unlease(addr) }
 		j.pool.Lease(addr, j.fcfg.LeaseTTL, j.env.Ctx().Now())
 	}
-	st := staging.NewStager(j.env, scfg, slot, j.net.Inbox(j.cfg.Consumers+slot), j.net, spill)
+	// A respawned instance's forwarder is a fresh sending thread — it gets
+	// its own port (a new private lane set on the ring network).
+	st := staging.NewStager(j.env, scfg, slot, j.net.Inbox(j.cfg.Consumers+slot), j.net.Port(), spill)
 	in.st = st
 	j.mu.Lock()
 	j.slots[slot] = st
@@ -1131,6 +1182,11 @@ func (j *Job) Wait() {
 		// Fleet tenant: the shared stagers outlive this job. Release its
 		// capacity so the control plane redistributes the slice.
 		j.fleet.jobFinished(j)
+	}
+	if j.pipe != nil {
+		// Every encoding thread (producers, stagers) has joined: the shared
+		// parallel-encode pool can stop its workers.
+		j.pipe.Close()
 	}
 	j.closeWire()
 }
